@@ -1,0 +1,18 @@
+// A hand-written OpenQASM program using a custom parameterized gate,
+// compile it with:
+//   dune exec bin/qcc_cli.exe -- compare -f examples/zz_chain.qasm
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+
+gate zzrot(theta) a, b { cx a,b; rz(theta) b; cx a,b; }
+gate mix(beta) a { rx(2*beta) a; }
+
+h q[0]; h q[1]; h q[2]; h q[3]; h q[4]; h q[5];
+zzrot(pi/3) q[0], q[1];
+zzrot(pi/3) q[1], q[2];
+zzrot(pi/3) q[2], q[3];
+zzrot(pi/3) q[3], q[4];
+zzrot(pi/3) q[4], q[5];
+mix(0.8) q[0]; mix(0.8) q[1]; mix(0.8) q[2];
+mix(0.8) q[3]; mix(0.8) q[4]; mix(0.8) q[5];

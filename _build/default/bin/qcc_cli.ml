@@ -1,0 +1,209 @@
+(* qcc — compile quantum circuits with aggregated-instruction pulses.
+
+   Subcommands:
+     compile    compile a QASM file (or named benchmark) under a strategy
+     compare    run all strategies and print normalized latencies
+     bench-list list the built-in benchmark instances
+     verify     verify sampled aggregated instructions of a compilation
+     pulse      GRAPE-synthesize a pulse for a named 1-2 qubit gate *)
+
+open Cmdliner
+
+let load_circuit ~qasm_file ~benchmark =
+  match (qasm_file, benchmark) with
+  | Some path, None -> Qgate.Qasm.read_file path
+  | None, Some name -> Qapps.Suite.lowered (Qapps.Suite.find name)
+  | Some _, Some _ -> failwith "give either a QASM file or a benchmark, not both"
+  | None, None -> failwith "give a QASM file (-f) or a benchmark name (-b)"
+
+let topology_of = function
+  | None -> None
+  | Some "grid" -> None
+  | Some s ->
+    (match String.split_on_char ':' s with
+     | [ "line"; n ] -> Some (Qmap.Topology.line (int_of_string n))
+     | [ "full"; n ] -> Some (Qmap.Topology.full (int_of_string n))
+     | _ -> failwith "topology must be 'grid', 'line:N' or 'full:N'")
+
+let qasm_arg =
+  Arg.(value & opt (some file) None & info [ "f"; "qasm" ] ~doc:"Input QASM file.")
+
+let bench_arg =
+  Arg.(value & opt (some string) None
+       & info [ "b"; "benchmark" ] ~doc:"Built-in benchmark name (see bench-list).")
+
+let strategy_arg =
+  Arg.(value & opt string "cls+aggregation"
+       & info [ "s"; "strategy" ]
+           ~doc:"Strategy: isa | cls | aggregation | cls+aggregation | cls+hand.")
+
+let topology_arg =
+  Arg.(value & opt (some string) None
+       & info [ "t"; "topology" ] ~doc:"Topology: grid (default), line:N, full:N.")
+
+let width_arg =
+  Arg.(value & opt int 10
+       & info [ "w"; "width" ] ~doc:"Aggregated-instruction width limit.")
+
+let arch_arg =
+  Arg.(value & opt string "xy"
+       & info [ "a"; "architecture" ]
+           ~doc:"Physical coupling: xy (transmon), zz (flux/NMR), heisenberg (quantum dot).")
+
+let device_of = function
+  | "xy" -> Qcontrol.Device.default
+  | "zz" -> Qcontrol.Device.with_interaction Qcontrol.Device.Zz Qcontrol.Device.default
+  | "heisenberg" | "dots" ->
+    Qcontrol.Device.with_interaction Qcontrol.Device.Heisenberg Qcontrol.Device.default
+  | s -> failwith (Printf.sprintf "unknown architecture %S (xy zz heisenberg)" s)
+
+let config topology width arch =
+  { Qcc.Compiler.device = device_of arch;
+    topology = topology_of topology;
+    width_limit = width }
+
+let print_result r =
+  Qcc.Report.print_kv
+    [ ("strategy", Qcc.Strategy.to_string r.Qcc.Compiler.strategy);
+      ("latency (ns)", Printf.sprintf "%.1f" r.Qcc.Compiler.latency);
+      ("instructions", string_of_int r.Qcc.Compiler.n_instructions);
+      ("swaps inserted", string_of_int r.Qcc.Compiler.n_swaps_inserted);
+      ("merges", string_of_int r.Qcc.Compiler.n_merges);
+      ("compile time (s)", Printf.sprintf "%.2f" r.Qcc.Compiler.compile_time) ]
+
+let compile_cmd =
+  let run qasm bench strategy topology width arch verbose =
+    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+    let strategy = Qcc.Strategy.of_string strategy in
+    let r =
+      Qcc.Compiler.compile ~config:(config topology width arch) ~strategy circuit
+    in
+    print_result r;
+    if verbose then
+      Format.printf "%a@." Qsched.Schedule.pp r.Qcc.Compiler.schedule
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
+  in
+  Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit under one strategy.")
+    Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
+          $ width_arg $ arch_arg $ verbose)
+
+let compare_cmd =
+  let run qasm bench topology width arch =
+    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+    let results =
+      Qcc.Compiler.compile_all ~config:(config topology width arch) circuit
+    in
+    let name = Option.value ~default:"circuit" bench in
+    Qcc.Report.print_speedup_table ~header:"normalized latency (isa = 1.0)"
+      ~rows:[ (name, results) ]
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare all strategies on one circuit.")
+    Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg $ arch_arg)
+
+let bench_list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Qapps.Suite.benchmark) ->
+        let c = Lazy.force b.Qapps.Suite.circuit in
+        Printf.printf "%-16s %-12s qubits=%d (paper: %d) gates=%d  %s\n"
+          b.Qapps.Suite.name b.Qapps.Suite.application
+          (Qgate.Circuit.n_qubits c) b.Qapps.Suite.paper_qubits
+          (Qgate.Circuit.n_gates c) b.Qapps.Suite.purpose)
+      Qapps.Suite.all
+  in
+  Cmd.v (Cmd.info "bench-list" ~doc:"List built-in benchmarks.")
+    Term.(const run $ const ())
+
+let verify_cmd =
+  let run qasm bench topology width arch samples =
+    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+    let r =
+      Qcc.Compiler.compile ~config:(config topology width arch)
+        ~strategy:Qcc.Strategy.Cls_aggregation circuit
+    in
+    let rng = Qgraph.Rand.create 2025 in
+    let report =
+      Qsim.Verify.verify_sampled ~samples rng (device_of arch)
+        (Qcc.Compiler.blocks r)
+    in
+    Format.printf "@[<v>%a@]@." Qsim.Verify.pp_report report
+  in
+  let samples =
+    Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Blocks to sample.")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify sampled aggregated instructions (unitary + pulse).")
+    Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg $ arch_arg
+          $ samples)
+
+let pulse_cmd =
+  let run gate duration =
+    let target, n_qubits, couplings =
+      match gate with
+      | "x" -> (Qgate.Unitary.of_kind Qgate.Gate.X, 1, [])
+      | "h" -> (Qgate.Unitary.of_kind Qgate.Gate.H, 1, [])
+      | "cnot" | "cx" -> (Qgate.Unitary.of_kind Qgate.Gate.Cnot, 2, [ (0, 1) ])
+      | "iswap" -> (Qgate.Unitary.of_kind Qgate.Gate.Iswap, 2, [ (0, 1) ])
+      | "swap" -> (Qgate.Unitary.of_kind Qgate.Gate.Swap, 2, [ (0, 1) ])
+      | "zz" -> (Qgate.Unitary.of_kind (Qgate.Gate.Rzz 5.67), 2, [ (0, 1) ])
+      | g -> failwith (Printf.sprintf "unknown gate %S (x h cnot iswap swap zz)" g)
+    in
+    let problem =
+      { Qcontrol.Grape.n_qubits;
+        couplings;
+        target;
+        duration;
+        n_steps = max 20 (int_of_float duration);
+        device = Qcontrol.Device.default }
+    in
+    let r = Qcontrol.Grape.optimize problem in
+    Printf.printf "fidelity %.5f after %d iterations (converged: %b)\n"
+      r.Qcontrol.Grape.fidelity r.Qcontrol.Grape.iterations
+      r.Qcontrol.Grape.converged;
+    Format.printf "%a@." Qcontrol.Pulse.pp r.Qcontrol.Grape.pulse
+  in
+  let gate =
+    Arg.(value & pos 0 string "iswap" & info [] ~docv:"GATE" ~doc:"Gate name.")
+  in
+  let duration =
+    Arg.(value & opt float 60. & info [ "d"; "duration" ] ~doc:"Pulse length (ns).")
+  in
+  Cmd.v (Cmd.info "pulse" ~doc:"GRAPE-synthesize a pulse for a named gate.")
+    Term.(const run $ gate $ duration)
+
+let export_cmd =
+  let run qasm bench strategy topology width arch out_dir =
+    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+    let strategy = Qcc.Strategy.of_string strategy in
+    let r =
+      Qcc.Compiler.compile ~config:(config topology width arch) ~strategy circuit
+    in
+    (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    let path name = Filename.concat out_dir name in
+    Qviz.Dot.write_file (path "gdg.dot") r.Qcc.Compiler.gdg;
+    Qviz.Timeline.write_svg (path "schedule.svg") r.Qcc.Compiler.schedule;
+    Qviz.Timeline.write_json (path "schedule.json") r.Qcc.Compiler.schedule;
+    print_result r;
+    Printf.printf "wrote %s, %s, %s
+" (path "gdg.dot") (path "schedule.svg")
+      (path "schedule.json")
+  in
+  let out_dir =
+    Arg.(value & opt string "qcc-out"
+         & info [ "o"; "output" ] ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Compile and write the GDG (DOT) and schedule (SVG + JSON).")
+    Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
+          $ width_arg $ arch_arg $ out_dir)
+
+let () =
+  let doc = "optimized compilation of aggregated quantum instructions" in
+  let info = Cmd.info "qcc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+                    [ compile_cmd; compare_cmd; bench_list_cmd; verify_cmd;
+                      pulse_cmd; export_cmd ]))

@@ -1,0 +1,1 @@
+examples/grover_sqrt.ml: Array Printf Qapps Qcc Qgate

@@ -1,0 +1,1 @@
+examples/pulse_shaping.ml: Filename Format Printf Qapps Qcontrol Qgate Qnum Qsim Qviz String Sys

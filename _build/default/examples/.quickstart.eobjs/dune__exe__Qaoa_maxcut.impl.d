@@ -1,0 +1,1 @@
+examples/qaoa_maxcut.ml: Array Hashtbl List Option Printf Qapps Qcc Qgate Qgraph Qmap Qsched Qsim

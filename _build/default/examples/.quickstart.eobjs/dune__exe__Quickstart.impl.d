@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf Qapps Qcc Qgate Qmap String

@@ -1,0 +1,1 @@
+examples/variational_loop.ml: Array List Printf Qapps Qcc Qgate Qgraph Qmap Qopt Qsim Sys

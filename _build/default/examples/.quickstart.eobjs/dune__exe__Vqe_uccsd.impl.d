@@ -1,0 +1,1 @@
+examples/vqe_uccsd.ml: Array Float List Printf Qapps Qcc Qgate Qmap Qsched Qsim

@@ -1,0 +1,66 @@
+(* VQE with a UCCSD ansatz: the paper's §6.4 chemistry workload.
+
+   Builds the Jordan–Wigner UCCSD ansatz on 4 spin orbitals, compiles it
+   under every strategy, and evaluates the energy of a transverse-field
+   Ising test Hamiltonian under the compiled program to confirm the
+   aggressive pulse-level rewriting did not change the physics.
+
+     dune exec examples/vqe_uccsd.exe *)
+
+module Compiler = Qcc.Compiler
+module Strategy = Qcc.Strategy
+module State = Qsim.State
+
+let energy state hamiltonian_terms =
+  List.fold_left
+    (fun acc term -> acc +. State.expectation state term)
+    0. hamiltonian_terms
+
+let () =
+  let n = 4 in
+  let ansatz = Qapps.Uccsd.circuit ~seed:3 n in
+  Printf.printf "UCCSD-n%d ansatz: %d gates over %d excitations\n" n
+    (Qgate.Circuit.n_gates ansatz)
+    (List.length (Qapps.Uccsd.excitations n));
+
+  let hamiltonian = Qapps.Ising.hamiltonian_terms ~j_coupling:1.0 ~field:0.6 n in
+
+  let results = Compiler.compile_all ansatz in
+  let isa = List.assoc Strategy.Isa results in
+  Printf.printf "\n%-18s %12s %9s\n" "strategy" "latency (ns)" "speedup";
+  List.iter
+    (fun (s, r) ->
+      Printf.printf "%-18s %12.1f %8.2fx\n" (Strategy.to_string s)
+        r.Compiler.latency
+        (Compiler.speedup ~baseline:isa r))
+    results;
+
+  (* energy under the logical ansatz *)
+  let reference =
+    energy (State.apply_circuit (State.zero n) ansatz) hamiltonian
+  in
+
+  (* energy under the compiled instruction stream, measured at the final
+     sites of the logical qubits *)
+  let agg = List.assoc Strategy.Cls_aggregation results in
+  let n_sites =
+    Qgate.Circuit.n_qubits (Qsched.Schedule.to_circuit agg.Compiler.schedule)
+  in
+  let compiled = Qgate.Circuit.make n_sites (List.concat (Compiler.blocks agg)) in
+  let final_state = State.apply_circuit (State.zero n_sites) compiled in
+  let site_of q = Qmap.Placement.site_of agg.Compiler.final_placement q in
+  let relabelled_terms =
+    List.map
+      (fun (term : Qgate.Pauli.t) ->
+        let ops = Array.make n_sites Qgate.Pauli.Pi in
+        Array.iteri (fun q op -> ops.(site_of q) <- op) term.Qgate.Pauli.ops;
+        Qgate.Pauli.make term.Qgate.Pauli.coeff ops)
+      hamiltonian
+  in
+  let compiled_energy = energy final_state relabelled_terms in
+  Printf.printf "\nenergy check: logical %.6f vs compiled %.6f (delta %.2e)\n"
+    reference compiled_energy
+    (Float.abs (reference -. compiled_energy));
+  Printf.printf
+    "paper §6.4: aggregation achieves 3.12x more latency reduction than\n\
+     hand optimization on UCCSD-n4; compare the table above.\n"

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Handopt List Qagg Qcontrol Qgate Qgdg Qmap Qsched Strategy Sys

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Qcontrol Qgate Qgdg Qmap Qsched Strategy

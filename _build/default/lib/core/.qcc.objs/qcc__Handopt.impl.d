@@ -1,0 +1,1 @@
+lib/core/handopt.ml: Array Float Hashtbl List Option Qgate

@@ -1,0 +1,1 @@
+lib/core/handopt.mli: Qgate

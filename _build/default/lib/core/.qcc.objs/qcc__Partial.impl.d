@@ -1,0 +1,1 @@
+lib/core/partial.ml: Compiler Float List Qcontrol Qgate Qgdg Qsched Sys

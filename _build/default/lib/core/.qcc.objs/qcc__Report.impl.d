@@ -1,0 +1,1 @@
+lib/core/report.ml: Compiler Float Hashtbl List Option Printf Strategy String

@@ -1,0 +1,229 @@
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+module Inst = Qgdg.Inst
+module Gdg = Qgdg.Gdg
+
+type config = {
+  device : Qcontrol.Device.t;
+  topology : Qmap.Topology.t option;
+  width_limit : int;
+}
+
+let default_config =
+  { device = Qcontrol.Device.default; topology = None; width_limit = 10 }
+
+type result = {
+  strategy : Strategy.t;
+  schedule : Qsched.Schedule.t;
+  latency : float;
+  gdg : Gdg.t;
+  initial_placement : Qmap.Placement.t;
+  final_placement : Qmap.Placement.t;
+  n_instructions : int;
+  n_swaps_inserted : int;
+  n_merges : int;
+  compile_time : float;
+}
+
+let topology_of config circuit =
+  match config.topology with
+  | Some t -> t
+  | None -> Qmap.Topology.grid_for (Circuit.n_qubits circuit)
+
+let gate_cost device g = Qcontrol.Latency_model.gate_time device g
+let serial_cost device gates = Qcontrol.Latency_model.isa_critical_path device gates
+
+let opt_cost config gates =
+  Qcontrol.Latency_model.block_time ~width_limit:config.width_limit
+    config.device gates
+
+(* relabel instructions to fresh consecutive ids (after routing mixes
+   logical instructions with inserted swaps) *)
+let renumber insts =
+  List.mapi
+    (fun id (i : Inst.t) ->
+      Inst.make ~id ~latency:i.Inst.latency i.Inst.gates)
+    insts
+
+let route_insts ~config ~topology ~placement insts =
+  let swap_latency = gate_cost config.device (Gate.swap 0 1) in
+  let swap_counter = ref 0 in
+  let routed, final =
+    Qmap.Router.route ~topology ~placement
+      ~support:(fun (i : Inst.t) -> i.Inst.qubits)
+      ~remap:(fun f (i : Inst.t) ->
+        Inst.make ~id:i.Inst.id ~latency:i.Inst.latency
+          (List.map (Gate.map_qubits f) i.Inst.gates))
+      ~make_swap:(fun a b ->
+        incr swap_counter;
+        Inst.make ~id:(-1) ~latency:swap_latency [ Gate.swap a b ])
+      insts
+  in
+  (renumber routed, !swap_counter, final)
+
+let gdg_of_physical ~topology insts =
+  Gdg.of_insts ~n_qubits:(Qmap.Topology.n_sites topology) insts
+
+(* ISA baseline: program order, per-gate pulses, ASAP *)
+let compile_isa ~config circuit =
+  let topology = topology_of config circuit in
+  let placement = Qmap.Placement.initial topology circuit in
+  let physical, final = Qmap.Router.route_circuit ~placement ~topology circuit in
+  let gdg =
+    Gdg.of_circuit
+      ~latency:(fun gates -> serial_cost config.device gates)
+      physical
+  in
+  let swaps =
+    Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical
+    - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
+  in
+  (Qsched.Asap.schedule gdg, gdg, swaps, 0, placement, final)
+
+(* commutativity detection + CLS, gates still pulsed individually *)
+let compile_cls ~config circuit =
+  let topology = topology_of config circuit in
+  let gdg =
+    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
+      circuit
+  in
+  let merges =
+    Qgdg.Diagonal.detect_and_contract
+      ~latency:(fun gates -> serial_cost config.device gates)
+      gdg
+  in
+  let logical_schedule = Qsched.Cls.schedule gdg in
+  let placement = Qmap.Placement.initial topology circuit in
+  let routed, swaps, final =
+    route_insts ~config ~topology ~placement
+      (Qsched.Schedule.linearize logical_schedule)
+  in
+  (* CLS gets no custom pulses: expand blocks back to gates so the final
+     schedule recovers gate-level overlap; the commutativity gain is
+     already baked into the routed order *)
+  let flat =
+    Circuit.make (Qmap.Topology.n_sites topology)
+      (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+  in
+  let physical =
+    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
+      flat
+  in
+  (Qsched.Cls.schedule physical, physical, swaps, merges, placement, final)
+
+(* aggregation without commutativity-aware scheduling *)
+let compile_aggregation ~config circuit =
+  let topology = topology_of config circuit in
+  let placement = Qmap.Placement.initial topology circuit in
+  let physical_circuit, final =
+    Qmap.Router.route_circuit ~placement ~topology circuit
+  in
+  let swaps =
+    Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical_circuit
+    - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
+  in
+  let gdg =
+    Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates)
+      physical_circuit
+  in
+  let d_merges =
+    Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
+  in
+  let stats =
+    Qagg.Aggregator.run ~width_limit:config.width_limit
+      ~cost:(opt_cost config) gdg
+  in
+  ( Qsched.Asap.schedule gdg,
+    gdg,
+    swaps,
+    d_merges + stats.Qagg.Aggregator.merges,
+    placement,
+    final )
+
+(* the full pipeline *)
+let compile_cls_aggregation ~config circuit =
+  let topology = topology_of config circuit in
+  let gdg =
+    Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates) circuit
+  in
+  let d_merges =
+    Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
+  in
+  let logical_schedule = Qsched.Cls.schedule gdg in
+  let placement = Qmap.Placement.initial topology circuit in
+  let routed, swaps, final =
+    route_insts ~config ~topology ~placement
+      (Qsched.Schedule.linearize logical_schedule)
+  in
+  let physical = gdg_of_physical ~topology routed in
+  let stats =
+    Qagg.Aggregator.run ~width_limit:config.width_limit
+      ~cost:(opt_cost config) physical
+  in
+  ( Qsched.Cls.schedule physical,
+    physical,
+    swaps,
+    d_merges + stats.Qagg.Aggregator.merges,
+    placement,
+    final )
+
+(* CLS + mechanical hand optimization *)
+let compile_cls_hand ~config circuit =
+  let topology = topology_of config circuit in
+  let hand = Handopt.optimize circuit in
+  let gdg =
+    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
+      hand
+  in
+  let logical_schedule = Qsched.Cls.schedule gdg in
+  let placement = Qmap.Placement.initial topology hand in
+  let routed, swaps, final =
+    route_insts ~config ~topology ~placement
+      (Qsched.Schedule.linearize logical_schedule)
+  in
+  (* a second peephole pass over the routed stream (swaps enable new
+     cancellations), then the final commutativity-aware schedule *)
+  let flat =
+    Circuit.make (Qmap.Topology.n_sites topology)
+      (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+  in
+  let hand2 = Handopt.optimize flat in
+  let physical =
+    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
+      hand2
+  in
+  (Qsched.Cls.schedule physical, physical, swaps, 0, placement, final)
+
+let compile ?(config = default_config) ~strategy circuit =
+  let t0 = Sys.time () in
+  let circuit = Qgate.Decompose.to_isa circuit in
+  let schedule, gdg, n_swaps_inserted, n_merges, initial_placement,
+      final_placement =
+    match strategy with
+    | Strategy.Isa -> compile_isa ~config circuit
+    | Strategy.Cls -> compile_cls ~config circuit
+    | Strategy.Aggregation -> compile_aggregation ~config circuit
+    | Strategy.Cls_aggregation -> compile_cls_aggregation ~config circuit
+    | Strategy.Cls_hand -> compile_cls_hand ~config circuit
+  in
+  { strategy;
+    schedule;
+    latency = schedule.Qsched.Schedule.makespan;
+    gdg;
+    initial_placement;
+    final_placement;
+    n_instructions = Gdg.size gdg;
+    n_swaps_inserted;
+    n_merges;
+    compile_time = Sys.time () -. t0 }
+
+let compile_all ?config circuit =
+  List.map
+    (fun strategy -> (strategy, compile ?config ~strategy circuit))
+    Strategy.all
+
+let blocks result =
+  List.map (fun (i : Inst.t) -> i.Inst.gates) (Gdg.insts result.gdg)
+
+let speedup ~baseline result =
+  if result.latency <= 0. then infinity else baseline.latency /. result.latency

@@ -1,0 +1,63 @@
+(** End-to-end compilation pipelines (paper Fig. 5).
+
+    All strategies share the frontend (ISA lowering) and the mapping layer
+    (recursive-bisection placement + SWAP routing on the device topology);
+    they differ in commutativity detection, scheduling, aggregation and
+    pulse costing:
+
+    - [Isa]: route the gate stream in program order, cost each gate with
+      the per-gate pulse table, ASAP-schedule.
+    - [Cls]: contract diagonal blocks (commutativity detection), CLS on
+      the logical GDG, route the linearization, CLS again on the physical
+      GDG; blocks still cost the serial sum of their member gates (no
+      custom pulses).
+    - [Aggregation]: no commutativity-aware scheduling; contract diagonal
+      blocks and run monotonic aggregation on the routed program-order
+      GDG with optimal-control (latency-model) costing; ASAP.
+    - [Cls_aggregation]: the full pipeline — detection, CLS, mapping,
+      aggregation (SWAPs may merge into neighboring blocks), final CLS.
+    - [Cls_hand]: hand-optimize (ZZ fusion, cancellations), CLS, route,
+      hand-optimize again, final CLS; fused gates cost their direct-pulse
+      times.
+
+    The returned GDG and schedule are on physical (device-site) qubits. *)
+
+type config = {
+  device : Qcontrol.Device.t;
+  topology : Qmap.Topology.t option;
+      (** default: smallest near-square grid fitting the circuit *)
+  width_limit : int;  (** aggregation width bound (default 10) *)
+}
+
+val default_config : config
+
+type result = {
+  strategy : Strategy.t;
+  schedule : Qsched.Schedule.t;
+  latency : float;  (** makespan, ns *)
+  gdg : Qgdg.Gdg.t;
+  initial_placement : Qmap.Placement.t;
+      (** logical qubit → device site before the first instruction *)
+  final_placement : Qmap.Placement.t;
+      (** logical qubit → device site after the last instruction (differs
+          from the initial placement by the net effect of routing SWAPs);
+          needed to interpret measurement outcomes *)
+  n_instructions : int;
+  n_swaps_inserted : int;
+  n_merges : int;  (** diagonal contractions + aggregation merges *)
+  compile_time : float;  (** seconds *)
+}
+
+val compile :
+  ?config:config -> strategy:Strategy.t -> Qgate.Circuit.t -> result
+
+val compile_all :
+  ?config:config -> Qgate.Circuit.t -> (Strategy.t * result) list
+(** All five strategies on one circuit. *)
+
+val blocks : result -> Qgate.Gate.t list list
+(** Final aggregated instructions as member-gate lists (for
+    verification). *)
+
+val speedup : baseline:result -> result -> float
+(** baseline latency / this latency. *)

@@ -1,0 +1,169 @@
+module Gate = Qgate.Gate
+
+let tau = 2. *. Float.pi
+
+let angle_is_trivial a =
+  let r = Float.rem (Float.abs a) tau in
+  r < 1e-12 || tau -. r < 1e-12
+
+let same_pair a b =
+  List.sort compare (Gate.qubits a) = List.sort compare (Gate.qubits b)
+
+(* adjacent self-inverse pair? *)
+let cancels prev g =
+  match (prev.Gate.kind, g.Gate.kind) with
+  | Gate.X, Gate.X | Gate.Y, Gate.Y | Gate.Z, Gate.Z | Gate.H, Gate.H
+  | Gate.S, Gate.Sdg | Gate.Sdg, Gate.S | Gate.T, Gate.Tdg | Gate.Tdg, Gate.T
+    ->
+    Gate.qubits prev = Gate.qubits g
+  | Gate.Cnot, Gate.Cnot | Gate.Ccx, Gate.Ccx -> Gate.qubits prev = Gate.qubits g
+  | Gate.Cz, Gate.Cz | Gate.Swap, Gate.Swap -> same_pair prev g
+  | _ -> false
+
+(* adjacent same-axis rotations merge into one *)
+let merges prev g =
+  let combine kind = Some { g with Gate.kind } in
+  match (prev.Gate.kind, g.Gate.kind) with
+  | Gate.Rx a, Gate.Rx b when Gate.qubits prev = Gate.qubits g ->
+    combine (Gate.Rx (a +. b))
+  | Gate.Ry a, Gate.Ry b when Gate.qubits prev = Gate.qubits g ->
+    combine (Gate.Ry (a +. b))
+  | Gate.Rz a, Gate.Rz b when Gate.qubits prev = Gate.qubits g ->
+    combine (Gate.Rz (a +. b))
+  | Gate.Phase a, Gate.Phase b when Gate.qubits prev = Gate.qubits g ->
+    combine (Gate.Phase (a +. b))
+  | Gate.Rzz a, Gate.Rzz b when same_pair prev g -> combine (Gate.Rzz (a +. b))
+  | Gate.Rxx a, Gate.Rxx b when same_pair prev g -> combine (Gate.Rxx (a +. b))
+  | Gate.Ryy a, Gate.Ryy b when same_pair prev g -> combine (Gate.Ryy (a +. b))
+  | Gate.Cphase a, Gate.Cphase b when same_pair prev g ->
+    combine (Gate.Cphase (a +. b))
+  | _ -> None
+
+let rotation_angle g =
+  match g.Gate.kind with
+  | Gate.Rx a | Gate.Ry a | Gate.Rz a | Gate.Phase a | Gate.Rzz a | Gate.Rxx a
+  | Gate.Ryy a | Gate.Cphase a ->
+    Some a
+  | _ -> None
+
+type entry = { gate : Gate.t; prev_on : (int * int) list }
+
+let one_pass gates =
+  let n = List.length gates in
+  let entries : entry option array = Array.make (max 1 n) None in
+  let used = ref 0 in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let changed = ref false in
+  let entry_at i = Option.get entries.(i) in
+  let kill i =
+    (* restore per-qubit last pointers to the killed entry's predecessors *)
+    let e = entry_at i in
+    entries.(i) <- None;
+    List.iter
+      (fun q ->
+        if Hashtbl.find_opt last q = Some i then begin
+          match List.assoc_opt q e.prev_on with
+          | Some p when p >= 0 && entries.(p) <> None -> Hashtbl.replace last q p
+          | Some _ | None -> Hashtbl.remove last q
+        end)
+      (Gate.qubits e.gate)
+  in
+  let append g =
+    let prev_on =
+      List.map
+        (fun q -> (q, Option.value ~default:(-1) (Hashtbl.find_opt last q)))
+        (Gate.qubits g)
+    in
+    entries.(!used) <- Some { gate = g; prev_on };
+    List.iter (fun q -> Hashtbl.replace last q !used) (Gate.qubits g);
+    incr used
+  in
+  (* is entry i the immediately preceding live gate on all of g's qubits? *)
+  let adjacent_on_all g i =
+    List.for_all (fun q -> Hashtbl.find_opt last q = Some i) (Gate.qubits g)
+  in
+  let rec push g =
+    (* drop identity and zero rotations outright *)
+    let trivial =
+      g.Gate.kind = Gate.I
+      || (match rotation_angle g with Some a -> angle_is_trivial a | None -> false)
+    in
+    if trivial then changed := true
+    else begin
+      let prev_index =
+        match Gate.qubits g with
+        | q :: _ -> Hashtbl.find_opt last q
+        | [] -> None
+      in
+      let prev =
+        match prev_index with
+        | Some i when adjacent_on_all g i -> Some (i, (entry_at i).gate)
+        | Some _ | None -> None
+      in
+      match prev with
+      | Some (i, pg) when cancels pg g ->
+        kill i;
+        changed := true
+      | Some (i, pg) when merges pg g <> None ->
+        let merged = Option.get (merges pg g) in
+        kill i;
+        changed := true;
+        push merged
+      | _ ->
+        (* CNOT–Rz–CNOT fusion: g closes a diagonal sandwich *)
+        let fused =
+          match (g.Gate.kind, Gate.qubits g) with
+          | Gate.Cnot, [ c; t ] ->
+            (match Hashtbl.find_opt last t with
+             | Some j ->
+               let ej = entry_at j in
+               (match (ej.gate.Gate.kind, Gate.qubits ej.gate) with
+                | Gate.Rz theta, [ t' ] when t' = t -> begin
+                    match List.assoc_opt t ej.prev_on with
+                    | Some i when i >= 0 && entries.(i) <> None ->
+                      let ei = entry_at i in
+                      if
+                        Gate.equal ei.gate (Gate.cnot c t)
+                        && Hashtbl.find_opt last c = Some i
+                      then begin
+                        kill j;
+                        kill i;
+                        changed := true;
+                        Some (Gate.rzz theta c t)
+                      end
+                      else None
+                    | Some _ | None -> None
+                  end
+                | _ -> None)
+             | None -> None)
+          | _ -> None
+        in
+        (match fused with Some g' -> push g' | None -> append g)
+    end
+  in
+  List.iter push gates;
+  let out = ref [] in
+  for i = !used - 1 downto 0 do
+    match entries.(i) with
+    | Some e -> out := e.gate :: !out
+    | None -> ()
+  done;
+  (!out, !changed)
+
+let optimize circuit =
+  let rec fix gates =
+    let gates', changed = one_pass gates in
+    if changed then fix gates' else gates'
+  in
+  Qgate.Circuit.make (Qgate.Circuit.n_qubits circuit)
+    (fix (Qgate.Circuit.gates circuit))
+
+let fuse_count circuit =
+  let before =
+    Qgate.Circuit.count (fun g -> g.Gate.kind = Gate.Cnot) circuit
+  in
+  let optimized = optimize circuit in
+  let after =
+    Qgate.Circuit.count (fun g -> g.Gate.kind = Gate.Cnot) optimized
+  in
+  max 0 ((before - after) / 2)

@@ -1,0 +1,20 @@
+(** Hand-optimization baseline (paper §5.3, "CLS + hand optimization").
+
+    Mechanically applies the optimization methods documented for
+    iSWAP-architecture superconductors ([39, 48]) plus standard peephole
+    identities, the way an experimentalist would tune a circuit by hand:
+
+    - cancellation of adjacent self-inverse pairs (CNOT·CNOT, H·H, …);
+    - merging of adjacent same-axis rotations (dropping net-zero ones);
+    - fusing CNOT–Rz(θ)–CNOT into a single directly-pulsed ZZ(θ) rotation
+      (the "natural two-qubit gate" of Schuch–Siewert [48]).
+
+    Unlike instruction aggregation, the rule set is fixed and local; it
+    cannot discover new multi-qubit pulses (paper §6.4). *)
+
+val optimize : Qgate.Circuit.t -> Qgate.Circuit.t
+(** Applies the rules to fixpoint. Semantics-preserving up to global
+    phase (verified in tests). *)
+
+val fuse_count : Qgate.Circuit.t -> int
+(** Number of ZZ fusions the optimizer finds (for reporting). *)

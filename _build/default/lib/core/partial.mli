@@ -1,0 +1,33 @@
+(** Partial compilation (paper §9, future work).
+
+    Hybrid variational algorithms re-run structurally identical circuits
+    with updated rotation angles on every classical-optimizer iteration;
+    re-running the full aggregation search each time is what makes the
+    paper's compile times "as long as several hours". This module reuses
+    a finished compilation: the aggregated instruction structure, qubit
+    mapping and SWAP choices are kept, only the member-gate angles are
+    rebound, every block is re-costed by the latency model, and the final
+    commutativity-aware schedule is recomputed — orders of magnitude
+    cheaper than compiling from scratch (measured in the tests). *)
+
+val reparameterize :
+  ?config:Compiler.config ->
+  Compiler.result ->
+  (Qgate.Gate.t -> Qgate.Gate.t) ->
+  Compiler.result
+(** [reparameterize result f] maps every member gate of every aggregated
+    instruction through [f]. [f] must preserve the gate's name and
+    qubits (only parameters may change); [Invalid_argument] otherwise.
+    [config] must match the one used for the original compilation
+    (defaults to {!Compiler.default_config}). *)
+
+val rebind_rotations :
+  ?config:Compiler.config ->
+  Compiler.result ->
+  gamma:float ->
+  beta:float ->
+  Compiler.result
+(** QAOA convenience: rescale every Rz angle by [gamma]/original-γ-slot
+    semantics is ambiguous, so instead this substitutes the angle of every
+    Rz with [gamma] (times the gate's original sign) and of every Rx with
+    [2·beta] — matching the circuits {!Qapps.Qaoa.circuit} generates. *)

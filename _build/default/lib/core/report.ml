@@ -1,0 +1,58 @@
+let geometric_mean values =
+  match values with
+  | [] -> invalid_arg "Report.geometric_mean: empty"
+  | _ ->
+    if List.exists (fun v -> v <= 0.) values then
+      invalid_arg "Report.geometric_mean: non-positive entry";
+    let log_sum = List.fold_left (fun acc v -> acc +. Float.log v) 0. values in
+    Float.exp (log_sum /. float_of_int (List.length values))
+
+let normalized_latency ~baseline result =
+  result.Compiler.latency /. baseline.Compiler.latency
+
+let print_speedup_table ~header ~rows =
+  Printf.printf "%s\n" header;
+  let strategies = Strategy.all in
+  Printf.printf "%-16s" "benchmark";
+  List.iter
+    (fun s -> Printf.printf " %15s" (Strategy.to_string s))
+    strategies;
+  Printf.printf "\n";
+  let per_strategy = Hashtbl.create 8 in
+  List.iter
+    (fun (name, results) ->
+      Printf.printf "%-16s" name;
+      let baseline =
+        match List.assoc_opt Strategy.Isa results with
+        | Some r -> r
+        | None -> invalid_arg "Report: missing ISA baseline"
+      in
+      List.iter
+        (fun s ->
+          match List.assoc_opt s results with
+          | None -> Printf.printf " %15s" "-"
+          | Some r ->
+            let norm = normalized_latency ~baseline r in
+            let prev =
+              Option.value ~default:[] (Hashtbl.find_opt per_strategy s)
+            in
+            Hashtbl.replace per_strategy s (norm :: prev);
+            Printf.printf " %15.3f" norm)
+        strategies;
+      Printf.printf "\n")
+    rows;
+  Printf.printf "%-16s" "geomean-speedup";
+  List.iter
+    (fun s ->
+      match Hashtbl.find_opt per_strategy s with
+      | None | Some [] -> Printf.printf " %15s" "-"
+      | Some norms -> Printf.printf " %15.3f" (1. /. geometric_mean norms))
+    strategies;
+  Printf.printf "\n%!"
+
+let print_kv pairs =
+  let width =
+    List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs
+  in
+  List.iter (fun (k, v) -> Printf.printf "  %-*s  %s\n" width k v) pairs;
+  Printf.printf "%!"

@@ -1,0 +1,18 @@
+(** Result formatting and aggregate statistics for the experiment
+    harness. *)
+
+val geometric_mean : float list -> float
+(** Raises [Invalid_argument] on an empty list or non-positive entries. *)
+
+val normalized_latency : baseline:Compiler.result -> Compiler.result -> float
+(** this latency / baseline latency (the y-axis of Fig. 9). *)
+
+val print_speedup_table :
+  header:string ->
+  rows:(string * (Strategy.t * Compiler.result) list) list ->
+  unit
+(** One row per benchmark: normalized latency per strategy (ISA = 1.0)
+    plus a geometric-mean footer, matching Fig. 9's layout. *)
+
+val print_kv : (string * string) list -> unit
+(** Aligned key/value lines. *)

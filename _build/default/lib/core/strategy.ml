@@ -1,0 +1,20 @@
+type t = Isa | Cls | Aggregation | Cls_aggregation | Cls_hand
+
+let all = [ Isa; Cls; Aggregation; Cls_aggregation; Cls_hand ]
+
+let to_string = function
+  | Isa -> "isa"
+  | Cls -> "cls"
+  | Aggregation -> "aggregation"
+  | Cls_aggregation -> "cls+aggregation"
+  | Cls_hand -> "cls+hand"
+
+let of_string = function
+  | "isa" -> Isa
+  | "cls" -> Cls
+  | "aggregation" | "agg" -> Aggregation
+  | "cls+aggregation" | "cls+agg" -> Cls_aggregation
+  | "cls+hand" | "hand" -> Cls_hand
+  | s -> invalid_arg (Printf.sprintf "Strategy.of_string: unknown %S" s)
+
+let pp ppf s = Format.pp_print_string ppf (to_string s)

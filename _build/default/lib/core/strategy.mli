@@ -1,0 +1,15 @@
+(** Compilation strategies compared in the paper's evaluation (Fig. 9). *)
+
+type t =
+  | Isa  (** gate-based baseline: decompose, route, ASAP-schedule *)
+  | Cls  (** commutativity detection + CLS, gates still pulsed one by one *)
+  | Aggregation  (** instruction aggregation without CLS *)
+  | Cls_aggregation  (** the paper's full pipeline *)
+  | Cls_hand  (** CLS + mechanical hand optimization ([39, 48]) *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t
+(** Raises [Invalid_argument] on unknown names. *)
+
+val pp : Format.formatter -> t -> unit

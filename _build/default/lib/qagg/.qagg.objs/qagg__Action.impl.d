@@ -1,0 +1,1 @@
+lib/qagg/action.ml: Hashtbl List Qgdg

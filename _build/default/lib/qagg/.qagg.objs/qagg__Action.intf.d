@@ -1,0 +1,1 @@
+lib/qagg/action.mli: Qgdg

@@ -1,0 +1,1 @@
+lib/qagg/aggregator.ml: Action Float Hashtbl List Qgdg Queue

@@ -1,0 +1,1 @@
+lib/qagg/aggregator.mli: Qgate Qgdg

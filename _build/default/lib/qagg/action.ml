@@ -1,0 +1,88 @@
+module Inst = Qgdg.Inst
+module Gdg = Qgdg.Gdg
+module Comm_group = Qgdg.Comm_group
+
+(* position of [id] in the chain of qubit [q]; raises Not_found *)
+let chain_pos g q id =
+  let rec walk k = function
+    | [] -> raise Not_found
+    | (i : Inst.t) :: rest -> if i.Inst.id = id then k else walk (k + 1) rest
+  in
+  walk 0 (Gdg.chain g q)
+
+let is_schedulable g groups a b =
+  a <> b && Gdg.mem g a && Gdg.mem g b
+  &&
+  let ia = Gdg.find g a and ib = Gdg.find g b in
+  let common = Inst.common_qubits ia ib in
+  common <> []
+  && List.for_all
+       (fun q ->
+         let pa = chain_pos g q a and pb = chain_pos g q b in
+         pa < pb
+         && (Comm_group.same_group groups ~qubit:q a b
+             ||
+             match Gdg.pred_on g b ~qubit:q with
+             | Some p -> p.Inst.id = a
+             | None -> false))
+       common
+
+let merged_width g a b =
+  let ia = Gdg.find g a and ib = Gdg.find g b in
+  List.length (List.sort_uniq compare (ia.Inst.qubits @ ib.Inst.qubits))
+
+let candidates g groups ~width_limit =
+  (* one pass over all chains precomputes positions and successor links so
+     per-node work is O(degree), not O(chain length) *)
+  let pos : (int * int, int) Hashtbl.t = Hashtbl.create (4 * Gdg.size g) in
+  for q = 0 to Gdg.n_qubits g - 1 do
+    List.iteri
+      (fun k (i : Inst.t) -> Hashtbl.replace pos (q, i.Inst.id) k)
+      (Gdg.chain g q)
+  done;
+  let _, succ = Gdg.neighbor_tables g in
+  let schedulable_fast ia ib =
+    let a = ia.Inst.id and b = ib.Inst.id in
+    let common = Inst.common_qubits ia ib in
+    common <> []
+    && List.for_all
+         (fun q ->
+           Hashtbl.find pos (q, a) < Hashtbl.find pos (q, b)
+           && (Comm_group.same_group groups ~qubit:q a b
+               || Hashtbl.find_opt succ (a, q) = Some b))
+         common
+  in
+  let acc = ref [] in
+  Gdg.iter_insts g (fun (ia : Inst.t) ->
+      let a = ia.Inst.id in
+      let later_partners =
+        let children =
+          List.filter_map (fun q -> Hashtbl.find_opt succ (a, q)) ia.Inst.qubits
+        in
+        let siblings =
+          List.concat_map
+            (fun q ->
+              match
+                List.find_opt (List.mem a) (Comm_group.groups_on groups q)
+              with
+              | None -> []
+              | Some group ->
+                let pa = Hashtbl.find pos (q, a) in
+                List.filter (fun id -> Hashtbl.find pos (q, id) > pa) group)
+            ia.Inst.qubits
+        in
+        List.sort_uniq compare (children @ siblings)
+      in
+      List.iter
+        (fun b ->
+          if b <> a then begin
+            let ib = Gdg.find g b in
+            let width =
+              List.length
+                (List.sort_uniq compare (ia.Inst.qubits @ ib.Inst.qubits))
+            in
+            if width <= width_limit && schedulable_fast ia ib then
+              acc := (a, b) :: !acc
+          end)
+        later_partners);
+  List.sort compare !acc

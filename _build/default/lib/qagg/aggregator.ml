@@ -1,0 +1,215 @@
+module Inst = Qgdg.Inst
+module Gdg = Qgdg.Gdg
+module Comm_group = Qgdg.Comm_group
+
+type stats = {
+  merges : int;
+  rounds : int;
+  initial_makespan : float;
+  final_makespan : float;
+}
+
+type slack = {
+  start : (int, float) Hashtbl.t;
+  finish : (int, float) Hashtbl.t;
+  latest_start : (int, float) Hashtbl.t;
+  pred : (int * int, int) Hashtbl.t;
+  succ : (int * int, int) Hashtbl.t;
+  makespan : float;
+}
+
+(* one edge pass + one Kahn pass computes the topological order, the ASAP
+   times, the makespan and the ALAP deadlines; called after every merge *)
+let compute_slack g =
+  let pred, succ = Gdg.neighbor_tables g in
+  let n = Gdg.size g in
+  let start = Hashtbl.create n and finish = Hashtbl.create n in
+  let indeg = Hashtbl.create n in
+  Gdg.iter_insts g (fun i -> Hashtbl.replace indeg i.Inst.id 0);
+  Hashtbl.iter
+    (fun _ s -> Hashtbl.replace indeg s (Hashtbl.find indeg s + 1))
+    succ;
+  let queue = Queue.create () in
+  Hashtbl.iter (fun id d -> if d = 0 then Queue.add id queue) indeg;
+  let order = ref [] in
+  let makespan = ref 0. in
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    order := id :: !order;
+    let inst = Gdg.find g id in
+    let s =
+      List.fold_left
+        (fun acc q ->
+          match Hashtbl.find_opt pred (id, q) with
+          | None -> acc
+          | Some p -> Float.max acc (Hashtbl.find finish p))
+        0. inst.Inst.qubits
+    in
+    let f = s +. inst.Inst.latency in
+    Hashtbl.replace start id s;
+    Hashtbl.replace finish id f;
+    if f > !makespan then makespan := f;
+    List.iter
+      (fun q ->
+        match Hashtbl.find_opt succ (id, q) with
+        | None -> ()
+        | Some c ->
+          let d = Hashtbl.find indeg c - 1 in
+          Hashtbl.replace indeg c d;
+          if d = 0 then Queue.add c queue)
+      inst.Inst.qubits
+  done;
+  if List.length !order <> n then failwith "Aggregator: cyclic dependence graph";
+  let makespan = !makespan in
+  let latest_start = Hashtbl.create n in
+  List.iter
+    (fun id ->
+      let inst = Gdg.find g id in
+      let latest_finish =
+        List.fold_left
+          (fun acc q ->
+            match Hashtbl.find_opt succ (id, q) with
+            | None -> acc
+            | Some c -> Float.min acc (Hashtbl.find latest_start c))
+          makespan inst.Inst.qubits
+      in
+      Hashtbl.replace latest_start id (latest_finish -. inst.Inst.latency))
+    !order;
+  { start; finish; latest_start; pred; succ; makespan }
+
+(* merged block placed at a's start, delayed by b's predecessors on the
+   qubits a does not cover; monotonic iff every successor's latest start
+   and the makespan still hold under the pessimistic serial latency *)
+let monotonic g slack a b ~merged_latency =
+  let ia = Gdg.find g a and ib = Gdg.find g b in
+  let delay =
+    List.fold_left
+      (fun acc q ->
+        if Inst.acts_on ia q then acc
+        else
+          match Hashtbl.find_opt slack.pred (b, q) with
+          | Some p when p <> a -> Float.max acc (Hashtbl.find slack.finish p)
+          | Some _ | None -> acc)
+      0. ib.Inst.qubits
+  in
+  let new_start = Float.max (Hashtbl.find slack.start a) delay in
+  let new_finish = new_start +. merged_latency in
+  let succ_of id qubits =
+    List.filter_map (fun q -> Hashtbl.find_opt slack.succ (id, q)) qubits
+  in
+  let succs =
+    List.filter
+      (fun c -> c <> a && c <> b)
+      (succ_of a ia.Inst.qubits @ succ_of b ib.Inst.qubits)
+  in
+  new_finish <= slack.makespan +. 1e-9
+  && List.for_all
+       (fun c -> new_finish <= Hashtbl.find slack.latest_start c +. 1e-9)
+       succs
+
+(* the monotonicity bound for a candidate merge: the paper's pessimistic
+   serial sum by default, except that absorbing a single 1-qubit gate is
+   bounded by the model's prediction — a lone rotation folds into the
+   block's local layers, and pricing that is a cheap, reliable
+   optimal-control query rather than speculation *)
+let merge_bound ~pessimism (ia : Inst.t) (ib : Inst.t) ~predicted =
+  let single_one_qubit (i : Inst.t) = Inst.width i = 1 in
+  match pessimism with
+  | `Model -> predicted
+  | `Serial ->
+    if single_one_qubit ia || single_one_qubit ib then predicted
+    else ia.Inst.latency +. ib.Inst.latency
+
+let run ?(width_limit = 10) ?(max_rounds = 8) ?(pessimism = `Model) ~cost g =
+  let initial_makespan = Gdg.makespan g in
+  let commute_cache : (int * int, bool) Hashtbl.t = Hashtbl.create 1024 in
+  let commute (x : Inst.t) (y : Inst.t) =
+    let key = (min x.Inst.id y.Inst.id, max x.Inst.id y.Inst.id) in
+    match Hashtbl.find_opt commute_cache key with
+    | Some v -> v
+    | None ->
+      let v = Qgdg.Commute.insts x y in
+      Hashtbl.replace commute_cache key v;
+      v
+  in
+  let cost_cache : (int * int, float) Hashtbl.t = Hashtbl.create 1024 in
+  let merged_cost a b =
+    match Hashtbl.find_opt cost_cache (a, b) with
+    | Some v -> v
+    | None ->
+      let gates = (Gdg.find g a).Inst.gates @ (Gdg.find g b).Inst.gates in
+      let v = cost gates in
+      Hashtbl.replace cost_cache (a, b) v;
+      v
+  in
+  let merges = ref 0 and rounds = ref 0 in
+  let continue_outer = ref true in
+  while !continue_outer && !rounds < max_rounds do
+    incr rounds;
+    let merged_this_round = ref 0 in
+    (* inner sweeps: enumerate, then apply best-first with rechecks *)
+    let sweep_again = ref true in
+    while !sweep_again do
+      sweep_again := false;
+      let groups = ref (Comm_group.build ~commute g) in
+      let slack = ref (compute_slack g) in
+      let scored =
+        Action.candidates g !groups ~width_limit
+        |> List.filter_map (fun (a, b) ->
+               let ia = Gdg.find g a and ib = Gdg.find g b in
+               let predicted = merged_cost a b in
+               let bound = merge_bound ~pessimism ia ib ~predicted in
+               if monotonic g !slack a b ~merged_latency:bound then begin
+                 let gain = ia.Inst.latency +. ib.Inst.latency -. predicted in
+                 (* neutral-gain growth merges are allowed: they never
+                    lengthen the schedule and enable later wide wins *)
+                 if gain >= -1e-6 then Some (gain, a, b, predicted) else None
+               end
+               else None)
+        |> List.sort (fun (ga, a1, b1, _) (gb, a2, b2, _) ->
+               match compare gb ga with
+               | 0 -> compare (a1, b1) (a2, b2)
+               | c -> c)
+      in
+      List.iter
+        (fun (_, a, b, _) ->
+          if
+            Gdg.mem g a && Gdg.mem g b
+            && Action.merged_width g a b <= width_limit
+            && Action.is_schedulable g !groups a b
+            &&
+            let predicted = merged_cost a b in
+            let bound =
+              merge_bound ~pessimism (Gdg.find g a) (Gdg.find g b) ~predicted
+            in
+            monotonic g !slack a b ~merged_latency:bound
+          then begin
+            let predicted = merged_cost a b in
+            match Gdg.merge g ~latency:predicted a b with
+            | exception Invalid_argument _ -> ()
+            | merged ->
+              incr merges;
+              incr merged_this_round;
+              sweep_again := true;
+              Comm_group.refresh ~commute !groups g
+                ~qubits:merged.Inst.qubits;
+              slack := compute_slack g
+          end)
+        scored
+    done;
+    (* optimal-control query: re-cost every block *)
+    let recosted = ref false in
+    List.iter
+      (fun (i : Inst.t) ->
+        let fresh = cost i.Inst.gates in
+        if Float.abs (fresh -. i.Inst.latency) > 1e-9 then begin
+          Gdg.set_latency g i.Inst.id fresh;
+          recosted := true
+        end)
+      (Gdg.insts g);
+    if !merged_this_round = 0 && not !recosted then continue_outer := false
+  done;
+  { merges = !merges;
+    rounds = !rounds;
+    initial_makespan;
+    final_makespan = Gdg.makespan g }

@@ -1,0 +1,40 @@
+(** Iterative monotonic-action instruction aggregation (paper §4.3).
+
+    The search keeps parallelism intact by only executing {e monotonic}
+    actions: merges that cannot lengthen the critical path even under a
+    pessimistic (serial, unoptimized) latency for the new block. Each
+    round performs the globally best action (largest predicted pulse-time
+    gain), updates the GDG, and repeats; when no action remains, every
+    aggregate is re-costed by the cost model (the optimal control query),
+    which shortens blocks and may unlock further monotonic actions — the
+    outer loop iterates to convergence.
+
+    Slack-based monotonicity: with ASAP starts and ALAP deadlines computed
+    once per round, the merged block (placed at the earlier member's
+    start, delayed by the later member's other-qubit predecessors) must
+    still meet every successor's latest start and the overall makespan.
+    [pessimism] selects the duration used in that check: [`Serial] (the
+    paper's rule) assumes the unoptimized serial sum of the two members;
+    [`Model] (the default) trusts the cost model's predicted merged time —
+    affordable here because the "optimal control query" is an O(1)
+    analytic model rather than hours of GRAPE, and necessary for the
+    paper's reported serial-application gains, which stall under serial
+    pessimism when zero-slack side gates veto growth (see DESIGN.md). *)
+
+type stats = {
+  merges : int;
+  rounds : int;  (** outer re-costing iterations *)
+  initial_makespan : float;
+  final_makespan : float;
+}
+
+val run :
+  ?width_limit:int ->
+  ?max_rounds:int ->
+  ?pessimism:[ `Serial | `Model ] ->
+  cost:(Qgate.Gate.t list -> float) ->
+  Qgdg.Gdg.t ->
+  stats
+(** Aggregates in place. [width_limit] defaults to 10 (the optimal-control
+    scalability bound, §2.5); [max_rounds] to 8. [cost] maps a member-gate
+    block to its optimized pulse time. *)

@@ -1,0 +1,1 @@
+lib/qapps/characteristics.ml: Format List Qgate Qgdg Qgraph Qmap

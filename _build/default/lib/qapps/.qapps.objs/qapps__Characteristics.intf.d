@@ -1,0 +1,1 @@
+lib/qapps/characteristics.mli: Format Qgate Qmap

@@ -1,0 +1,1 @@
+lib/qapps/fermion.ml: Array Float Hashtbl List Qgate Qnum

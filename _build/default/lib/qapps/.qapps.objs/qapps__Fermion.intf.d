@@ -1,0 +1,1 @@
+lib/qapps/fermion.mli: Qgate Qnum

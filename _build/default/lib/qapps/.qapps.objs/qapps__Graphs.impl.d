@@ -1,0 +1,1 @@
+lib/qapps/graphs.ml: Array List Qgraph

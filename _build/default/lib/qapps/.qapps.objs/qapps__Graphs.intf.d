@@ -1,0 +1,1 @@
+lib/qapps/graphs.mli: Qgraph

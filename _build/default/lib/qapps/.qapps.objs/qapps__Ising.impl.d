@@ -1,0 +1,1 @@
+lib/qapps/ising.ml: List Qgate String

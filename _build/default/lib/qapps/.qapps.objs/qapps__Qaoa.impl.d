@@ -1,0 +1,1 @@
+lib/qapps/qaoa.ml: Array List Qgate Qgraph

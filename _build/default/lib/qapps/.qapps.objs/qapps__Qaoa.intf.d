@@ -1,0 +1,1 @@
+lib/qapps/qaoa.mli: Qgate Qgraph

@@ -1,0 +1,1 @@
+lib/qapps/qft.ml: Float List Qgate Qnum

@@ -1,0 +1,1 @@
+lib/qapps/qft.mli: Qgate Qnum

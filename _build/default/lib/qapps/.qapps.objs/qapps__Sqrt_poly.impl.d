@@ -1,0 +1,1 @@
+lib/qapps/sqrt_poly.ml: Array List Qarith Qgate Qsim

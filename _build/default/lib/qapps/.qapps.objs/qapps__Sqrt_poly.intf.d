@@ -1,0 +1,1 @@
+lib/qapps/sqrt_poly.mli: Qarith Qgate

@@ -1,0 +1,1 @@
+lib/qapps/suite.ml: Graphs Ising Lazy List Qaoa Qft Qgate Sqrt_poly Uccsd

@@ -1,0 +1,1 @@
+lib/qapps/suite.mli: Qgate

@@ -1,0 +1,1 @@
+lib/qapps/trotter.ml: List Qgate Qnum

@@ -1,0 +1,1 @@
+lib/qapps/trotter.mli: Qgate Qnum

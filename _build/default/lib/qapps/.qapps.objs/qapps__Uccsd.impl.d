@@ -1,0 +1,1 @@
+lib/qapps/uccsd.ml: Array Fermion List Qgate Qgraph

@@ -1,0 +1,1 @@
+lib/qapps/uccsd.mli: Fermion Qgate

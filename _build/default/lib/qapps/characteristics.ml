@@ -1,0 +1,114 @@
+type level = High | Medium | Low
+
+type t = {
+  qubits : int;
+  gates : int;
+  two_qubit_gates : int;
+  depth : int;
+  parallelism : float;
+  parallelism_level : level;
+  spatial_locality : float;
+  spatial_locality_level : level;
+  commutativity : float;
+  commutativity_level : level;
+}
+
+let level_of value ~high ~medium =
+  if value >= high then High else if value >= medium then Medium else Low
+
+let max_sampled_pairs = 500
+
+let commutativity_fraction circuit =
+  (* measure on the diagonal-contracted GDG at the interaction-block
+     scale: for each qubit, take the consecutive pairs of multi-qubit
+     blocks and ask whether the commutation-group structure lets them
+     reorder (same group on the qubit). This captures QAOA's freely
+     reorderable ZZ terms (High), the Rx barriers between Ising Trotter
+     layers (Medium), and the rigid chains of reversible logic (Low) —
+     a raw pairwise-commutation count would be inflated by incidental
+     T/CNOT coincidences. *)
+  let g = Qgdg.Gdg.of_circuit ~latency:(fun _ -> 1.0) circuit in
+  let _ =
+    Qgdg.Diagonal.detect_and_contract
+      ~latency:(fun gs -> float_of_int (List.length gs))
+      g
+  in
+  let groups = Qgdg.Comm_group.build g in
+  let total = ref 0 and free = ref 0 in
+  (try
+     for q = 0 to Qgdg.Gdg.n_qubits g - 1 do
+       let interactions =
+         List.filter (fun (i : Qgdg.Inst.t) -> Qgdg.Inst.width i >= 2)
+           (Qgdg.Gdg.chain g q)
+       in
+       let rec walk = function
+         | (a : Qgdg.Inst.t) :: (b :: _ as rest) ->
+           if !total >= max_sampled_pairs then raise Exit;
+           incr total;
+           if
+             Qgdg.Comm_group.same_group groups ~qubit:q a.Qgdg.Inst.id
+               b.Qgdg.Inst.id
+           then incr free;
+           walk rest
+         | [ _ ] | [] -> ()
+       in
+       walk interactions
+     done
+   with Exit -> ());
+  if !total = 0 then 0. else float_of_int !free /. float_of_int !total
+
+let spatial_locality_fraction ~topology circuit =
+  let placement = Qmap.Placement.initial topology circuit in
+  let interaction = Qgate.Circuit.interaction_graph circuit in
+  let total = ref 0. and local = ref 0. in
+  List.iter
+    (fun (u, v, w) ->
+      total := !total +. w;
+      let su = Qmap.Placement.site_of placement u
+      and sv = Qmap.Placement.site_of placement v in
+      if Qmap.Topology.distance topology su sv = 1 then local := !local +. w)
+    (Qgraph.Graph.edges interaction);
+  if !total = 0. then 1. else !local /. !total
+
+let analyze ?topology circuit =
+  let qubits = Qgate.Circuit.n_qubits circuit in
+  let topology =
+    match topology with
+    | Some t -> t
+    | None -> Qmap.Topology.grid_for qubits
+  in
+  let gates = Qgate.Circuit.n_gates circuit in
+  let depth = Qgate.Circuit.depth circuit in
+  let parallelism =
+    if depth = 0 || qubits = 0 then 0.
+    else
+      float_of_int gates /. float_of_int depth
+      /. (float_of_int qubits /. 2.)
+  in
+  let spatial_locality = spatial_locality_fraction ~topology circuit in
+  let commutativity = commutativity_fraction circuit in
+  { qubits;
+    gates;
+    two_qubit_gates = Qgate.Circuit.two_qubit_count circuit;
+    depth;
+    parallelism;
+    parallelism_level = level_of parallelism ~high:0.5 ~medium:0.2;
+    spatial_locality;
+    spatial_locality_level = level_of spatial_locality ~high:0.8 ~medium:0.5;
+    commutativity;
+    commutativity_level = level_of commutativity ~high:0.9 ~medium:0.5 }
+
+let level_to_string = function
+  | High -> "High"
+  | Medium -> "Medium"
+  | Low -> "Low"
+
+let pp ppf c =
+  Format.fprintf ppf
+    "%d qubits, %d gates (%d two-qubit), depth %d, par %.2f (%s), loc %.2f (%s), comm %.2f (%s)"
+    c.qubits c.gates c.two_qubit_gates c.depth c.parallelism
+    (level_to_string c.parallelism_level)
+    c.spatial_locality
+    (level_to_string c.spatial_locality_level)
+    c.commutativity
+    (level_to_string c.commutativity_level)

@@ -1,0 +1,33 @@
+(** Program characteristics (paper Table 3).
+
+    Quantitative versions of the paper's High/Medium/Low labels:
+
+    - {e parallelism}: average gates per unit-depth layer, normalized by
+      half the register (a fully parallel 2-qubit-gate circuit scores 1).
+    - {e spatial locality}: fraction of 2-qubit interaction weight at
+      grid distance 1 under the recursive-bisection initial placement.
+    - {e commutativity}: fraction of dependence-adjacent instruction pairs
+      (consecutive on some qubit) that commute as operators, measured on
+      the diagonal-contracted GDG scale by sampling. *)
+
+type level = High | Medium | Low
+
+type t = {
+  qubits : int;
+  gates : int;
+  two_qubit_gates : int;
+  depth : int;
+  parallelism : float;
+  parallelism_level : level;
+  spatial_locality : float;
+  spatial_locality_level : level;
+  commutativity : float;
+  commutativity_level : level;
+}
+
+val analyze : ?topology:Qmap.Topology.t -> Qgate.Circuit.t -> t
+(** [topology] defaults to the smallest near-square grid fitting the
+    circuit. Commutation sampling is deterministic. *)
+
+val level_to_string : level -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,176 @@
+module Pauli = Qgate.Pauli
+module Cx = Qnum.Cx
+
+type encoding = Jordan_wigner | Bravyi_kitaev
+
+let encoding_name = function
+  | Jordan_wigner -> "Jordan-Wigner"
+  | Bravyi_kitaev -> "Bravyi-Kitaev"
+
+type op_sum = (Cx.t * Pauli.t) list
+
+(* --- Fenwick-tree index sets for the Bravyi–Kitaev encoding ---
+   Modes are 0-indexed; the Fenwick (binary indexed) tree works 1-based.
+   update_set(j): qubits storing partial sums that include mode j
+   (Fenwick update path above j).
+   parity_set(j): qubits whose sum gives the parity of modes 0..j-1
+   (Fenwick prefix-query path of j).
+   flip_set(j): qubits whose occupation is folded into qubit j itself
+   (the Fenwick node's interior query path). *)
+
+let update_set ~n j =
+  if j < 0 || j >= n then invalid_arg "Fermion.update_set: mode out of range";
+  let rec go i acc =
+    let i = i + (i land -i) in
+    if i <= n then go i ((i - 1) :: acc) else List.rev acc
+  in
+  go (j + 1) []
+
+let parity_set ~n j =
+  if j < 0 || j >= n then invalid_arg "Fermion.parity_set: mode out of range";
+  let rec go i acc =
+    if i <= 0 then List.rev acc else go (i - (i land -i)) ((i - 1) :: acc)
+  in
+  go j []
+
+let flip_set ~n j =
+  if j < 0 || j >= n then invalid_arg "Fermion.flip_set: mode out of range";
+  let i = j + 1 in
+  let low = i - (i land -i) in
+  let rec go k acc =
+    if k <= low then List.rev acc else go (k - (k land -k)) ((k - 1) :: acc)
+  in
+  go (i - 1) []
+
+(* --- normalized sums of Pauli strings --- *)
+
+let normalize terms =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun ((c : Cx.t), (p : Pauli.t)) ->
+      let key = Array.to_list p.Pauli.ops in
+      let prev =
+        match Hashtbl.find_opt table key with
+        | Some (c0, _) -> c0
+        | None -> Cx.zero
+      in
+      Hashtbl.replace table key (Cx.add prev (Cx.scale p.Pauli.coeff c), p))
+    terms;
+  Hashtbl.fold
+    (fun _ (c, p) acc ->
+      if Cx.abs c < 1e-12 then acc
+      else (c, Pauli.make 1.0 p.Pauli.ops) :: acc)
+    table []
+  |> List.sort compare
+
+let add_sums a b = normalize (a @ b)
+let scale_sum z s = normalize (List.map (fun (c, p) -> (Cx.mul z c, p)) s)
+
+let mul_sums a b =
+  normalize
+    (List.concat_map
+       (fun (ca, pa) ->
+         List.map
+           (fun (cb, pb) ->
+             let phase, p = Pauli.mul_phase pa pb in
+             (Cx.mul (Cx.mul ca cb) phase, p))
+           b)
+       a)
+
+let matrix_of_sum = function
+  | [] -> invalid_arg "Fermion.matrix_of_sum: empty sum"
+  | (c0, p0) :: _ as terms ->
+    ignore (c0, p0);
+    let n = Pauli.n_qubits (snd (List.hd terms)) in
+    let dim = 1 lsl n in
+    List.fold_left
+      (fun acc (c, p) -> Qnum.Cmat.add acc (Qnum.Cmat.scale c (Pauli.matrix p)))
+      (Qnum.Cmat.zeros dim dim)
+      terms
+
+(* --- ladder operators --- *)
+
+let string_of_sites ~n sites =
+  let ops = Array.make n Pauli.Pi in
+  List.iter (fun (q, op) -> ops.(q) <- op) sites;
+  Pauli.make 1.0 ops
+
+let lowering encoding ~n j =
+  if j < 0 || j >= n then invalid_arg "Fermion.lowering: mode out of range";
+  match encoding with
+  | Jordan_wigner ->
+    (* a_j = Z_{0..j-1} (X_j + iY_j)/2 *)
+    let chain = List.init j (fun k -> (k, Pauli.Pz)) in
+    let x = string_of_sites ~n ((j, Pauli.Px) :: chain) in
+    let y = string_of_sites ~n ((j, Pauli.Py) :: chain) in
+    normalize [ (Cx.of_float 0.5, x); (Cx.make 0. 0.5, y) ]
+  | Bravyi_kitaev ->
+    (* Majorana pair: c_j = X_{U(j)} X_j Z_{P(j)},
+       d_j = X_{U(j)} Y_j Z_{rho(j)} with rho = P for even j and
+       P \ F for odd j; a_j = (c_j + i d_j)/2 *)
+    let u = List.map (fun q -> (q, Pauli.Px)) (update_set ~n j) in
+    let p = parity_set ~n j in
+    let rho =
+      if j mod 2 = 0 then p
+      else
+        let f = flip_set ~n j in
+        List.filter (fun q -> not (List.mem q f)) p
+    in
+    let c_j =
+      string_of_sites ~n (((j, Pauli.Px) :: u) @ List.map (fun q -> (q, Pauli.Pz)) p)
+    in
+    let d_j =
+      string_of_sites ~n
+        (((j, Pauli.Py) :: u) @ List.map (fun q -> (q, Pauli.Pz)) rho)
+    in
+    normalize [ (Cx.of_float 0.5, c_j); (Cx.make 0. 0.5, d_j) ]
+
+let raising encoding ~n j =
+  (* a†_j is the conjugate-transpose: conjugate coefficients (Pauli
+     strings are Hermitian) *)
+  List.map (fun (c, p) -> (Cx.conj c, p)) (lowering encoding ~n j)
+  |> normalize
+
+let number_operator encoding ~n j =
+  mul_sums (raising encoding ~n j) (lowering encoding ~n j)
+
+let rotations_of_generator name theta generator =
+  List.map
+    (fun ((c : Cx.t), p) ->
+      if Float.abs (Cx.re c) > 1e-9 then
+        invalid_arg (name ^ ": generator is not anti-Hermitian");
+      (-2. *. theta *. Cx.im c, p))
+    generator
+
+let single_excitation_rotations encoding ~n ~theta ~i ~a =
+  if i = a then invalid_arg "Fermion.single_excitation_rotations: i = a";
+  let generator =
+    add_sums
+      (mul_sums (raising encoding ~n a) (lowering encoding ~n i))
+      (scale_sum (Cx.of_float (-1.))
+         (mul_sums (raising encoding ~n i) (lowering encoding ~n a)))
+  in
+  rotations_of_generator "Fermion.single_excitation_rotations" theta generator
+
+let double_excitation_rotations encoding ~n ~theta ~i ~j ~a ~b =
+  let distinct = List.sort_uniq compare [ i; j; a; b ] in
+  if List.length distinct <> 4 then
+    invalid_arg "Fermion.double_excitation_rotations: modes must be distinct";
+  let product ops =
+    List.fold_left
+      (fun acc op -> mul_sums acc op)
+      [ (Cx.one, Pauli.make 1.0 (Array.make n Pauli.Pi)) ]
+      ops
+  in
+  let forward =
+    product
+      [ raising encoding ~n a; raising encoding ~n b; lowering encoding ~n j;
+        lowering encoding ~n i ]
+  in
+  let backward =
+    product
+      [ raising encoding ~n i; raising encoding ~n j; lowering encoding ~n b;
+        lowering encoding ~n a ]
+  in
+  let generator = add_sums forward (scale_sum (Cx.of_float (-1.)) backward) in
+  rotations_of_generator "Fermion.double_excitation_rotations" theta generator

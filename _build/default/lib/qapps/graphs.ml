@@ -1,0 +1,77 @@
+module Graph = Qgraph.Graph
+
+let line n =
+  Graph.of_edges n (List.init (max 0 (n - 1)) (fun k -> (k, k + 1)))
+
+let regular4 ~seed n =
+  if n < 5 then invalid_arg "Graphs.regular4: need at least 5 vertices";
+  let g = Graph.create n in
+  for v = 0 to n - 1 do
+    Graph.add_edge g v ((v + 1) mod n);
+    Graph.add_edge g v ((v + 2) mod n)
+  done;
+  (* degree-preserving double-edge swaps keep the graph 4-regular; reject
+     swaps that create parallel edges, self-loops or disconnect it *)
+  let rng = Qgraph.Rand.create seed in
+  for _ = 1 to 10 * n do
+    let edges = Array.of_list (Graph.edges g) in
+    let a, b, _ = Qgraph.Rand.choose rng edges in
+    let c, d, _ = Qgraph.Rand.choose rng edges in
+    let distinct = List.sort_uniq compare [ a; b; c; d ] in
+    if
+      List.length distinct = 4
+      && (not (Graph.has_edge g a c))
+      && not (Graph.has_edge g b d)
+    then begin
+      Graph.remove_edge g a b;
+      Graph.remove_edge g c d;
+      Graph.add_edge g a c;
+      Graph.add_edge g b d;
+      if not (Graph.is_connected g) then begin
+        (* undo a disconnecting swap *)
+        Graph.remove_edge g a c;
+        Graph.remove_edge g b d;
+        Graph.add_edge g a b;
+        Graph.add_edge g c d
+      end
+    end
+  done;
+  g
+
+let cluster ~seed ~clusters ~size =
+  if size < 2 || clusters < 2 then
+    invalid_arg "Graphs.cluster: need at least 2 clusters of 2";
+  let n = clusters * size in
+  let g = Graph.create n in
+  for c = 0 to clusters - 1 do
+    let base = c * size in
+    for u = 0 to size - 1 do
+      for v = u + 1 to size - 1 do
+        Graph.add_edge g (base + u) (base + v)
+      done
+    done
+  done;
+  (* join consecutive clusters through seeded representative vertices so
+     instances differ across seeds without changing the family shape *)
+  let rng = Qgraph.Rand.create seed in
+  for c = 0 to clusters - 1 do
+    let next = (c + 1) mod clusters in
+    let u = (c * size) + Qgraph.Rand.int rng size in
+    let v = (next * size) + Qgraph.Rand.int rng size in
+    if not (Graph.has_edge g u v) then Graph.add_edge g u v
+  done;
+  g
+
+let max_cut_brute_force g =
+  let n = Graph.n_vertices g in
+  if n > 24 then invalid_arg "Graphs.max_cut_brute_force: too many vertices";
+  let best = ref (-1.) and best_side = ref (Array.make n false) in
+  for mask = 0 to (1 lsl n) - 1 do
+    let side = Array.init n (fun v -> (mask lsr v) land 1 = 1) in
+    let value = Graph.cut_weight g side in
+    if value > !best then begin
+      best := value;
+      best_side := side
+    end
+  done;
+  (!best, !best_side)

@@ -1,0 +1,20 @@
+(** MAXCUT instance families (paper Table 3).
+
+    Three graph families with decreasing spatial locality: a line, a
+    random 4-regular graph, and a cluster graph (complete clusters joined
+    in a ring). All generators are deterministic given a seed. *)
+
+val line : int -> Qgraph.Graph.t
+
+val regular4 : seed:int -> int -> Qgraph.Graph.t
+(** Random connected 4-regular simple graph: a circulant (±1, ±2) seed
+    graph randomized by degree-preserving double-edge swaps.
+    Requires n ≥ 5. *)
+
+val cluster : seed:int -> clusters:int -> size:int -> Qgraph.Graph.t
+(** [clusters] complete graphs of [size] vertices each, consecutive
+    clusters joined by one edge (ring). Requires size ≥ 2, clusters ≥ 2. *)
+
+val max_cut_brute_force : Qgraph.Graph.t -> float * bool array
+(** Exact MAXCUT by enumeration (n ≤ 24): value and one optimal side
+    assignment. Used by tests and the QAOA example. *)

@@ -1,0 +1,32 @@
+module Gate = Qgate.Gate
+
+let circuit ?(j_coupling = 1.0) ?(field = 0.7) ?(dt = 0.3) ?(steps = 2) n =
+  if n < 2 then invalid_arg "Ising.circuit: need at least 2 qubits";
+  if steps < 1 then invalid_arg "Ising.circuit: need at least one step";
+  let zz_angle = -2. *. j_coupling *. dt in
+  let x_angle = -2. *. field *. dt in
+  let zz u v = [ Gate.cnot u v; Gate.rz zz_angle v; Gate.cnot u v ] in
+  let pairs parity =
+    List.concat
+      (List.filter_map
+         (fun k -> if k mod 2 = parity && k + 1 < n then Some (zz k (k + 1)) else None)
+         (List.init (n - 1) (fun k -> k)))
+  in
+  let step =
+    pairs 0 @ pairs 1 @ List.init n (fun q -> Gate.rx x_angle q)
+  in
+  Qgate.Circuit.make n
+    (List.init n (fun q -> Gate.h q)
+    @ List.concat (List.init steps (fun _ -> step)))
+
+let hamiltonian_terms ?(j_coupling = 1.0) ?(field = 0.7) n =
+  let op_string f = String.init n f in
+  let zz k =
+    Qgate.Pauli.of_string (-.j_coupling)
+      (op_string (fun q -> if q = k || q = k + 1 then 'Z' else 'I'))
+  in
+  let x k =
+    Qgate.Pauli.of_string (-.field)
+      (op_string (fun q -> if q = k then 'X' else 'I'))
+  in
+  List.init (n - 1) zz @ List.init n x

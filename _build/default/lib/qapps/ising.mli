@@ -1,0 +1,18 @@
+(** Transverse-field Ising model: Trotterized ground-state evolution.
+
+    The benchmark circuits are first-order Trotter steps of
+    H = -J Σ Z_i·Z_{i+1} - h Σ X_i on a chain: per step, a ZZ rotation
+    (CNOT–Rz–CNOT) on each neighbor pair — even pairs then odd pairs, so
+    the circuit is highly parallel — followed by an Rx layer. This matches
+    Table 3's "high parallelism / high spatial locality / medium
+    commutativity" characterization. *)
+
+val circuit :
+  ?j_coupling:float -> ?field:float -> ?dt:float -> ?steps:int -> int ->
+  Qgate.Circuit.t
+(** [circuit n] on an n-qubit chain. Defaults: J = 1, h = 0.7, dt = 0.3,
+    2 Trotter steps, plus an initial |+…+⟩ preparation layer. *)
+
+val hamiltonian_terms :
+  ?j_coupling:float -> ?field:float -> int -> Qgate.Pauli.t list
+(** The Pauli terms of H (for energy measurement in examples/tests). *)

@@ -1,0 +1,34 @@
+module Gate = Qgate.Gate
+
+let default_gamma = 5.67
+let default_beta = 1.26
+
+let circuit ?(gamma = default_gamma) ?(beta = default_beta) ?(levels = 1) g =
+  if levels < 1 then invalid_arg "Qaoa.circuit: need at least one level";
+  let n = Qgraph.Graph.n_vertices g in
+  let hadamards = List.init n (fun q -> Gate.h q) in
+  let level =
+    List.concat_map
+      (fun (u, v, w) ->
+        [ Gate.cnot u v; Gate.rz (gamma *. w) v; Gate.cnot u v ])
+      (Qgraph.Graph.edges g)
+    @ List.init n (fun q -> Gate.rx (2. *. beta) q)
+  in
+  Qgate.Circuit.make n
+    (hadamards @ List.concat (List.init levels (fun _ -> level)))
+
+let triangle_example () =
+  circuit (Qgraph.Graph.of_edges 3 [ (0, 1); (1, 2); (0, 2) ])
+
+let cut_expectation g prob =
+  let n = Qgraph.Graph.n_vertices g in
+  let total = ref 0. in
+  for z = 0 to (1 lsl n) - 1 do
+    let p = prob z in
+    if p > 0. then begin
+      (* qubit q is bit (n-1-q) of the basis index *)
+      let side = Array.init n (fun q -> (z lsr (n - 1 - q)) land 1 = 1) in
+      total := !total +. (p *. Qgraph.Graph.cut_weight g side)
+    end
+  done;
+  !total

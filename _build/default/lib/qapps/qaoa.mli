@@ -1,0 +1,24 @@
+(** QAOA circuits for MAXCUT (paper §3.1, Fig. 4).
+
+    One QAOA level applies, after the uniform-superposition layer, a
+    CNOT–Rz(γ)–CNOT phase-separation block per graph edge (the diagonal
+    ZZ structure the compiler's commutativity detection targets) followed
+    by an Rx(2β) mixing layer. Angle defaults match the paper's example
+    (γ = 5.67, β = 1.26). *)
+
+val default_gamma : float
+val default_beta : float
+
+val circuit :
+  ?gamma:float -> ?beta:float -> ?levels:int -> Qgraph.Graph.t ->
+  Qgate.Circuit.t
+(** QAOA over the graph's vertex register. Edge weights scale γ. *)
+
+val triangle_example : unit -> Qgate.Circuit.t
+(** The 3-qubit MAXCUT-on-a-triangle circuit of Fig. 4(a) (before
+    mapping; the SWAP appears after routing on a line). *)
+
+val cut_expectation : Qgraph.Graph.t -> (int -> float) -> float
+(** [cut_expectation g prob] folds basis-state probabilities into the
+    expected cut value: Σ_z prob(z)·cut(z). The callback receives basis
+    indices with qubit 0 as the most significant bit. *)

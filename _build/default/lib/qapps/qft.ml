@@ -1,0 +1,31 @@
+module Gate = Qgate.Gate
+
+let circuit ?approximation n =
+  if n < 1 then invalid_arg "Qft.circuit: need at least one qubit";
+  let keep k =
+    match approximation with None -> true | Some cutoff -> k <= cutoff
+  in
+  let body =
+    List.concat
+      (List.init n (fun target ->
+           Gate.h target
+           :: List.concat
+                (List.init (n - target - 1) (fun j ->
+                     let control = target + 1 + j in
+                     let k = j + 2 in
+                     if keep k then
+                       [ Gate.cphase (2. *. Float.pi /. Float.pow 2. (float_of_int k))
+                           control target ]
+                     else []))))
+  in
+  let reversal =
+    List.init (n / 2) (fun k -> Gate.swap k (n - 1 - k))
+  in
+  Qgate.Circuit.make n (body @ reversal)
+
+let matrix n =
+  let dim = 1 lsl n in
+  let omega = 2. *. Float.pi /. float_of_int dim in
+  let scale = 1. /. Float.sqrt (float_of_int dim) in
+  Qnum.Cmat.init dim dim (fun j k ->
+      Qnum.Cx.scale scale (Qnum.Cx.cis (omega *. float_of_int (j * k))))

@@ -1,0 +1,18 @@
+(** Quantum Fourier Transform circuits.
+
+    §6.1 of the paper lists the QFT with square-root and UCCSD among the
+    applications with little to no commutativity, where CLS has no effect
+    and the gains come from aggregation. The standard construction uses a
+    descending ladder of controlled phases — deep, serial and
+    parameterized over exponentially small angles. *)
+
+val circuit : ?approximation:int -> int -> Qgate.Circuit.t
+(** [circuit n] is the textbook QFT on [n] qubits: per qubit a Hadamard
+    followed by controlled phases CP(π/2^k) from the lower qubits, with
+    the final qubit-reversal SWAP layer. [approximation] (default: no
+    cutoff) drops rotations smaller than π/2^approximation — the standard
+    approximate QFT. *)
+
+val matrix : int -> Qnum.Cmat.t
+(** The exact DFT unitary F with F[j,k] = ω^{jk}/√N, ω = e^{2πi/N}, for
+    checking the circuit (small n). *)

@@ -1,0 +1,76 @@
+module Gate = Qgate.Gate
+module Square = Qarith.Square
+
+type t = {
+  circuit : Qgate.Circuit.t;
+  layout : Square.layout;
+  n : int;
+  target : int;
+  iterations : int;
+}
+
+let oracle (l : Square.layout) ~target =
+  let square = Square.circuit l in
+  let mark =
+    (* acc == target  =>  kick the |-> flag *)
+    Qarith.Comparator.equal_const ~a:l.Square.acc ~value:target
+      ~ancillas:l.Square.row ~flag:l.Square.flag
+  in
+  square @ mark @ Square.uncompute l
+
+let diffusion (l : Square.layout) =
+  let xs = l.Square.x in
+  let h_layer = List.map (fun q -> Gate.h q) xs in
+  let x_layer = List.map (fun q -> Gate.x q) xs in
+  let kick =
+    match List.rev xs with
+    | [] -> []
+    | target :: rev_controls ->
+      let controls = List.rev rev_controls in
+      [ Gate.h target ]
+      @ Qarith.Mcx.mcx ~controls ~target ~ancillas:l.Square.row
+      @ [ Gate.h target ]
+  in
+  h_layer @ x_layer @ kick @ x_layer @ h_layer
+
+let build ?(iterations = 1) ~n ~target () =
+  if iterations < 1 then invalid_arg "Sqrt_poly.build: need an iteration";
+  let l = Square.layout n in
+  if target < 0 || target >= 1 lsl (2 * n) then
+    invalid_arg "Sqrt_poly.build: target out of range";
+  let prepare =
+    List.map (fun q -> Gate.h q) l.Square.x
+    @ [ Gate.x l.Square.flag; Gate.h l.Square.flag ]
+  in
+  let round = oracle l ~target @ diffusion l in
+  let finish = [ Gate.h l.Square.flag; Gate.x l.Square.flag ] in
+  let gates =
+    prepare @ List.concat (List.init iterations (fun _ -> round)) @ finish
+  in
+  { circuit = Qgate.Circuit.make l.Square.total_qubits gates;
+    layout = l;
+    n;
+    target;
+    iterations }
+
+let success_probability t =
+  let st =
+    Qsim.State.apply_circuit
+      (Qsim.State.zero t.layout.Square.total_qubits)
+      t.circuit
+  in
+  let n_total = t.layout.Square.total_qubits in
+  let probs = Array.make (1 lsl t.n) 0. in
+  Array.iteri
+    (fun basis p ->
+      (* x register bits: qubit q is bit (n_total-1-q) of the index *)
+      let x =
+        List.fold_left
+          (fun acc (k, q) ->
+            acc lor (((basis lsr (n_total - 1 - q)) land 1) lsl k))
+          0
+          (List.mapi (fun k q -> (k, q)) t.layout.Square.x)
+      in
+      probs.(x) <- probs.(x) +. p)
+    (Qsim.State.probabilities st);
+  probs

@@ -1,0 +1,29 @@
+(** Grover square-root search (paper Table 3, "square root-nK").
+
+    Finds x with x² = N by Grover search over an n-bit input register: the
+    oracle squares x reversibly ({!Qarith.Square}), compares the
+    accumulator against N with a multi-controlled phase kick, and
+    uncomputes; the diffusion operator inverts about the mean. The
+    resulting circuits are deep, serial, spatially local and essentially
+    non-commutative — the profile the paper reports for this family. *)
+
+type t = {
+  circuit : Qgate.Circuit.t;  (** logical circuit, Toffolis not yet lowered *)
+  layout : Qarith.Square.layout;
+  n : int;  (** input width *)
+  target : int;  (** N, the value whose root is sought *)
+  iterations : int;
+}
+
+val build : ?iterations:int -> n:int -> target:int -> unit -> t
+(** Raises [Invalid_argument] unless 0 ≤ target < 2^2n and n ≥ 2.
+    Default: one Grover iteration. *)
+
+val oracle : Qarith.Square.layout -> target:int -> Qgate.Gate.t list
+(** The phase oracle alone (flag must already be in |−⟩). *)
+
+val diffusion : Qarith.Square.layout -> Qgate.Gate.t list
+
+val success_probability : t -> float array
+(** Probability of each x ∈ [0, 2ⁿ) on measuring the input register after
+    the circuit (state-vector simulation; practical for n ≤ 3). *)

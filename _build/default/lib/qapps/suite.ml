@@ -1,0 +1,83 @@
+type benchmark = {
+  name : string;
+  application : string;
+  purpose : string;
+  paper_qubits : int;
+  circuit : Qgate.Circuit.t lazy_t;
+}
+
+let sqrt_target n =
+  (* a perfect square so the oracle marks exactly one root *)
+  let root = (1 lsl (n - 1)) + 1 in
+  root * root
+
+let all =
+  [ { name = "maxcut-line";
+      application = "QAOA";
+      purpose = "MAXCUT on a linear graph";
+      paper_qubits = 20;
+      circuit = lazy (Qaoa.circuit (Graphs.line 20)) };
+    { name = "maxcut-reg4";
+      application = "QAOA";
+      purpose = "MAXCUT on a random 4-regular graph";
+      paper_qubits = 30;
+      circuit = lazy (Qaoa.circuit (Graphs.regular4 ~seed:11 30)) };
+    { name = "maxcut-cluster";
+      application = "QAOA";
+      purpose = "MAXCUT on a cluster graph";
+      paper_qubits = 30;
+      circuit = lazy (Qaoa.circuit (Graphs.cluster ~seed:12 ~clusters:6 ~size:5)) };
+    { name = "ising-n30";
+      application = "Ising model";
+      purpose = "Find ground state of Ising model";
+      paper_qubits = 30;
+      circuit = lazy (Ising.circuit 30) };
+    { name = "ising-n60";
+      application = "Ising model";
+      purpose = "Find ground state of Ising model";
+      paper_qubits = 60;
+      circuit = lazy (Ising.circuit 60) };
+    { name = "sqrt-n3";
+      application = "Square root";
+      purpose = "Grover algorithm for polynomial search";
+      paper_qubits = 17;
+      circuit = lazy (Sqrt_poly.build ~n:3 ~target:(sqrt_target 3) ()).Sqrt_poly.circuit };
+    { name = "sqrt-n4";
+      application = "Square root";
+      purpose = "Grover algorithm for polynomial search";
+      paper_qubits = 30;
+      circuit = lazy (Sqrt_poly.build ~n:4 ~target:(sqrt_target 4) ()).Sqrt_poly.circuit };
+    { name = "sqrt-n5";
+      application = "Square root";
+      purpose = "Grover algorithm for polynomial search";
+      paper_qubits = 47;
+      circuit = lazy (Sqrt_poly.build ~n:5 ~target:(sqrt_target 5) ()).Sqrt_poly.circuit };
+    { name = "uccsd-n4";
+      application = "UCCSD";
+      purpose = "UCCSD ansatz for VQE";
+      paper_qubits = 4;
+      circuit = lazy (Uccsd.circuit 4) };
+    { name = "uccsd-n6";
+      application = "UCCSD";
+      purpose = "UCCSD ansatz for VQE";
+      paper_qubits = 6;
+      circuit = lazy (Uccsd.circuit 6) } ]
+
+let fig9 = List.filter (fun b -> b.name <> "ising-n60") all
+
+let extended =
+  all
+  @ [ { name = "qft-n12";
+        application = "QFT";
+        purpose = "Quantum Fourier transform (Sec. 6.1's low-commutativity example)";
+        paper_qubits = 12;
+        circuit = lazy (Qft.circuit 12) };
+      { name = "qft-n20";
+        application = "QFT";
+        purpose = "Quantum Fourier transform (Sec. 6.1's low-commutativity example)";
+        paper_qubits = 20;
+        circuit = lazy (Qft.circuit 20) } ]
+
+let find name = List.find (fun b -> b.name = name) extended
+
+let lowered b = Qgate.Decompose.to_isa (Lazy.force b.circuit)

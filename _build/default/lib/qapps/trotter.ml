@@ -1,0 +1,41 @@
+module Pauli = Qgate.Pauli
+
+type order = First | Second
+
+(* exp(-i h coeff t P) = rotation_circuit with theta = 2 coeff t *)
+let term_gates ~time term =
+  Pauli.rotation_circuit ~theta:(2. *. time)
+    (Pauli.make term.Pauli.coeff term.Pauli.ops)
+
+let step_gates ?(order = First) ~time terms =
+  match order with
+  | First -> List.concat_map (fun t -> term_gates ~time t) terms
+  | Second ->
+    let half = List.concat_map (fun t -> term_gates ~time:(time /. 2.) t) terms in
+    let back =
+      List.concat_map
+        (fun t -> term_gates ~time:(time /. 2.) t)
+        (List.rev terms)
+    in
+    half @ back
+
+let circuit ?order ~n ~time ~steps terms =
+  if steps <= 0 then invalid_arg "Trotter.circuit: non-positive step count";
+  List.iter
+    (fun t ->
+      if Pauli.n_qubits t <> n then
+        invalid_arg "Trotter.circuit: term register size mismatch")
+    terms;
+  let dt = time /. float_of_int steps in
+  Qgate.Circuit.make n
+    (List.concat (List.init steps (fun _ -> step_gates ?order ~time:dt terms)))
+
+let exact ~n ~time terms =
+  let dim = 1 lsl n in
+  let h =
+    List.fold_left
+      (fun acc t -> Qnum.Cmat.add acc (Pauli.matrix t))
+      (Qnum.Cmat.zeros dim dim)
+      terms
+  in
+  Qnum.Expm.propagator h time

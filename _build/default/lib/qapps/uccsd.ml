@@ -1,0 +1,73 @@
+module Pauli = Qgate.Pauli
+
+type excitation =
+  | Single of int * int
+  | Double of int * int * int * int
+
+let excitations n =
+  if n < 4 || n mod 2 <> 0 then
+    invalid_arg "Uccsd.excitations: need an even count of at least 4";
+  let occ = List.init (n / 2) (fun k -> k) in
+  let virt = List.init (n / 2) (fun k -> (n / 2) + k) in
+  let singles =
+    List.concat_map (fun i -> List.map (fun a -> Single (i, a)) virt) occ
+  in
+  let pairs l =
+    List.concat_map
+      (fun i -> List.filter_map (fun j -> if i < j then Some (i, j) else None) l)
+      l
+  in
+  let doubles =
+    List.concat_map
+      (fun (i, j) -> List.map (fun (a, b) -> Double (i, j, a, b)) (pairs virt))
+      (pairs occ)
+  in
+  singles @ doubles
+
+(* a Pauli string with given letters at the listed sites and Z on the
+   Jordan–Wigner chains strictly between paired sites *)
+let string_with ~n ~letters ~chains =
+  let ops = Array.make n Pauli.Pi in
+  List.iter
+    (fun (lo, hi) ->
+      for q = lo + 1 to hi - 1 do
+        ops.(q) <- Pauli.Pz
+      done)
+    chains;
+  List.iter (fun (site, letter) -> ops.(site) <- letter) letters;
+  Pauli.make 1.0 ops
+
+let strings_of_excitation ~n ~theta = function
+  | Single (i, a) ->
+    let mk la lb = string_with ~n ~letters:[ (i, la); (a, lb) ] ~chains:[ (i, a) ] in
+    [ (theta /. 2., mk Pauli.Px Pauli.Py); (-.theta /. 2., mk Pauli.Py Pauli.Px) ]
+  | Double (i, j, a, b) ->
+    let mk l1 l2 l3 l4 =
+      string_with ~n
+        ~letters:[ (i, l1); (j, l2); (a, l3); (b, l4) ]
+        ~chains:[ (i, j); (a, b) ]
+    in
+    let x = Pauli.Px and y = Pauli.Py in
+    let plus = [ mk x x x y; mk x x y x; mk x y x x; mk y x x x ] in
+    let minus = [ mk x y y y; mk y x y y; mk y y x y; mk y y y x ] in
+    List.map (fun s -> (theta /. 8., s)) plus
+    @ List.map (fun s -> (-.theta /. 8., s)) minus
+
+let circuit ?(seed = 7) ?(encoding = Fermion.Jordan_wigner) n =
+  let rng = Qgraph.Rand.create seed in
+  let rotations theta = function
+    | Single (i, a) ->
+      Fermion.single_excitation_rotations encoding ~n ~theta ~i ~a
+    | Double (i, j, a, b) ->
+      Fermion.double_excitation_rotations encoding ~n ~theta ~i ~j ~a ~b
+  in
+  let gates =
+    List.concat_map
+      (fun exc ->
+        let theta = Qgraph.Rand.float rng 2.0 -. 1.0 in
+        List.concat_map
+          (fun (angle, s) -> Pauli.rotation_circuit ~theta:angle s)
+          (rotations theta exc))
+      (excitations n)
+  in
+  Qgate.Circuit.make n gates

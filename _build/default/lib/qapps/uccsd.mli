@@ -1,0 +1,30 @@
+(** UCCSD ansatz circuits via the Jordan–Wigner transformation (paper
+    Table 3, "UCCSD-nK"; §6.4).
+
+    The unitary coupled-cluster singles-and-doubles ansatz exp(T - T†) is
+    Trotterized term by term: each single excitation i→a contributes two
+    Pauli strings (XZ…ZY - YZ…ZX)/2, each double excitation ij→ab the
+    standard eight 4-operator strings with Z chains in between; every
+    string becomes a basis-change + CNOT-ladder + Rz rotation
+    ({!Qgate.Pauli.rotation_circuit}) — long diagonal chains with low
+    parallelism and low commutativity, as Table 3 characterizes. *)
+
+type excitation =
+  | Single of int * int  (** occupied i → virtual a *)
+  | Double of int * int * int * int  (** i<j → a<b *)
+
+val excitations : int -> excitation list
+(** All spin-orbital singles and doubles at half filling for [n] spin
+    orbitals (n even, ≥ 4): occupied = 0..n/2-1, virtual = n/2..n-1. *)
+
+val strings_of_excitation : n:int -> theta:float -> excitation ->
+  (float * Qgate.Pauli.t) list
+(** The (angle, string) rotations a Trotterized excitation expands to. *)
+
+val circuit : ?seed:int -> ?encoding:Fermion.encoding -> int -> Qgate.Circuit.t
+(** The full ansatz on [n] spin-orbital qubits with deterministic
+    pseudo-random variational angles (they would come from the VQE outer
+    loop; their values do not change the circuit's structure). The
+    rotations are derived from the {!Fermion} operator algebra under the
+    chosen encoding (default Jordan–Wigner, the paper's §5.2 also citing
+    Bravyi–Kitaev). *)

@@ -1,0 +1,1 @@
+lib/qarith/adder.ml: Array List Qgate

@@ -1,0 +1,1 @@
+lib/qarith/adder.mli: Qgate

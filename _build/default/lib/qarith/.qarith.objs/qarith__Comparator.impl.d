@@ -1,0 +1,1 @@
+lib/qarith/comparator.ml: Adder Array List Mcx Qgate

@@ -1,0 +1,1 @@
+lib/qarith/comparator.mli: Qgate

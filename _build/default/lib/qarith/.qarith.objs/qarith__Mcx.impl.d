@@ -1,0 +1,1 @@
+lib/qarith/mcx.ml: Array List Qgate

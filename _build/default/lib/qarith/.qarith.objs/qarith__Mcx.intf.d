@@ -1,0 +1,1 @@
+lib/qarith/mcx.mli: Qgate

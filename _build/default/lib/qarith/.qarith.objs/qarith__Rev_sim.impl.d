@@ -1,0 +1,1 @@
+lib/qarith/rev_sim.ml: Array List Printf Qgate

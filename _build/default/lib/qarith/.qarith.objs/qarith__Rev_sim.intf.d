@@ -1,0 +1,1 @@
+lib/qarith/rev_sim.mli: Qgate

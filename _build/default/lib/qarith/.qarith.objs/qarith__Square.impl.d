@@ -1,0 +1,1 @@
+lib/qarith/square.ml: Adder List Qgate

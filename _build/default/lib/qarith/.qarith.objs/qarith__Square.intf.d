@@ -1,0 +1,1 @@
+lib/qarith/square.mli: Qgate

@@ -1,0 +1,43 @@
+module Gate = Qgate.Gate
+
+let maj c b a = [ Gate.cnot a b; Gate.cnot a c; Gate.ccx c b a ]
+let uma c b a = [ Gate.ccx c b a; Gate.cnot a c; Gate.cnot c b ]
+
+let check_registers ~a ~b extra =
+  let n = List.length a in
+  if n = 0 || List.length b <> n then
+    invalid_arg "Adder: registers must have equal non-zero width";
+  let all = a @ b @ extra in
+  let sorted = List.sort compare all in
+  let rec dup = function
+    | x :: y :: _ when x = y -> true
+    | _ :: rest -> dup rest
+    | [] -> false
+  in
+  if dup sorted then invalid_arg "Adder: overlapping registers"
+
+(* carry wiring: carry into bit k is held on a_(k-1) after the MAJ chain *)
+let chain ~a ~b ~ancilla =
+  let a = Array.of_list a and b = Array.of_list b in
+  let n = Array.length a in
+  let carry k = if k = 0 then ancilla else a.(k - 1) in
+  let majs =
+    List.concat (List.init n (fun k -> maj (carry k) b.(k) a.(k)))
+  in
+  let umas =
+    List.concat
+      (List.init n (fun k ->
+           let k = n - 1 - k in
+           uma (carry k) b.(k) a.(k)))
+  in
+  (majs, umas, a.(n - 1))
+
+let ripple_add ~a ~b ~ancilla ~carry_out =
+  check_registers ~a ~b [ ancilla; carry_out ];
+  let majs, umas, top = chain ~a ~b ~ancilla in
+  majs @ [ Gate.cnot top carry_out ] @ umas
+
+let ripple_add_mod ~a ~b ~ancilla =
+  check_registers ~a ~b [ ancilla ];
+  let majs, umas, _ = chain ~a ~b ~ancilla in
+  majs @ umas

@@ -1,0 +1,33 @@
+module Gate = Qgate.Gate
+
+let less_than ~a ~b ~ancilla ~flag =
+  let n = List.length a in
+  if n = 0 || List.length b <> n then
+    invalid_arg "Comparator: registers must have equal non-zero width";
+  let all = (flag :: ancilla :: a) @ b in
+  let sorted = List.sort compare all in
+  let rec dup = function
+    | x :: y :: _ when x = y -> true
+    | _ :: rest -> dup rest
+    | [] -> false
+  in
+  if dup sorted then invalid_arg "Comparator: overlapping qubits";
+  (* complement a, run the MAJ carry chain of (2^n-1-a) + b, copy the
+     carry-out, then reverse the (self-inverse) chain and uncomplement *)
+  let complement = List.map (fun q -> Gate.x q) a in
+  let arr_a = Array.of_list a and arr_b = Array.of_list b in
+  let carry k = if k = 0 then ancilla else arr_a.(k - 1) in
+  let majs =
+    List.concat
+      (List.init n (fun k -> Adder.maj (carry k) arr_b.(k) arr_a.(k)))
+  in
+  complement @ majs
+  @ [ Gate.cnot arr_a.(n - 1) flag ]
+  @ List.rev majs @ complement
+
+let equal_const ~a ~value ~ancillas ~flag =
+  if a = [] then invalid_arg "Comparator.equal_const: empty register";
+  if value < 0 || value >= 1 lsl List.length a then
+    invalid_arg "Comparator.equal_const: value out of range";
+  let flips = Mcx.flip_zero_controls a ~value in
+  flips @ Mcx.mcx ~controls:a ~target:flag ~ancillas @ flips

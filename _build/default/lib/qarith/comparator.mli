@@ -1,0 +1,17 @@
+(** Reversible magnitude comparison.
+
+    [less_than] flips the flag qubit iff a < b, leaving both operand
+    registers and the ancilla unchanged: the MAJ carry chain of the
+    Cuccaro adder computes the borrow of (2ⁿ-1-a) + b, whose carry-out is
+    exactly [a < b]; running the chain backwards uncomputes it. *)
+
+val less_than :
+  a:int list -> b:int list -> ancilla:int -> flag:int -> Qgate.Gate.t list
+(** Registers are LSB-first qubit lists of equal width; [ancilla] must be
+    |0⟩ (restored); the flag is XOR-ed with the predicate. Raises
+    [Invalid_argument] on width mismatch or overlapping qubits. *)
+
+val equal_const :
+  a:int list -> value:int -> ancillas:int list -> flag:int -> Qgate.Gate.t list
+(** Flag ← flag ⊕ [a = value] via X-conjugated multi-controlled NOT
+    (needs |a|-2 clean ancillas for |a| ≥ 3). *)

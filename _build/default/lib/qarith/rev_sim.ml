@@ -1,0 +1,56 @@
+module Gate = Qgate.Gate
+
+let is_classical g =
+  match g.Gate.kind with
+  | Gate.X | Gate.Cnot | Gate.Ccx | Gate.Swap | Gate.I -> true
+  | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T | Gate.Tdg
+  | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ | Gate.Cz
+  | Gate.Cphase _ | Gate.Iswap | Gate.Sqrt_iswap | Gate.Rxx _ | Gate.Ryy _
+  | Gate.Rzz _ ->
+    false
+
+let apply_gate state g =
+  let n = Array.length state in
+  let check q =
+    if q < 0 || q >= n then invalid_arg "Rev_sim: qubit out of range"
+  in
+  List.iter check (Gate.qubits g);
+  match (g.Gate.kind, Gate.qubits g) with
+  | Gate.I, _ -> ()
+  | Gate.X, [ q ] -> state.(q) <- not state.(q)
+  | Gate.Cnot, [ c; t ] -> if state.(c) then state.(t) <- not state.(t)
+  | Gate.Ccx, [ a; b; t ] ->
+    if state.(a) && state.(b) then state.(t) <- not state.(t)
+  | Gate.Swap, [ a; b ] ->
+    let tmp = state.(a) in
+    state.(a) <- state.(b);
+    state.(b) <- tmp
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Rev_sim: non-classical gate %s" (Gate.to_string g))
+
+let run circuit input =
+  if Array.length input <> Qgate.Circuit.n_qubits circuit then
+    invalid_arg "Rev_sim.run: register size mismatch";
+  let state = Array.copy input in
+  List.iter (apply_gate state) (Qgate.Circuit.gates circuit);
+  state
+
+let run_int circuit ~n_qubits value =
+  if value < 0 || value >= 1 lsl n_qubits then
+    invalid_arg "Rev_sim.run_int: value out of range";
+  let input =
+    Array.init n_qubits (fun q -> (value lsr (n_qubits - 1 - q)) land 1 = 1)
+  in
+  let output = run circuit input in
+  Array.to_list output
+  |> List.fold_left (fun acc bit -> (acc lsl 1) lor if bit then 1 else 0) 0
+
+let bits_of_int ~width value =
+  if value < 0 then invalid_arg "Rev_sim.bits_of_int: negative value";
+  List.init width (fun k -> (value lsr k) land 1 = 1)
+
+let int_of_bits bits =
+  List.fold_left
+    (fun acc bit -> (acc lsl 1) lor if bit then 1 else 0)
+    0 (List.rev bits)

@@ -1,0 +1,29 @@
+(** Classical simulation of reversible circuits.
+
+    X / CNOT / Toffoli / SWAP circuits permute computational basis states,
+    so they can be simulated on bit vectors in linear time — which is how
+    the arithmetic building blocks (adders, comparators, squarers) are
+    tested exhaustively on register sizes far beyond state-vector reach. *)
+
+val is_classical : Qgate.Gate.t -> bool
+(** True for X, Cnot, Ccx, Swap and I. *)
+
+val apply_gate : bool array -> Qgate.Gate.t -> unit
+(** In-place update of the basis state. Raises [Invalid_argument] for
+    non-classical gates or out-of-range qubits. *)
+
+val run : Qgate.Circuit.t -> bool array -> bool array
+(** [run circuit input] returns the output basis state; the input array is
+    not modified. Raises like {!apply_gate}. *)
+
+val run_int : Qgate.Circuit.t -> n_qubits:int -> int -> int
+(** Basis states as integers, qubit 0 = most significant bit (matching the
+    simulator's convention). *)
+
+(** {1 Register plumbing} *)
+
+val bits_of_int : width:int -> int -> bool list
+(** Little-endian (LSB first) bit list of a non-negative integer. *)
+
+val int_of_bits : bool list -> int
+(** Little-endian decoding. *)

@@ -1,0 +1,49 @@
+module Gate = Qgate.Gate
+
+type layout = {
+  n : int;
+  x : int list;
+  acc : int list;
+  row : int list;
+  carry : int;
+  flag : int;
+  total_qubits : int;
+}
+
+let layout n =
+  if n < 2 then invalid_arg "Square.layout: width must be at least 2";
+  let range start len = List.init len (fun k -> start + k) in
+  let x = range 0 n in
+  let acc = range n (2 * n) in
+  let row = range (3 * n) (2 * n) in
+  let carry = 5 * n in
+  let flag = (5 * n) + 1 in
+  { n; x; acc; row; carry; flag; total_qubits = (5 * n) + 2 }
+
+let nth l k = List.nth l k
+
+(* one partial-product round: load row with x_i·x, add row into acc at
+   offset i (modular over the remaining width), unload row *)
+let round l i =
+  let xi = nth l.x i in
+  let load =
+    List.concat
+      (List.init l.n (fun j ->
+           let rj = nth l.row j in
+           if j = i then [ Gate.cnot xi rj ] else [ Gate.ccx xi (nth l.x j) rj ]))
+  in
+  let width = (2 * l.n) - i in
+  let addend = List.init width (fun k -> nth l.row k) in
+  let target = List.init width (fun k -> nth l.acc (i + k)) in
+  let add = Adder.ripple_add_mod ~a:addend ~b:target ~ancilla:l.carry in
+  load @ add @ List.rev load
+
+let circuit l = List.concat (List.init l.n (fun i -> round l i))
+
+let uncompute l =
+  let adj g =
+    match g.Gate.kind with
+    | Gate.X | Gate.Cnot | Gate.Ccx | Gate.Swap -> g
+    | _ -> Gate.adjoint g
+  in
+  List.rev_map adj (circuit l)

@@ -1,0 +1,24 @@
+(** Reversible squaring: acc ← x² by shift-and-add over partial products.
+
+    For each bit i of x, the row register is loaded with x_i·x (Toffolis),
+    rippled into the accumulator at offset i (zero-padded modular add), and
+    uncomputed. The accumulator must be |0⟩ on input; x is preserved. *)
+
+type layout = {
+  n : int;  (** input width *)
+  x : int list;  (** input register, LSB first *)
+  acc : int list;  (** 2n-bit accumulator, LSB first *)
+  row : int list;  (** 2n-bit partial-product scratch, |0⟩ in and out *)
+  carry : int;  (** adder ancilla *)
+  flag : int;  (** oracle kickback qubit (unused by the squarer itself) *)
+  total_qubits : int;
+}
+
+val layout : int -> layout
+(** Register layout for input width [n ≥ 2]: n + 2n + 2n + 2 qubits. *)
+
+val circuit : layout -> Qgate.Gate.t list
+(** The squaring circuit on the layout's registers. *)
+
+val uncompute : layout -> Qgate.Gate.t list
+(** Inverse circuit (acc ← acc − x², used by oracles). *)

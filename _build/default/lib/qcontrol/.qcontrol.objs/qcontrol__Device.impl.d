@@ -1,0 +1,1 @@
+lib/qcontrol/device.ml: Float

@@ -1,0 +1,1 @@
+lib/qcontrol/grape.ml: Array Cmat Cx Device Expm Float Hamiltonian Pulse Qgraph Qnum

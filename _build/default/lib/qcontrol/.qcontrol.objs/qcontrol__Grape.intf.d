@@ -1,0 +1,1 @@
+lib/qcontrol/grape.mli: Device Pulse Qnum

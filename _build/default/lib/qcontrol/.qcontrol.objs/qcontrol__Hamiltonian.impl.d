@@ -1,0 +1,1 @@
+lib/qcontrol/hamiltonian.ml: Array Cmat Device Hashtbl List Printf Qgate Qnum

@@ -1,0 +1,1 @@
+lib/qcontrol/hamiltonian.mli: Device Qnum

@@ -1,0 +1,1 @@
+lib/qcontrol/latency_model.ml: Cmat Cx Device Float Hashtbl List Option Qgate Qnum Weyl

@@ -1,0 +1,1 @@
+lib/qcontrol/latency_model.mli: Device Qgate Qnum

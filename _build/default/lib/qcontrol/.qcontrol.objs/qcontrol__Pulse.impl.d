@@ -1,0 +1,1 @@
+lib/qcontrol/pulse.ml: Array Float Format

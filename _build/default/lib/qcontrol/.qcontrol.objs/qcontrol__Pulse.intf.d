@@ -1,0 +1,1 @@
+lib/qcontrol/pulse.mli: Format

@@ -1,0 +1,1 @@
+lib/qcontrol/weyl.ml: Array Cmat Cx Device Eig Expm Float List Qgate Qnum

@@ -1,0 +1,1 @@
+lib/qcontrol/weyl.mli: Device Qnum

@@ -1,0 +1,24 @@
+type interaction = Xy | Zz | Heisenberg
+
+type t = { interaction : interaction; mu2 : float; mu1 : float }
+
+let default = { interaction = Xy; mu2 = 0.02; mu1 = 0.1 }
+
+let make ?(interaction = Xy) ~mu2 ~mu1 () =
+  if mu2 <= 0. || mu1 <= 0. then invalid_arg "Device.make: non-positive limit";
+  { interaction; mu2; mu1 }
+
+let with_interaction interaction d = { d with interaction }
+
+let interaction_name = function
+  | Xy -> "XY (transmon, iSWAP-native)"
+  | Zz -> "ZZ (flux/NMR, CPhase-native)"
+  | Heisenberg -> "Heisenberg (quantum dot, sqrt-SWAP-native)"
+
+let geodesic_angle theta =
+  let tau = 2. *. Float.pi in
+  let t = Float.rem (Float.abs theta) tau in
+  Float.min t (tau -. t)
+
+let one_qubit_rotation_time d theta = geodesic_angle theta /. (2. *. d.mu1)
+let half_layer_time d = Float.pi /. 2. /. (2. *. d.mu1)

@@ -1,0 +1,39 @@
+(** Device parameters for the physical architectures of the paper's
+    Appendix A.
+
+    The paper's experimental setup (§5.1) is the superconducting XY
+    (iSWAP-native) interaction with two-qubit control-field limit
+    µ₂ = 0.02 GHz and single-qubit control fields limited to 5·µ₂; the
+    appendix also lists ZZ-interaction platforms (Josephson flux qubits,
+    NMR — CPhase-native) and Heisenberg-interaction platforms (quantum
+    dots — √SWAP-native, where "the SWAP operation is directly
+    supported"). Times are in nanoseconds throughout (1 GHz⁻¹ = 1 ns). *)
+
+type interaction =
+  | Xy  (** XX+YY coupling — transmons; iSWAP native *)
+  | Zz  (** ZZ coupling — flux qubits, NMR; CPhase native *)
+  | Heisenberg  (** XX+YY+ZZ coupling — quantum dots; √SWAP native *)
+
+type t = {
+  interaction : interaction;
+  mu2 : float;  (** 2-qubit coupling amplitude limit, GHz. *)
+  mu1 : float;  (** 1-qubit X/Y drive amplitude limit, GHz. *)
+}
+
+val default : t
+(** XY with µ₂ = 0.02 GHz, µ₁ = 0.1 GHz — the paper's setting. *)
+
+val make : ?interaction:interaction -> mu2:float -> mu1:float -> unit -> t
+(** Raises [Invalid_argument] on non-positive limits. *)
+
+val with_interaction : interaction -> t -> t
+val interaction_name : interaction -> string
+
+val one_qubit_rotation_time : t -> float -> float
+(** [one_qubit_rotation_time d theta] is the minimal duration of a Bloch
+    rotation by geodesic angle θ_eff ∈ [0, π] at full drive:
+    θ_eff / (2µ₁). The angle is reduced modulo 2π and reflected. *)
+
+val half_layer_time : t -> float
+(** Duration of a π/2 single-qubit layer — the unit used to account for
+    the local layers flanking a two-qubit interaction. *)

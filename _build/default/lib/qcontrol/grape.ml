@@ -1,0 +1,146 @@
+open Qnum
+
+type problem = {
+  n_qubits : int;
+  couplings : (int * int) list;
+  target : Cmat.t;
+  duration : float;
+  n_steps : int;
+  device : Device.t;
+}
+
+type result = {
+  pulse : Pulse.t;
+  fidelity : float;
+  iterations : int;
+  converged : bool;
+}
+
+let channels_of p =
+  Hamiltonian.channels ~device:p.device ~n_qubits:p.n_qubits
+    ~couplings:p.couplings
+
+let propagator_of_pulse ~device ~n_qubits ~couplings pulse =
+  let chans = Hamiltonian.channels ~device ~n_qubits ~couplings in
+  let dim = 1 lsl n_qubits in
+  Array.fold_left
+    (fun acc amps ->
+      let h = Hamiltonian.total chans amps in
+      Cmat.mul (Expm.propagator h pulse.Pulse.dt) acc)
+    (Cmat.identity dim) pulse.Pulse.amps
+
+let optimize ?(seed = 1) ?(max_iterations = 2000) ?(target_fidelity = 0.999)
+    ?(learning_rate = 5e-3) p =
+  if p.n_steps <= 0 then invalid_arg "Grape.optimize: no time steps";
+  if p.duration <= 0. then invalid_arg "Grape.optimize: no duration";
+  let chans = Array.of_list (channels_of p) in
+  let nc = Array.length chans in
+  let ns = p.n_steps in
+  let dt = p.duration /. float_of_int ns in
+  let dim = 1 lsl p.n_qubits in
+  if Cmat.rows p.target <> dim then
+    invalid_arg "Grape.optimize: target dimension mismatch";
+  let rng = Qgraph.Rand.create seed in
+  (* start from small random amplitudes to break symmetry *)
+  let amps =
+    Array.init ns (fun _ ->
+        Array.init nc (fun ch ->
+            let lim = chans.(ch).Hamiltonian.limit in
+            Qgraph.Rand.float rng lim -. (lim /. 2.)))
+  in
+  (* Adam state *)
+  let m = Array.make_matrix ns nc 0. and v = Array.make_matrix ns nc 0. in
+  let beta1 = 0.9 and beta2 = 0.999 and eps = 1e-8 in
+  let clip step =
+    Array.iteri
+      (fun ch lim ->
+        amps.(step).(ch) <- Float.max (-.lim) (Float.min lim amps.(step).(ch)))
+      (Array.map (fun c -> c.Hamiltonian.limit) chans)
+  in
+  let props = Array.make ns (Cmat.identity dim) in
+  let forward = Array.make (ns + 1) (Cmat.identity dim) in
+  let backward = Array.make (ns + 1) (Cmat.identity dim) in
+  let best_fid = ref 0. and best_amps = ref (Array.map Array.copy amps) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  let d = float_of_int dim in
+  (try
+     for iter = 1 to max_iterations do
+       iterations := iter;
+       for j = 0 to ns - 1 do
+         props.(j) <- Expm.propagator (Hamiltonian.total (Array.to_list chans) amps.(j)) dt
+       done;
+       (* forward.(j) = U_{j-1}...U_0 ; backward.(j) = U_{N-1}...U_j *)
+       for j = 0 to ns - 1 do
+         forward.(j + 1) <- Cmat.mul props.(j) forward.(j)
+       done;
+       backward.(ns) <- Cmat.identity dim;
+       for j = ns - 1 downto 0 do
+         backward.(j) <- Cmat.mul backward.(j + 1) props.(j)
+       done;
+       let u = forward.(ns) in
+       let g = Cx.scale (1. /. d) (Cmat.trace (Cmat.mul (Cmat.dagger p.target) u)) in
+       let fid = Cx.norm2 g in
+       if fid > !best_fid then begin
+         best_fid := fid;
+         best_amps := Array.map Array.copy amps
+       end;
+       if fid >= target_fidelity then begin
+         converged := true;
+         raise Exit
+       end;
+       (* gradient of |g|^2 wrt u_k(j):
+          dU = B_{j+1} (-i dt H_k) U_j F_j, dg = tr(T† dU)/d,
+          d|g|² = 2 Re(conj(g)·dg) *)
+       let tdag = Cmat.dagger p.target in
+       for j = 0 to ns - 1 do
+         let left = Cmat.mul tdag backward.(j + 1) in
+         let right = Cmat.mul props.(j) forward.(j) in
+         for ch = 0 to nc - 1 do
+           let hk = chans.(ch).Hamiltonian.operator in
+           let dU = Cmat.mul left (Cmat.mul hk right) in
+           let dg =
+             Cx.mul (Cx.make 0. (-.dt /. d)) (Cmat.trace dU)
+           in
+           let grad = 2. *. ((Cx.re g *. Cx.re dg) +. (Cx.im g *. Cx.im dg)) in
+           (* Adam ascent on fidelity *)
+           m.(j).(ch) <- (beta1 *. m.(j).(ch)) +. ((1. -. beta1) *. grad);
+           v.(j).(ch) <- (beta2 *. v.(j).(ch)) +. ((1. -. beta2) *. grad *. grad);
+           let mh = m.(j).(ch) /. (1. -. Float.pow beta1 (float_of_int iter)) in
+           let vh = v.(j).(ch) /. (1. -. Float.pow beta2 (float_of_int iter)) in
+           let lim = chans.(ch).Hamiltonian.limit in
+           amps.(j).(ch) <-
+             amps.(j).(ch) +. (learning_rate *. lim *. mh /. (Float.sqrt vh +. eps))
+         done;
+         clip j
+       done
+     done
+   with Exit -> ());
+  let labels = Array.map (fun c -> c.Hamiltonian.label) chans in
+  let pulse = Pulse.make ~dt ~labels !best_amps in
+  { pulse; fidelity = !best_fid; iterations = !iterations; converged = !converged }
+
+let minimum_duration_search ?(seed = 1) ?(fidelity = 0.99) ?(resolution = 2.)
+    p =
+  let attempt duration =
+    let steps =
+      max 8 (int_of_float (Float.ceil (duration /. (p.duration /. float_of_int p.n_steps))))
+    in
+    optimize ~seed ~target_fidelity:fidelity
+      { p with duration; n_steps = steps }
+  in
+  let hi = ref p.duration and hi_result = ref (attempt p.duration) in
+  if not !hi_result.converged then (!hi, !hi_result)
+  else begin
+    let lo = ref 0. in
+    while !hi -. !lo > resolution do
+      let mid = (!lo +. !hi) /. 2. in
+      let r = attempt mid in
+      if r.converged then begin
+        hi := mid;
+        hi_result := r
+      end
+      else lo := mid
+    done;
+    (!hi, !hi_result)
+  end

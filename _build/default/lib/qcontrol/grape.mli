@@ -1,0 +1,57 @@
+(** GRAPE — GRadient Ascent Pulse Engineering (paper §2.5, Fig. 3).
+
+    Optimizes piecewise-constant control amplitudes so that the
+    time-ordered product of step propagators matches a target unitary.
+    The loss is infidelity 1 - |tr(U†_target·U)|²/d²; gradients are the
+    standard first-order GRAPE derivatives ∂U/∂u_k(j) ≈ -i·dt·H_k
+    sandwiched between the forward and backward partial products, and the
+    update is Adam with amplitude clipping at the device limits.
+
+    The paper runs this on GPUs for up to 10 qubits; here it is exercised
+    on the ≤3-qubit instructions used for validation and pulse-shape
+    output (DESIGN.md substitution table). *)
+
+type problem = {
+  n_qubits : int;
+  couplings : (int * int) list;  (** driven pairs, e.g. a line *)
+  target : Qnum.Cmat.t;  (** 2ⁿ×2ⁿ target unitary *)
+  duration : float;  (** total pulse time, ns *)
+  n_steps : int;  (** time slices *)
+  device : Device.t;
+}
+
+type result = {
+  pulse : Pulse.t;
+  fidelity : float;
+  iterations : int;
+  converged : bool;  (** reached [target_fidelity] *)
+}
+
+val optimize :
+  ?seed:int ->
+  ?max_iterations:int ->
+  ?target_fidelity:float ->
+  ?learning_rate:float ->
+  problem ->
+  result
+(** Defaults: seed 1, 2000 iterations, fidelity 0.999, learning rate 5e-3
+    (in units of the channel limit). Deterministic for a fixed seed. *)
+
+val propagator_of_pulse :
+  device:Device.t -> n_qubits:int -> couplings:(int * int) list -> Pulse.t ->
+  Qnum.Cmat.t
+(** Exact time-ordered product of the per-slice propagators — shared with
+    the verification path ({!Qsim}-level checks compare this against the
+    instruction's target unitary). *)
+
+val minimum_duration_search :
+  ?seed:int ->
+  ?fidelity:float ->
+  ?resolution:float ->
+  problem ->
+  float * result
+(** Binary-search the shortest duration (to within [resolution], default
+    2 ns) at which GRAPE still reaches [fidelity] (default 0.99); the
+    paper's notion of an instruction's optimized pulse time. Returns the
+    duration and the result at that duration. The [duration] field of the
+    problem is used as the upper bracket. *)

@@ -1,0 +1,76 @@
+open Qnum
+
+type channel = { label : string; operator : Cmat.t; limit : float }
+
+let single ~n_qubits op q = Cmat.embed ~n_qubits ~targets:[ q ] op
+
+let pauli_pair ~n_qubits sigma a b =
+  Cmat.embed ~n_qubits ~targets:[ a; b ] (Cmat.kron sigma sigma)
+
+let xy_exchange ~n_qubits a b =
+  Cmat.add
+    (pauli_pair ~n_qubits Qgate.Unitary.pauli_x a b)
+    (pauli_pair ~n_qubits Qgate.Unitary.pauli_y a b)
+
+let exchange ~interaction ~n_qubits a b =
+  match interaction with
+  | Device.Xy -> xy_exchange ~n_qubits a b
+  | Device.Zz -> pauli_pair ~n_qubits Qgate.Unitary.pauli_z a b
+  | Device.Heisenberg ->
+    Cmat.add (xy_exchange ~n_qubits a b)
+      (pauli_pair ~n_qubits Qgate.Unitary.pauli_z a b)
+
+let line_couplings n = List.init (max 0 (n - 1)) (fun k -> (k, k + 1))
+
+let channels ~device ~n_qubits ~couplings =
+  if n_qubits <= 0 then invalid_arg "Hamiltonian.channels: no qubits";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b) ->
+      if a < 0 || b < 0 || a >= n_qubits || b >= n_qubits || a = b then
+        invalid_arg "Hamiltonian.channels: bad coupling";
+      let key = (min a b, max a b) in
+      if Hashtbl.mem seen key then
+        invalid_arg "Hamiltonian.channels: repeated coupling";
+      Hashtbl.add seen key ())
+    couplings;
+  let drives =
+    List.concat_map
+      (fun q ->
+        [ { label = Printf.sprintf "x%d" q;
+            operator = single ~n_qubits Qgate.Unitary.pauli_x q;
+            limit = device.Device.mu1 };
+          { label = Printf.sprintf "y%d" q;
+            operator = single ~n_qubits Qgate.Unitary.pauli_y q;
+            limit = device.Device.mu1 } ])
+      (List.init n_qubits (fun q -> q))
+  in
+  let prefix =
+    match device.Device.interaction with
+    | Device.Xy -> "xy"
+    | Device.Zz -> "zz"
+    | Device.Heisenberg -> "hei"
+  in
+  let exchanges =
+    List.map
+      (fun (a, b) ->
+        { label = Printf.sprintf "%s%d-%d" prefix a b;
+          operator = exchange ~interaction:device.Device.interaction ~n_qubits a b;
+          limit = device.Device.mu2 })
+      couplings
+  in
+  drives @ exchanges
+
+let total chans amps =
+  let chans = Array.of_list chans in
+  if Array.length chans = 0 then invalid_arg "Hamiltonian.total: no channels";
+  if Array.length amps <> Array.length chans then
+    invalid_arg "Hamiltonian.total: amplitude count mismatch";
+  let dim = Cmat.rows chans.(0).operator in
+  let acc = ref (Cmat.zeros dim dim) in
+  Array.iteri
+    (fun k ch ->
+      if amps.(k) <> 0. then
+        acc := Cmat.add !acc (Cmat.scale_real amps.(k) ch.operator))
+    chans;
+  !acc

@@ -1,0 +1,37 @@
+(** Control Hamiltonians for the XY superconducting architecture.
+
+    An n-qubit aggregate is driven by X and Y drives on each qubit and
+    the device's exchange coupling on each coupled pair — the channels shown
+    in the paper's Fig. 4(c,d) (µx, µy per qubit, µxx+yy per pair). There
+    is no drift term: the couplings themselves are tunable controls, as in
+    the paper's gmon-style model. *)
+
+type channel = {
+  label : string;
+  operator : Qnum.Cmat.t;  (** Hermitian generator on the 2ⁿ space. *)
+  limit : float;  (** amplitude bound, GHz *)
+}
+
+val channels :
+  device:Device.t -> n_qubits:int -> couplings:(int * int) list -> channel list
+(** One X and one Y drive per qubit (limit µ₁) and one XY exchange term per
+    listed pair (limit µ₂). Raises [Invalid_argument] on out-of-range or
+    repeated pairs. *)
+
+val line_couplings : int -> (int * int) list
+(** Nearest-neighbor pairs (0,1), (1,2), … — aggregates are mapped onto
+    connected subsets of the device, which we model as a line. *)
+
+val total :
+  channel list -> float array -> Qnum.Cmat.t
+(** [total chans amps] is Σ amps.(k)·chans.(k).operator. *)
+
+val exchange :
+  interaction:Device.interaction -> n_qubits:int -> int -> int -> Qnum.Cmat.t
+(** The device coupling operator on a pair: XX+YY (Xy), ZZ (Zz) or
+    XX+YY+ZZ (Heisenberg). *)
+
+val xy_exchange : n_qubits:int -> int -> int -> Qnum.Cmat.t
+(** The XᵢXⱼ + YᵢYⱼ operator on the full space: at amplitude µ for time t
+    it advances the Weyl coordinates by (µt, µt, 0), so a full iSWAP takes
+    π/(4µ₂) ≈ 39.3 ns at the default limit. *)

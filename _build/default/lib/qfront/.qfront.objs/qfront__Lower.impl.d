@@ -1,0 +1,1 @@
+lib/qfront/lower.ml: Array List Printf Program Qgate

@@ -1,0 +1,1 @@
+lib/qfront/lower.mli: Program Qgate

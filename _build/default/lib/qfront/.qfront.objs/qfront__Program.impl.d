@@ -1,0 +1,1 @@
+lib/qfront/program.ml: List Qgate

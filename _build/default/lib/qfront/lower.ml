@@ -1,0 +1,34 @@
+exception Lowering_error of string
+
+let max_call_depth = 64
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Lowering_error s)) fmt
+
+let flatten p =
+  let rec stmts depth env body =
+    List.concat_map (stmt depth env) body
+  and stmt depth env = function
+    | Program.Apply g -> [ Qgate.Gate.map_qubits env g ]
+    | Program.Repeat (count, body) ->
+      if count < 0 then fail "negative repeat count %d" count;
+      List.concat (List.init count (fun _ -> stmts depth env body))
+    | Program.Call (name, actuals) ->
+      if depth >= max_call_depth then
+        fail "call chain deeper than %d (recursive modules?)" max_call_depth;
+      let m =
+        try Program.find_module p name
+        with Not_found -> fail "unknown module %S" name
+      in
+      if List.length actuals <> m.Program.arity then
+        fail "module %S expects %d qubits, got %d" name m.Program.arity
+          (List.length actuals);
+      let actuals = Array.of_list (List.map env actuals) in
+      let inner_env formal =
+        if formal < 0 || formal >= Array.length actuals then
+          fail "module %S uses formal qubit %d outside its arity" name formal
+        else actuals.(formal)
+      in
+      stmts (depth + 1) inner_env m.Program.body
+  in
+  Qgate.Circuit.make p.Program.n_qubits
+    (stmts 0 (fun q -> q) p.Program.main)

@@ -1,0 +1,13 @@
+(** Frontend lowering: loop unrolling and module flattening (paper §3.3).
+
+    Produces the flat logical circuit the rest of the compiler consumes. *)
+
+exception Lowering_error of string
+
+val flatten : Program.t -> Qgate.Circuit.t
+(** Unrolls [Repeat] and inlines [Call]s (formal qubits substituted by the
+    actuals). Raises {!Lowering_error} on unknown modules, arity
+    mismatches, negative repeat counts, or call chains deeper than
+    {!max_call_depth} (recursion guard). *)
+
+val max_call_depth : int

@@ -1,0 +1,16 @@
+type stmt =
+  | Apply of Qgate.Gate.t
+  | Repeat of int * stmt list
+  | Call of string * int list
+
+type module_def = { name : string; arity : int; body : stmt list }
+
+type t = { n_qubits : int; modules : module_def list; main : stmt list }
+
+let make ~n_qubits ~modules main =
+  let names = List.map (fun m -> m.name) modules in
+  if List.length (List.sort_uniq compare names) <> List.length names then
+    invalid_arg "Program.make: duplicate module names";
+  { n_qubits; modules; main }
+
+let find_module p name = List.find (fun m -> m.name = name) p.modules

@@ -1,0 +1,29 @@
+(** Structured quantum programs.
+
+    A minimal source form above flat circuits — named modules (gate
+    subroutines over formal qubits) and counted loops — enough to exercise
+    the frontend passes the paper lists (module flattening and loop
+    unrolling, Fig. 5) on realistic program shapes. *)
+
+type stmt =
+  | Apply of Qgate.Gate.t  (** gate on formal (or main-register) qubits *)
+  | Repeat of int * stmt list
+  | Call of string * int list  (** module name, actual qubit arguments *)
+
+type module_def = {
+  name : string;
+  arity : int;  (** formal qubits are 0 .. arity-1 *)
+  body : stmt list;
+}
+
+type t = {
+  n_qubits : int;
+  modules : module_def list;
+  main : stmt list;
+}
+
+val make : n_qubits:int -> modules:module_def list -> stmt list -> t
+(** Raises [Invalid_argument] on duplicate module names. *)
+
+val find_module : t -> string -> module_def
+(** Raises [Not_found]. *)

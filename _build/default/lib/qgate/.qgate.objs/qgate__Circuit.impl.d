@@ -1,0 +1,1 @@
+lib/qgate/circuit.ml: Array Float Format Gate List Printf Qgraph Qnum Unitary

@@ -1,0 +1,1 @@
+lib/qgate/circuit.mli: Format Gate Qgraph Qnum

@@ -1,0 +1,1 @@
+lib/qgate/decompose.ml: Circuit Float Gate List

@@ -1,0 +1,1 @@
+lib/qgate/gate.ml: Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/qgate/gate.mli: Format

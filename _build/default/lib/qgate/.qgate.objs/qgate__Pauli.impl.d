@@ -1,0 +1,1 @@
+lib/qgate/pauli.ml: Array Float Gate List Printf Qnum String Unitary

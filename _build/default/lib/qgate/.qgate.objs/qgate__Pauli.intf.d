@@ -1,0 +1,1 @@
+lib/qgate/pauli.mli: Gate Qnum

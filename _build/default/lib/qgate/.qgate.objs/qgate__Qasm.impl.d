@@ -1,0 +1,1 @@
+lib/qgate/qasm.ml: Buffer Circuit Float Gate Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/qgate/qasm.mli: Circuit

@@ -1,0 +1,1 @@
+lib/qgate/unitary.ml: Cmat Cx Float Gate Hashtbl List Qnum

@@ -1,0 +1,1 @@
+lib/qgate/unitary.mli: Gate Qnum

@@ -1,0 +1,89 @@
+let half_pi = Float.pi /. 2.
+
+let isa_kind = function
+  | Gate.I | Gate.X | Gate.Y | Gate.Z | Gate.H | Gate.S | Gate.Sdg | Gate.T
+  | Gate.Tdg | Gate.Rx _ | Gate.Ry _ | Gate.Rz _ | Gate.Phase _ | Gate.Cnot
+  | Gate.Swap ->
+    true
+  | Gate.Cz | Gate.Cphase _ | Gate.Iswap | Gate.Sqrt_iswap | Gate.Rxx _
+  | Gate.Ryy _ | Gate.Rzz _ | Gate.Ccx ->
+    false
+
+let ccx a b t =
+  [ Gate.h t;
+    Gate.cnot b t;
+    Gate.tdg t;
+    Gate.cnot a t;
+    Gate.t t;
+    Gate.cnot b t;
+    Gate.tdg t;
+    Gate.cnot a t;
+    Gate.t b;
+    Gate.t t;
+    Gate.h t;
+    Gate.cnot a b;
+    Gate.t a;
+    Gate.tdg b;
+    Gate.cnot a b ]
+
+let swap_to_cnots a b = [ Gate.cnot a b; Gate.cnot b a; Gate.cnot a b ]
+let cz_to_std a b = [ Gate.h b; Gate.cnot a b; Gate.h b ]
+
+let cphase_to_std theta a b =
+  [ Gate.phase (theta /. 2.) a;
+    Gate.cnot a b;
+    Gate.phase (-.theta /. 2.) b;
+    Gate.cnot a b;
+    Gate.phase (theta /. 2.) b ]
+
+let rzz_to_std theta a b = [ Gate.cnot a b; Gate.rz theta b; Gate.cnot a b ]
+
+let rxx_to_std theta a b =
+  [ Gate.h a; Gate.h b ] @ rzz_to_std theta a b @ [ Gate.h a; Gate.h b ]
+
+let ryy_to_std theta a b =
+  [ Gate.rx half_pi a; Gate.rx half_pi b ]
+  @ rzz_to_std theta a b
+  @ [ Gate.rx (-.half_pi) a; Gate.rx (-.half_pi) b ]
+
+let iswap_to_interactions a b = [ Gate.rxx (-.half_pi) a b; Gate.ryy (-.half_pi) a b ]
+
+(* CNOT from two iSWAPs and local rotations (Schuch–Siewert form);
+   verified against the dense CNOT unitary in the test suite *)
+let cnot_via_iswap c t =
+  [ Gate.rz (-.half_pi) c;
+    Gate.rx half_pi t;
+    Gate.rz half_pi t;
+    Gate.iswap c t;
+    Gate.rx half_pi c;
+    Gate.iswap c t;
+    Gate.rz half_pi t ]
+
+let lower_rxx_ryy g =
+  match (g.Gate.kind, Gate.qubits g) with
+  | Gate.Rxx theta, [ a; b ] -> rxx_to_std theta a b
+  | Gate.Ryy theta, [ a; b ] -> ryy_to_std theta a b
+  | _ -> [ g ]
+
+let lower_gate g =
+  match (g.Gate.kind, Gate.qubits g) with
+  | Gate.Ccx, [ a; b; t ] -> ccx a b t
+  | Gate.Cz, [ a; b ] -> cz_to_std a b
+  | Gate.Cphase theta, [ a; b ] -> cphase_to_std theta a b
+  | Gate.Rzz theta, [ a; b ] -> rzz_to_std theta a b
+  | Gate.Rxx theta, [ a; b ] -> rxx_to_std theta a b
+  | Gate.Ryy theta, [ a; b ] -> ryy_to_std theta a b
+  | Gate.Iswap, [ a; b ] ->
+    List.concat_map lower_rxx_ryy (iswap_to_interactions a b)
+  | Gate.Sqrt_iswap, [ a; b ] ->
+    List.concat_map lower_rxx_ryy
+      [ Gate.rxx (-.(Float.pi /. 4.)) a b; Gate.ryy (-.(Float.pi /. 4.)) a b ]
+  | _ -> [ g ]
+
+let to_isa circuit =
+  let rec fix gates =
+    let lowered = List.concat_map lower_gate gates in
+    if List.for_all (fun g -> isa_kind g.Gate.kind) lowered then lowered
+    else fix lowered
+  in
+  Circuit.make (Circuit.n_qubits circuit) (fix (Circuit.gates circuit))

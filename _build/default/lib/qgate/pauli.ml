@@ -1,0 +1,101 @@
+type op = Pi | Px | Py | Pz
+
+type t = { coeff : float; ops : op array }
+
+let make coeff ops = { coeff; ops }
+
+let of_string coeff s =
+  let op_of_char = function
+    | 'I' | 'i' -> Pi
+    | 'X' | 'x' -> Px
+    | 'Y' | 'y' -> Py
+    | 'Z' | 'z' -> Pz
+    | ch -> invalid_arg (Printf.sprintf "Pauli.of_string: bad character %c" ch)
+  in
+  { coeff; ops = Array.init (String.length s) (fun k -> op_of_char s.[k]) }
+
+let char_of_op = function Pi -> 'I' | Px -> 'X' | Py -> 'Y' | Pz -> 'Z'
+
+let to_string p =
+  Printf.sprintf "%g*%s" p.coeff
+    (String.init (Array.length p.ops) (fun k -> char_of_op p.ops.(k)))
+
+let n_qubits p = Array.length p.ops
+
+let support p =
+  let acc = ref [] in
+  Array.iteri (fun q op -> if op <> Pi then acc := q :: !acc) p.ops;
+  List.rev !acc
+
+let weight p = List.length (support p)
+
+let commutes a b =
+  if n_qubits a <> n_qubits b then
+    invalid_arg "Pauli.commutes: register size mismatch";
+  let anticommuting = ref 0 in
+  Array.iteri
+    (fun q oa ->
+      let ob = b.ops.(q) in
+      if oa <> Pi && ob <> Pi && oa <> ob then incr anticommuting)
+    a.ops;
+  !anticommuting mod 2 = 0
+
+let matrix p =
+  let single = function
+    | Pi -> Qnum.Cmat.identity 2
+    | Px -> Unitary.pauli_x
+    | Py -> Unitary.pauli_y
+    | Pz -> Unitary.pauli_z
+  in
+  Qnum.Cmat.scale_real p.coeff
+    (Qnum.Cmat.kron_list (Array.to_list (Array.map single p.ops)))
+
+let rotation_circuit ~theta p =
+  match support p with
+  | [] -> []
+  | supp ->
+    let angle = theta *. p.coeff in
+    let into_z q = function
+      | Px -> [ Gate.h q ]
+      | Py -> [ Gate.rx (Float.pi /. 2.) q ]
+      | Pz | Pi -> []
+    in
+    let out_of_z q = function
+      | Px -> [ Gate.h q ]
+      | Py -> [ Gate.rx (-.(Float.pi /. 2.)) q ]
+      | Pz | Pi -> []
+    in
+    let pre = List.concat_map (fun q -> into_z q p.ops.(q)) supp in
+    let post = List.concat_map (fun q -> out_of_z q p.ops.(q)) supp in
+    let last = List.nth supp (List.length supp - 1) in
+    let rec ladder = function
+      | [] | [ _ ] -> []
+      | q :: (r :: _ as rest) -> Gate.cnot q r :: ladder rest
+    in
+    let up = ladder supp in
+    let down = List.rev up in
+    pre @ up @ [ Gate.rz angle last ] @ down @ post
+
+let op_mul a b =
+  (* returns (phase, op) with σa·σb = phase·σ *)
+  match (a, b) with
+  | Pi, o | o, Pi -> (Qnum.Cx.one, o)
+  | Px, Px | Py, Py | Pz, Pz -> (Qnum.Cx.one, Pi)
+  | Px, Py -> (Qnum.Cx.i, Pz)
+  | Py, Px -> (Qnum.Cx.neg Qnum.Cx.i, Pz)
+  | Py, Pz -> (Qnum.Cx.i, Px)
+  | Pz, Py -> (Qnum.Cx.neg Qnum.Cx.i, Px)
+  | Pz, Px -> (Qnum.Cx.i, Py)
+  | Px, Pz -> (Qnum.Cx.neg Qnum.Cx.i, Py)
+
+let mul_phase a b =
+  if n_qubits a <> n_qubits b then
+    invalid_arg "Pauli.mul_phase: register size mismatch";
+  let phase = ref Qnum.Cx.one in
+  let ops =
+    Array.init (n_qubits a) (fun q ->
+        let ph, o = op_mul a.ops.(q) b.ops.(q) in
+        phase := Qnum.Cx.mul !phase ph;
+        o)
+  in
+  (!phase, { coeff = a.coeff *. b.coeff; ops })

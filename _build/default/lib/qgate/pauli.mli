@@ -1,0 +1,42 @@
+(** Pauli strings and their rotation circuits.
+
+    Jordan–Wigner-transformed fermionic operators (the UCCSD benchmark) and
+    Ising Hamiltonians are sums of Pauli strings; each term exp(-iθ/2·P) is
+    realized by the textbook basis-change + CNOT-ladder + Rz construction —
+    exactly the CNOT–Rz–CNOT-style diagonal chains the paper's aggregation
+    targets (§6.4). *)
+
+type op = Pi | Px | Py | Pz
+
+type t = { coeff : float; ops : op array }
+(** [coeff · op₀ ⊗ op₁ ⊗ …]; [ops] has one entry per register qubit. *)
+
+val make : float -> op array -> t
+
+val of_string : float -> string -> t
+(** [of_string c "IXYZ"] — one character per qubit, from qubit 0. Raises
+    [Invalid_argument] on other characters. *)
+
+val to_string : t -> string
+val n_qubits : t -> int
+val support : t -> int list
+(** Qubits with a non-identity factor, ascending. *)
+
+val weight : t -> int
+(** Size of the support. *)
+
+val commutes : t -> t -> bool
+(** Pauli strings commute iff they anticommute on an even number of
+    qubits. *)
+
+val matrix : t -> Qnum.Cmat.t
+(** Dense 2ⁿ matrix [coeff · ⊗ ops] (small n only). *)
+
+val rotation_circuit : theta:float -> t -> Gate.t list
+(** Gates implementing exp(-i·(θ/2)·coeff·P): basis changes into Z, a CNOT
+    ladder onto the last support qubit, Rz(θ·coeff), and the unwinding.
+    The empty-support string yields no gates (global phase). *)
+
+val mul_phase : t -> t -> Qnum.Cx.t * t
+(** Product of two strings: (phase, string) with
+    P₁·P₂ = phase·coeff·(result ops). *)

@@ -1,0 +1,27 @@
+(** Gate unitaries as dense matrices.
+
+    Basis convention follows {!Qnum.Cmat}: qubit 0 is the most significant
+    index bit. For a gate, local qubit order is the order of
+    [Gate.qubits]. *)
+
+val of_kind : Gate.kind -> Qnum.Cmat.t
+(** The gate's matrix on its own 2^arity-dimensional space. *)
+
+val of_gate : n_qubits:int -> Gate.t -> Qnum.Cmat.t
+(** The gate lifted to the full 2ⁿ space. *)
+
+val of_gates : n_qubits:int -> Gate.t list -> Qnum.Cmat.t
+(** Product of lifted gates applied in list (time) order: for gate list
+    [g1; g2; ...] the result is ... · U(g2) · U(g1). *)
+
+val on_support : Gate.t list -> int list * Qnum.Cmat.t
+(** [on_support gates] computes the joint unitary of [gates] on the sorted
+    union of their supports (relabelled locally); returns
+    (support, unitary). Raises [Invalid_argument] on the empty list. *)
+
+(** {1 Named constant matrices} *)
+
+val pauli_x : Qnum.Cmat.t
+val pauli_y : Qnum.Cmat.t
+val pauli_z : Qnum.Cmat.t
+val hadamard : Qnum.Cmat.t

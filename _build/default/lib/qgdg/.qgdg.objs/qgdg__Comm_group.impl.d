@@ -1,0 +1,1 @@
+lib/qgdg/comm_group.ml: Array Commute Gdg Hashtbl Inst List

@@ -1,0 +1,1 @@
+lib/qgdg/comm_group.mli: Gdg Inst

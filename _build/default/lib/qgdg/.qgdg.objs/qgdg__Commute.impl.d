@@ -1,0 +1,1 @@
+lib/qgdg/commute.ml: Hashtbl Inst List Qgate Qnum

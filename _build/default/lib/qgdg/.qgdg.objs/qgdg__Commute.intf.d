@@ -1,0 +1,1 @@
+lib/qgdg/commute.mli: Inst Qgate

@@ -1,0 +1,1 @@
+lib/qgdg/diagonal.ml: Commute Gdg Hashtbl Inst List

@@ -1,0 +1,1 @@
+lib/qgdg/diagonal.mli: Gdg Qgate

@@ -1,0 +1,1 @@
+lib/qgdg/gdg.ml: Array Float Format Hashtbl Inst Int List Option Printf Qgate Set

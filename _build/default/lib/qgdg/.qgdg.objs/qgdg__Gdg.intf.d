@@ -1,0 +1,1 @@
+lib/qgdg/gdg.mli: Format Hashtbl Inst Qgate

@@ -1,0 +1,1 @@
+lib/qgdg/inst.ml: Format List Qgate String

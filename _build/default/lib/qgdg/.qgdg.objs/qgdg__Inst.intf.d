@@ -1,0 +1,1 @@
+lib/qgdg/inst.mli: Format Qgate Qnum

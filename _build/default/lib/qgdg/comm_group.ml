@@ -1,0 +1,64 @@
+type t = {
+  per_qubit : int list list array;  (** ordered groups of instruction ids *)
+  index : (int * int, int) Hashtbl.t;  (** (qubit, id) -> group position *)
+}
+
+let groups_of_chain commute g chain =
+  let groups = ref [] and current = ref [] in
+  let flush () =
+    if !current <> [] then begin
+      groups := List.rev !current :: !groups;
+      current := []
+    end
+  in
+  List.iter
+    (fun (inst : Inst.t) ->
+      let commutes_with_all =
+        List.for_all (fun id -> commute (Gdg.find g id) inst) !current
+      in
+      if not commutes_with_all then flush ();
+      current := inst.Inst.id :: !current)
+    chain;
+  flush ();
+  List.rev !groups
+
+let set_qubit t q ordered =
+  List.iter
+    (fun group -> List.iter (fun id -> Hashtbl.remove t.index (q, id)) group)
+    t.per_qubit.(q);
+  t.per_qubit.(q) <- ordered;
+  List.iteri
+    (fun pos group ->
+      List.iter (fun id -> Hashtbl.replace t.index (q, id) pos) group)
+    ordered
+
+let refresh ?(commute = Commute.insts) t g ~qubits =
+  List.iter
+    (fun q -> set_qubit t q (groups_of_chain commute g (Gdg.chain g q)))
+    (List.sort_uniq compare qubits)
+
+let build ?(commute = Commute.insts) g =
+  let n = Gdg.n_qubits g in
+  let t =
+    { per_qubit = Array.make (max 1 n) []; index = Hashtbl.create 256 }
+  in
+  refresh ~commute t g ~qubits:(List.init n (fun q -> q));
+  t
+
+let groups_on t q = t.per_qubit.(q)
+
+let group_index t ~qubit id =
+  match Hashtbl.find_opt t.index (qubit, id) with
+  | Some pos -> pos
+  | None -> raise Not_found
+
+let same_group t ~qubit a b =
+  match (Hashtbl.find_opt t.index (qubit, a), Hashtbl.find_opt t.index (qubit, b))
+  with
+  | Some x, Some y -> x = y
+  | _ -> false
+
+let reorderable t a b =
+  List.for_all
+    (fun q -> same_group t ~qubit:q a.Inst.id b.Inst.id)
+    (Inst.common_qubits a b)

@@ -1,0 +1,34 @@
+(** Per-qubit commutation groups (paper §3.3.2).
+
+    On each qubit, the instruction chain is partitioned into maximal runs
+    of consecutive, pairwise-commuting instructions. Two instructions may
+    be freely reordered iff they share a group on {e every} common qubit —
+    e.g. the two CNOTs of a CNOT–Rz–CNOT structure share a group on the
+    control qubit (an Rz there can travel through) but not on the target
+    qubit. *)
+
+type t
+
+val build : ?commute:(Inst.t -> Inst.t -> bool) -> Gdg.t -> t
+(** Pairwise operator-commutation checks along every chain. [commute]
+    defaults to {!Commute.insts}; callers that rebuild groups repeatedly
+    (the aggregator) pass a memoized check — instruction ids are unique
+    and blocks immutable, so caching by id pair is sound. *)
+
+val refresh :
+  ?commute:(Inst.t -> Inst.t -> bool) -> t -> Gdg.t -> qubits:int list -> unit
+(** Recompute the groups of the listed qubits only — a merge changes
+    membership solely on the merged instruction's support, so the
+    aggregator refreshes incrementally instead of rebuilding all chains. *)
+
+val groups_on : t -> int -> int list list
+(** Ordered groups (of instruction ids) on a qubit. *)
+
+val group_index : t -> qubit:int -> int -> int
+(** Position of an instruction's group on a qubit.
+    Raises [Not_found] when the instruction is not on that qubit. *)
+
+val same_group : t -> qubit:int -> int -> int -> bool
+
+val reorderable : t -> Inst.t -> Inst.t -> bool
+(** Same group on every shared qubit (true for disjoint supports). *)

@@ -1,0 +1,52 @@
+module Gate = Qgate.Gate
+
+let max_check_width = 8
+
+let all_diagonal gs = List.for_all (fun g -> Gate.is_diagonal_kind g.Gate.kind) gs
+
+let is_diagonal_block gs =
+  match gs with
+  | [] -> true
+  | _ when all_diagonal gs -> true
+  | _ ->
+    let support = List.sort_uniq compare (List.concat_map Gate.qubits gs) in
+    List.length support <= max_check_width
+    &&
+    let _, u = Qgate.Unitary.on_support gs in
+    Qnum.Cmat.is_diagonal ~eps:1e-9 u
+
+let dense_commute a_gates b_gates =
+  let support =
+    List.sort_uniq compare
+      (List.concat_map Gate.qubits a_gates @ List.concat_map Gate.qubits b_gates)
+  in
+  if List.length support > max_check_width then false
+  else begin
+    let local = Hashtbl.create 8 in
+    List.iteri (fun k q -> Hashtbl.replace local q k) support;
+    let relabel = List.map (Gate.map_qubits (fun q -> Hashtbl.find local q)) in
+    let n_qubits = List.length support in
+    let ua = Qgate.Unitary.of_gates ~n_qubits (relabel a_gates) in
+    let ub = Qgate.Unitary.of_gates ~n_qubits (relabel b_gates) in
+    Qnum.Cmat.commute ~eps:1e-9 ua ub
+  end
+
+let blocks a b =
+  match (a, b) with
+  | [], _ | _, [] -> true
+  | _ ->
+    let qa = List.sort_uniq compare (List.concat_map Gate.qubits a) in
+    let qb = List.sort_uniq compare (List.concat_map Gate.qubits b) in
+    let disjoint = not (List.exists (fun q -> List.mem q qb) qa) in
+    if disjoint then true
+    else if all_diagonal a && all_diagonal b then true
+    else dense_commute a b
+
+let gates a b =
+  if Gate.equal a b then true
+  else if not (Gate.shares_qubit a b) then true
+  else if Gate.is_diagonal_kind a.Gate.kind && Gate.is_diagonal_kind b.Gate.kind
+  then true
+  else dense_commute [ a ] [ b ]
+
+let insts a b = blocks a.Inst.gates b.Inst.gates

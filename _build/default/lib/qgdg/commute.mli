@@ -1,0 +1,25 @@
+(** Commutation checks between gates and instruction blocks.
+
+    The paper resolves commutation "by explicitly checking the equality of
+    unitary operators ÂB̂ and B̂Â" (§3.3). This module does exactly that on
+    the joint support, with algebraic fast paths for the common cases of
+    Table 2 (disjoint supports, diagonal×diagonal, identical gates) so the
+    dense check only runs when needed. *)
+
+val gates : Qgate.Gate.t -> Qgate.Gate.t -> bool
+(** Do two gates commute as operators? *)
+
+val blocks : Qgate.Gate.t list -> Qgate.Gate.t list -> bool
+(** Do two member-gate blocks commute as whole operators? Joint supports
+    larger than {!max_check_width} qubits conservatively return [false]
+    (unless disjoint or both diagonal). *)
+
+val insts : Inst.t -> Inst.t -> bool
+
+val max_check_width : int
+(** Support-size cap (8) above which the dense check is not attempted. *)
+
+val is_diagonal_block : Qgate.Gate.t list -> bool
+(** Is the composed unitary diagonal in the computational basis? True
+    algebraically when all members are diagonal; otherwise checked
+    densely on the support (false beyond {!max_check_width}). *)

@@ -1,0 +1,17 @@
+(** Diagonal-unitary detection and contraction (paper §3.3.1, §4.2).
+
+    Searches the GDG for contiguous runs confined to a single qubit pair
+    whose composed unitary is diagonal — the CNOT–Rz–CNOT structures of
+    QAOA/UCCSD circuits — and contracts each into one instruction. The
+    contracted blocks commute with one another, which is what unlocks the
+    commutativity-aware scheduler's freedom. Runs are limited to 2 qubits
+    (to preserve parallelism) and [max_run_gates] member gates. *)
+
+val max_run_gates : int
+(** 10, the paper's practical bound on exhaustive block search. *)
+
+val detect_and_contract :
+  latency:(Qgate.Gate.t list -> float) -> Gdg.t -> int
+(** Contract until fixpoint; returns the number of merges performed. The
+    GDG is modified in place; merged instructions are re-costed with
+    [latency]. *)

@@ -1,0 +1,234 @@
+type t = {
+  n_qubits : int;
+  nodes : (int, Inst.t) Hashtbl.t;
+  chains : int list array;
+  mutable next : int;
+}
+
+let n_qubits g = g.n_qubits
+let size g = Hashtbl.length g.nodes
+let find g id = match Hashtbl.find_opt g.nodes id with
+  | Some i -> i
+  | None -> raise Not_found
+
+let mem g id = Hashtbl.mem g.nodes id
+
+let fresh_id g =
+  let id = g.next in
+  g.next <- id + 1;
+  id
+
+let of_insts ~n_qubits insts =
+  let nodes = Hashtbl.create 64 in
+  let chains = Array.make (max 1 n_qubits) [] in
+  let next = ref 0 in
+  List.iter
+    (fun (i : Inst.t) ->
+      if Hashtbl.mem nodes i.Inst.id then
+        invalid_arg "Gdg.of_insts: duplicate instruction id";
+      List.iter
+        (fun q ->
+          if q < 0 || q >= n_qubits then
+            invalid_arg "Gdg.of_insts: qubit out of range")
+        i.Inst.qubits;
+      Hashtbl.replace nodes i.Inst.id i;
+      if i.Inst.id >= !next then next := i.Inst.id + 1;
+      List.iter (fun q -> chains.(q) <- i.Inst.id :: chains.(q)) i.Inst.qubits)
+    insts;
+  Array.iteri (fun q c -> chains.(q) <- List.rev c) chains;
+  { n_qubits; nodes; chains; next = !next }
+
+let of_circuit ~latency circuit =
+  let insts =
+    List.mapi
+      (fun id gate -> Inst.of_gate ~id ~latency:(latency [ gate ]) gate)
+      (Qgate.Circuit.gates circuit)
+  in
+  of_insts ~n_qubits:(Qgate.Circuit.n_qubits circuit) insts
+
+(* per-(node, qubit) chain neighbors, built in one pass over all chains *)
+let edge_tables g =
+  let pred : (int * int, int) Hashtbl.t = Hashtbl.create (2 * size g) in
+  let succ : (int * int, int) Hashtbl.t = Hashtbl.create (2 * size g) in
+  Array.iteri
+    (fun q chain ->
+      let rec walk = function
+        | [] | [ _ ] -> ()
+        | x :: (y :: _ as rest) ->
+          Hashtbl.replace succ (x, q) y;
+          Hashtbl.replace pred (y, q) x;
+          walk rest
+      in
+      walk chain)
+    g.chains;
+  (pred, succ)
+
+(* Kahn topological order over per-qubit chain edges; raises on cycles *)
+let topo_ids g =
+  let _, succ = edge_tables g in
+  let indeg = Hashtbl.create (size g) in
+  Hashtbl.iter (fun id _ -> Hashtbl.replace indeg id 0) g.nodes;
+  let bump id d = Hashtbl.replace indeg id (Hashtbl.find indeg id + d) in
+  Hashtbl.iter (fun _ s -> bump s 1) succ;
+  let order = ref [] in
+  let module Iset = Set.Make (Int) in
+  let ready = ref Iset.empty in
+  Hashtbl.iter (fun id d -> if d = 0 then ready := Iset.add id !ready) indeg;
+  let emitted = ref 0 in
+  while not (Iset.is_empty !ready) do
+    let id = Iset.min_elt !ready in
+    ready := Iset.remove id !ready;
+    order := id :: !order;
+    incr emitted;
+    let inst = find g id in
+    List.iter
+      (fun q ->
+        match Hashtbl.find_opt succ (id, q) with
+        | None -> ()
+        | Some s ->
+          bump s (-1);
+          if Hashtbl.find indeg s = 0 then ready := Iset.add s !ready)
+      inst.Inst.qubits
+  done;
+  if !emitted <> size g then failwith "Gdg: cyclic dependence graph";
+  List.rev !order
+
+let insts g = List.map (find g) (topo_ids g)
+let iter_insts g f = Hashtbl.iter (fun _ i -> f i) g.nodes
+
+let chain g q =
+  if q < 0 || q >= g.n_qubits then invalid_arg "Gdg.chain: qubit out of range";
+  List.map (find g) g.chains.(q)
+
+let neighbor_on g id ~qubit ~dir =
+  if not (mem g id) then raise Not_found;
+  let rec walk = function
+    | [] -> None
+    | [ x ] -> if x = id && dir = `Succ then None else None
+    | x :: (y :: _ as rest) ->
+      if x = id && dir = `Succ then Some y
+      else if y = id && dir = `Pred then Some x
+      else walk rest
+  in
+  Option.map (find g) (walk g.chains.(qubit))
+
+let pred_on g id ~qubit = neighbor_on g id ~qubit ~dir:`Pred
+let succ_on g id ~qubit = neighbor_on g id ~qubit ~dir:`Succ
+let neighbor_tables g = edge_tables g
+
+let parents g id =
+  let inst = find g id in
+  inst.Inst.qubits
+  |> List.filter_map (fun q -> pred_on g id ~qubit:q)
+  |> List.sort_uniq (fun (a : Inst.t) b -> compare a.Inst.id b.Inst.id)
+
+let children g id =
+  let inst = find g id in
+  inst.Inst.qubits
+  |> List.filter_map (fun q -> succ_on g id ~qubit:q)
+  |> List.sort_uniq (fun (a : Inst.t) b -> compare a.Inst.id b.Inst.id)
+
+let set_latency g id latency =
+  let inst = find g id in
+  Hashtbl.replace g.nodes id { inst with Inst.latency }
+
+let copy g =
+  { n_qubits = g.n_qubits;
+    nodes = Hashtbl.copy g.nodes;
+    chains = Array.copy g.chains;
+    next = g.next }
+
+let merge g ~latency a b =
+  if a = b then invalid_arg "Gdg.merge: cannot merge a node with itself";
+  let ia = find g a and ib = find g b in
+  let saved_chains = Array.copy g.chains in
+  let merged = Inst.merge ~id:(fresh_id g) ~latency ia ib in
+  let replace chain =
+    (* put the merged node at the first occurrence of either id, drop the
+       second occurrence *)
+    let rec go seen = function
+      | [] -> []
+      | x :: rest when x = a || x = b ->
+        if seen then go seen rest else merged.Inst.id :: go true rest
+      | x :: rest -> x :: go seen rest
+    in
+    go false chain
+  in
+  List.iter
+    (fun q -> g.chains.(q) <- replace g.chains.(q))
+    merged.Inst.qubits;
+  Hashtbl.remove g.nodes a;
+  Hashtbl.remove g.nodes b;
+  Hashtbl.replace g.nodes merged.Inst.id merged;
+  (try ignore (topo_ids g)
+   with Failure _ ->
+     (* rollback *)
+     Array.blit saved_chains 0 g.chains 0 Array.(length saved_chains);
+     Hashtbl.remove g.nodes merged.Inst.id;
+     Hashtbl.replace g.nodes a ia;
+     Hashtbl.replace g.nodes b ib;
+     invalid_arg "Gdg.merge: merge would create a dependence cycle");
+  merged
+
+let asap g =
+  let pred, _ = edge_tables g in
+  let finish = Hashtbl.create (size g) in
+  let entries = ref [] in
+  let makespan = ref 0. in
+  List.iter
+    (fun id ->
+      let inst = find g id in
+      let start =
+        List.fold_left
+          (fun acc q ->
+            match Hashtbl.find_opt pred (id, q) with
+            | None -> acc
+            | Some p -> Float.max acc (Hashtbl.find finish p))
+          0. inst.Inst.qubits
+      in
+      let f = start +. inst.Inst.latency in
+      Hashtbl.replace finish id f;
+      entries := (id, (start, f)) :: !entries;
+      if f > !makespan then makespan := f)
+    (topo_ids g);
+  (List.rev !entries, !makespan)
+
+let makespan g = snd (asap g)
+
+let all_gates g = List.concat_map (fun i -> i.Inst.gates) (insts g)
+
+let validate g =
+  (* every chain id resolves; every node appears exactly once per support
+     qubit and nowhere else; the graph is acyclic *)
+  Array.iteri
+    (fun q chain ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt g.nodes id with
+          | None -> failwith (Printf.sprintf "Gdg: dangling node %d on qubit %d" id q)
+          | Some inst ->
+            if not (Inst.acts_on inst q) then
+              failwith (Printf.sprintf "Gdg: node %d on chain %d but not in support" id q))
+        chain;
+      let sorted = List.sort compare chain in
+      let rec dup = function
+        | x :: y :: _ when x = y -> true
+        | _ :: rest -> dup rest
+        | [] -> false
+      in
+      if dup sorted then failwith (Printf.sprintf "Gdg: duplicate node on qubit %d" q))
+    g.chains;
+  Hashtbl.iter
+    (fun id inst ->
+      List.iter
+        (fun q ->
+          if not (List.mem id g.chains.(q)) then
+            failwith (Printf.sprintf "Gdg: node %d missing from chain %d" id q))
+        inst.Inst.qubits)
+    g.nodes;
+  ignore (topo_ids g)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>gdg: %d qubits, %d instructions@," g.n_qubits (size g);
+  List.iter (fun i -> Format.fprintf ppf "  %a@," Inst.pp i) (insts g);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/qgraph/grid.ml: Float Graph

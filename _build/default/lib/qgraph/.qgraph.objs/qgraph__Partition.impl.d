@@ -1,0 +1,1 @@
+lib/qgraph/partition.ml: Array Graph List Queue

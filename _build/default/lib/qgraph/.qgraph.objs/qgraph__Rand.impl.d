@@ -1,0 +1,1 @@
+lib/qgraph/rand.ml: Array Int64

@@ -1,0 +1,42 @@
+type t = { width : int; height : int }
+
+let make ~width ~height =
+  if width <= 0 || height <= 0 then invalid_arg "Grid.make: non-positive size";
+  { width; height }
+
+let square_for n =
+  if n <= 0 then invalid_arg "Grid.square_for: non-positive size";
+  let h = int_of_float (Float.sqrt (float_of_int n)) in
+  let rec fit h =
+    let w = (n + h - 1) / h in
+    if w - h > 1 then fit (h + 1) else make ~width:w ~height:h
+  in
+  fit (max 1 h)
+
+let size g = g.width * g.height
+
+let index g ~row ~col =
+  if row < 0 || row >= g.height || col < 0 || col >= g.width then
+    invalid_arg "Grid.index: out of range";
+  (row * g.width) + col
+
+let coords g k =
+  if k < 0 || k >= size g then invalid_arg "Grid.coords: out of range";
+  (k / g.width, k mod g.width)
+
+let distance g a b =
+  let ra, ca = coords g a and rb, cb = coords g b in
+  abs (ra - rb) + abs (ca - cb)
+
+let adjacent g a b = distance g a b = 1
+
+let graph g =
+  let gr = Graph.create (size g) in
+  for r = 0 to g.height - 1 do
+    for c = 0 to g.width - 1 do
+      let k = index g ~row:r ~col:c in
+      if c + 1 < g.width then Graph.add_edge gr k (index g ~row:r ~col:(c + 1));
+      if r + 1 < g.height then Graph.add_edge gr k (index g ~row:(r + 1) ~col:c)
+    done
+  done;
+  gr

@@ -1,0 +1,27 @@
+(** Rectangular grid helpers for device topologies.
+
+    Near-term superconducting devices expose a rectangular-grid qubit
+    connectivity (paper §3.4.1); this module provides index/coordinate
+    conversions and the grid's connectivity graph. Cells are numbered
+    row-major: cell (r, c) has index [r * width + c]. *)
+
+type t = { width : int; height : int }
+
+val make : width:int -> height:int -> t
+(** Raises [Invalid_argument] unless both dimensions are positive. *)
+
+val square_for : int -> t
+(** Smallest near-square grid with at least [n] cells (width ≥ height,
+    width - height ≤ 1). *)
+
+val size : t -> int
+val index : t -> row:int -> col:int -> int
+val coords : t -> int -> int * int
+val adjacent : t -> int -> int -> bool
+(** Manhattan-distance-1 neighborhood. *)
+
+val distance : t -> int -> int -> int
+(** Manhattan distance between two cells. *)
+
+val graph : t -> Graph.t
+(** Nearest-neighbor connectivity graph of the grid. *)

@@ -1,0 +1,88 @@
+type 'a edge = { u : int; v : int; label : 'a }
+
+let check_edge n e =
+  if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
+    invalid_arg "Matching: vertex out of range"
+
+let occupies e = if e.u = e.v then [ e.u ] else [ e.u; e.v ]
+
+let is_matching ~n m =
+  let used = Array.make n false in
+  List.for_all
+    (fun e ->
+      check_edge n e;
+      let vs = occupies e in
+      if List.exists (fun v -> used.(v)) vs then false
+      else begin
+        List.iter (fun v -> used.(v) <- true) vs;
+        true
+      end)
+    m
+
+let is_maximal ~n ~candidates m =
+  let used = Array.make n false in
+  List.iter (fun e -> List.iter (fun v -> used.(v) <- true) (occupies e)) m;
+  not
+    (List.exists
+       (fun e -> List.for_all (fun v -> not used.(v)) (occupies e))
+       candidates)
+
+let maximal_edges ~n edges =
+  List.iter (check_edge n) edges;
+  let used = Array.make n false in
+  let free e = List.for_all (fun v -> not used.(v)) (occupies e) in
+  let take e = List.iter (fun v -> used.(v) <- true) (occupies e) in
+  let release e = List.iter (fun v -> used.(v) <- false) (occupies e) in
+  let greedy =
+    List.filter
+      (fun e ->
+        if free e then begin
+          take e;
+          true
+        end
+        else false)
+      edges
+  in
+  (* augmentation: try to swap one matched 2-vertex edge for two disjoint
+     unmatched candidates that only conflict through it *)
+  let matched = ref greedy in
+  let improved = ref true in
+  while !improved do
+    improved := false;
+    let try_swap e =
+      if e.u <> e.v then begin
+        release e;
+        let gain =
+          let first =
+            List.find_opt
+              (fun c -> free c && occupies c <> occupies e)
+              edges
+          in
+          match first with
+          | None -> None
+          | Some c1 ->
+            take c1;
+            let second = List.find_opt free edges in
+            (match second with
+             | Some c2 -> Some (c1, c2)
+             | None ->
+               release c1;
+               None)
+        in
+        match gain with
+        | Some (c1, c2) ->
+          take c2;
+          matched :=
+            c1 :: c2 :: List.filter (fun x -> x != e) !matched;
+          improved := true;
+          true
+        | None ->
+          take e;
+          false
+      end
+      else false
+    in
+    ignore (List.exists try_swap !matched)
+  done;
+  (* keep deterministic input order *)
+  List.filter (fun e -> List.memq e !matched) edges

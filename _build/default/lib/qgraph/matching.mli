@@ -1,0 +1,30 @@
+(** Maximal-cardinality matching on computational graphs.
+
+    The CLS scheduler (paper §3.3.2, Fig. 7) models schedulable gates as
+    edges of a graph whose vertices are qubits (1-qubit gates are
+    self-loops) and schedules a maximal matching each round. This module
+    works directly on labelled edge lists so parallel candidate gates
+    between the same pair of qubits are kept distinct.
+
+    [maximal_edges] is a deterministic greedy maximal matching followed by
+    single-swap augmentation (replace one matched edge by two vertex-
+    disjoint candidates). Greedy alone is a 1/2-approximation of maximum;
+    the augmentation pass empirically closes most of the gap, and
+    maximality — no schedulable gate left idle — is what the paper's
+    algorithm requires. *)
+
+type 'a edge = { u : int; v : int; label : 'a }
+(** An undirected edge between vertices [u] and [v]; [u = v] encodes a
+    1-qubit gate occupying a single vertex. *)
+
+val maximal_edges : n:int -> 'a edge list -> 'a edge list
+(** A maximal set of vertex-disjoint edges, in input order. [n] is the
+    number of vertices; raises [Invalid_argument] on out-of-range
+    endpoints. *)
+
+val is_matching : n:int -> 'a edge list -> bool
+(** No two edges share a vertex. *)
+
+val is_maximal : n:int -> candidates:'a edge list -> 'a edge list -> bool
+(** [is_maximal ~n ~candidates m]: no candidate edge could be added to [m]
+    without a vertex conflict. *)

@@ -1,0 +1,46 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let create seed = { state = mix (Int64.of_int seed) }
+let split t = { state = mix (next t) }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rand.int: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let shuffle t a =
+  for k = Array.length a - 1 downto 1 do
+    let j = int t (k + 1) in
+    let tmp = a.(k) in
+    a.(k) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rand.choose: empty array";
+  a.(int t (Array.length a))
+
+let pick_distinct t k n =
+  if k > n then invalid_arg "Rand.pick_distinct: k > n";
+  let a = Array.init n (fun v -> v) in
+  shuffle t a;
+  Array.to_list (Array.sub a 0 k)

@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random numbers for workload generation.
+
+    A SplitMix64 generator: fast, statistically solid for simulation
+    workloads, and fully reproducible from a seed, so every benchmark
+    instance in this repository is deterministic. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** A statistically independent child generator; the parent advances. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises on [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_distinct : t -> int -> int -> int list
+(** [pick_distinct t k n] draws [k] distinct values from [0, n).
+    Raises [Invalid_argument] when [k > n]. *)

@@ -1,0 +1,1 @@
+lib/qmap/placement.ml: Array Qgate Qgraph Qnum Topology

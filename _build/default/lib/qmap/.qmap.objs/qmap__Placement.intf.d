@@ -1,0 +1,1 @@
+lib/qmap/placement.mli: Qgate Qnum Topology

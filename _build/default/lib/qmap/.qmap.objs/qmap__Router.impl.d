@@ -1,0 +1,1 @@
+lib/qmap/router.ml: List Placement Qgate Topology

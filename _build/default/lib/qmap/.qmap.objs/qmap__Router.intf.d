@@ -1,0 +1,1 @@
+lib/qmap/router.mli: Placement Qgate Topology

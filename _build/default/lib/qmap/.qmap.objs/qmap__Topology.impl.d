@@ -1,0 +1,1 @@
+lib/qmap/topology.ml: Format List Qgraph

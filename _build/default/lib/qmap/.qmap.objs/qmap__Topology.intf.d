@@ -1,0 +1,1 @@
+lib/qmap/topology.mli: Format Qgraph

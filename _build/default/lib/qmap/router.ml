@@ -1,0 +1,75 @@
+let route ~topology ~placement ~support ~remap ~make_swap items =
+  let placement = ref placement in
+  let out = ref [] in
+  let emit x = out := x :: !out in
+  let adjacentize a_site b_site =
+    (* walk the occupant of [a_site] along a shortest path towards
+       [b_site], emitting SWAPs, until the two are neighbors; returns the
+       final site of the walked qubit *)
+    let rec go a_site =
+      if Topology.connected topology a_site b_site then a_site
+      else begin
+        match Topology.path topology a_site b_site with
+        | _ :: next :: _ ->
+          emit (make_swap a_site next);
+          placement := Placement.apply_swap !placement a_site next;
+          go next
+        | _ -> raise Not_found
+      end
+    in
+    go a_site
+  in
+  List.iter
+    (fun item ->
+      let logical_support = support item in
+      (match logical_support with
+       | [] | [ _ ] -> ()
+       | [ a; b ] ->
+         let sa = Placement.site_of !placement a
+         and sb = Placement.site_of !placement b in
+         if not (Topology.connected topology sa sb) then
+           ignore (adjacentize sa sb)
+       | wider ->
+         let sites = List.map (Placement.site_of !placement) wider in
+         let rec all_pairs_adjacent = function
+           | [] -> true
+           | s :: rest ->
+             List.for_all (fun r -> Topology.connected topology s r) rest
+             && all_pairs_adjacent rest
+         in
+         if not (all_pairs_adjacent sites) then
+           invalid_arg
+             "Router.route: instruction wider than 2 qubits is not site-local");
+      let p = !placement in
+      emit (remap (fun logical -> Placement.site_of p logical) item))
+    items;
+  (List.rev !out, !placement)
+
+let route_circuit ?placement ~topology circuit =
+  let placement =
+    match placement with
+    | Some p -> p
+    | None -> Placement.initial topology circuit
+  in
+  let items, final =
+    route ~topology ~placement ~support:Qgate.Gate.qubits
+      ~remap:Qgate.Gate.map_qubits
+      ~make_swap:(fun a b -> Qgate.Gate.swap a b)
+      (Qgate.Circuit.gates circuit)
+  in
+  (Qgate.Circuit.make (Topology.n_sites topology) items, final)
+
+let respects_topology ~topology circuit =
+  List.for_all
+    (fun g ->
+      match Qgate.Gate.qubits g with
+      | [] | [ _ ] -> true
+      | [ a; b ] -> Topology.connected topology a b
+      | wider ->
+        let rec ok = function
+          | [] -> true
+          | s :: rest ->
+            List.for_all (fun r -> Topology.connected topology s r) rest && ok rest
+        in
+        ok wider)
+    (Qgate.Circuit.gates circuit)

@@ -1,0 +1,31 @@
+(** SWAP-chain routing (paper §3.4.1).
+
+    Two-qubit operations between non-neighboring sites are prepended with
+    a sequence of SWAPs that walks one operand along a shortest path until
+    the operands are adjacent. The router is generic over the item type so
+    both plain gate streams and aggregated-instruction streams route
+    through the same code. *)
+
+val route :
+  topology:Topology.t ->
+  placement:Placement.t ->
+  support:('a -> int list) ->
+  remap:((int -> int) -> 'a -> 'a) ->
+  make_swap:(int -> int -> 'a) ->
+  'a list ->
+  'a list * Placement.t
+(** [route ~topology ~placement ~support ~remap ~make_swap items] returns
+    the physical-site item stream (inserted swaps built by [make_swap] on
+    site ids; items relabelled logical→site by [remap]) and the final
+    placement. Items of support > 2 must already be site-local: the
+    router raises [Invalid_argument] for non-adjacent supports wider than
+    two qubits. *)
+
+val route_circuit :
+  ?placement:Placement.t -> topology:Topology.t -> Qgate.Circuit.t ->
+  Qgate.Circuit.t * Placement.t
+(** Route a plain circuit (default placement: {!Placement.initial}). The
+    result's register is the device size; all 2-qubit gates are between
+    adjacent sites. *)
+
+val respects_topology : topology:Topology.t -> Qgate.Circuit.t -> bool

@@ -1,0 +1,58 @@
+type t = Line of int | Grid of Qgraph.Grid.t | Full of int
+
+let line n =
+  if n <= 0 then invalid_arg "Topology.line: non-positive size";
+  Line n
+
+let grid_for n = Grid (Qgraph.Grid.square_for n)
+
+let full n =
+  if n <= 0 then invalid_arg "Topology.full: non-positive size";
+  Full n
+
+let n_sites = function
+  | Line n -> n
+  | Grid g -> Qgraph.Grid.size g
+  | Full n -> n
+
+let connected t a b =
+  let n = n_sites t in
+  if a < 0 || b < 0 || a >= n || b >= n then
+    invalid_arg "Topology.connected: site out of range";
+  match t with
+  | Line _ -> abs (a - b) = 1
+  | Grid g -> Qgraph.Grid.adjacent g a b
+  | Full _ -> a <> b
+
+let graph = function
+  | Line n ->
+    Qgraph.Graph.of_edges n (List.init (n - 1) (fun k -> (k, k + 1)))
+  | Grid g -> Qgraph.Grid.graph g
+  | Full n ->
+    let edges = ref [] in
+    for a = 0 to n - 1 do
+      for b = a + 1 to n - 1 do
+        edges := (a, b) :: !edges
+      done
+    done;
+    Qgraph.Graph.of_edges n !edges
+
+let path t a b =
+  match t with
+  | Full _ -> if a = b then [ a ] else [ a; b ]
+  | Line _ ->
+    if a <= b then List.init (b - a + 1) (fun k -> a + k)
+    else List.init (a - b + 1) (fun k -> a - k)
+  | Grid _ -> Qgraph.Graph.shortest_path (graph t) a b
+
+let distance t a b =
+  match t with
+  | Full _ -> if a = b then 0 else 1
+  | Line _ -> abs (a - b)
+  | Grid g -> Qgraph.Grid.distance g a b
+
+let pp ppf = function
+  | Line n -> Format.fprintf ppf "line(%d)" n
+  | Grid g ->
+    Format.fprintf ppf "grid(%dx%d)" g.Qgraph.Grid.width g.Qgraph.Grid.height
+  | Full n -> Format.fprintf ppf "full(%d)" n

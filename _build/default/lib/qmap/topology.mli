@@ -1,0 +1,27 @@
+(** Device topologies.
+
+    The paper evaluates on a rectangular-grid qubit topology with
+    nearest-neighbor 2-qubit operations (§3.4.1); the motivating example
+    uses 1-D nearest-neighbor connectivity. *)
+
+type t =
+  | Line of int
+  | Grid of Qgraph.Grid.t
+  | Full of int  (** all-to-all; makes mapping a no-op *)
+
+val line : int -> t
+val grid_for : int -> t
+(** Smallest near-square grid with at least [n] sites. *)
+
+val full : int -> t
+
+val n_sites : t -> int
+val connected : t -> int -> int -> bool
+val graph : t -> Qgraph.Graph.t
+val path : t -> int -> int -> int list
+(** A shortest site path (inclusive). Raises [Not_found] if disconnected. *)
+
+val distance : t -> int -> int -> int
+(** Hop distance. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/qnum/cmat.ml: Array Cx Float Format Hashtbl List Printf Vec

@@ -1,0 +1,1 @@
+lib/qnum/cmat.mli: Cx Format Vec

@@ -1,0 +1,1 @@
+lib/qnum/cx.ml: Float Format

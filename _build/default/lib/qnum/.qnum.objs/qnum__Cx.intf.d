@@ -1,0 +1,1 @@
+lib/qnum/cx.mli: Format

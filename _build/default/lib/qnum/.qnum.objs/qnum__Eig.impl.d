@@ -1,0 +1,1 @@
+lib/qnum/eig.ml: Array Cmat Cx Poly

@@ -1,0 +1,1 @@
+lib/qnum/eig.mli: Cmat Cx Poly

@@ -1,0 +1,1 @@
+lib/qnum/expm.ml: Cmat Cx Float

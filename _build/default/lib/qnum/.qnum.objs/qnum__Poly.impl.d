@@ -1,0 +1,1 @@
+lib/qnum/poly.ml: Array Cx Float

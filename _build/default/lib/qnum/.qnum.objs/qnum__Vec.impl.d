@@ -1,0 +1,1 @@
+lib/qnum/vec.ml: Array Cx Float Format

@@ -1,0 +1,1 @@
+lib/qnum/vec.mli: Cx Format

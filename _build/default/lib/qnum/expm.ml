@@ -1,0 +1,31 @@
+let expm ?(tol = 1e-14) m =
+  if not (Cmat.is_square m) then invalid_arg "Expm.expm: not square";
+  let n = Cmat.rows m in
+  if n = 0 then Cmat.identity 0
+  else begin
+    (* scale so the scaled matrix has small norm, Taylor-expand, then square *)
+    let norm = Cmat.frobenius_norm m in
+    let s =
+      if norm <= 0.5 then 0
+      else int_of_float (Float.ceil (Float.log (norm /. 0.5) /. Float.log 2.))
+    in
+    let scaled = Cmat.scale_real (1. /. Float.pow 2. (float_of_int s)) m in
+    let sum = ref (Cmat.identity n) in
+    let term = ref (Cmat.identity n) in
+    let k = ref 1 in
+    let continue_ = ref true in
+    while !continue_ do
+      term := Cmat.scale_real (1. /. float_of_int !k) (Cmat.mul !term scaled);
+      sum := Cmat.add !sum !term;
+      incr k;
+      if Cmat.frobenius_norm !term <= tol || !k > 60 then continue_ := false
+    done;
+    let result = ref !sum in
+    for _ = 1 to s do
+      result := Cmat.mul !result !result
+    done;
+    !result
+  end
+
+let propagator h dt =
+  expm (Cmat.scale (Cx.make 0. (-.dt)) h)

@@ -1,0 +1,13 @@
+(** Matrix exponential via scaling-and-squaring with a Taylor series.
+
+    Accurate and simple for the small (≤ 2¹⁰) matrices this project
+    manipulates. For skew-Hermitian arguments (the [-iH·dt] propagator case)
+    the result is unitary to within the series tolerance. *)
+
+val expm : ?tol:float -> Cmat.t -> Cmat.t
+(** [expm m] is e^m for square [m]. [tol] bounds the truncated-term norm
+    (default [1e-14]). Raises [Invalid_argument] on non-square input. *)
+
+val propagator : Cmat.t -> float -> Cmat.t
+(** [propagator h dt] is [exp (-i·h·dt)] for a Hamiltonian [h]: the
+    Schrödinger time-evolution operator over a step of duration [dt]. *)

@@ -1,0 +1,81 @@
+type t = Cx.t array
+
+let eval p z =
+  let acc = ref Cx.zero in
+  for k = Array.length p - 1 downto 0 do
+    acc := Cx.add (Cx.mul !acc z) p.(k)
+  done;
+  !acc
+
+let derive p =
+  let n = Array.length p in
+  if n <= 1 then [| Cx.zero |]
+  else Array.init (n - 1) (fun k -> Cx.scale (float_of_int (k + 1)) p.(k + 1))
+
+let degree p =
+  let d = ref (-1) in
+  Array.iteri (fun k c -> if not (Cx.is_zero ~eps:0. c) then d := k) p;
+  !d
+
+let monic p =
+  let d = degree p in
+  if d < 0 then invalid_arg "Poly.monic: zero polynomial";
+  let lead = p.(d) in
+  Array.init (d + 1) (fun k -> Cx.div p.(k) lead)
+
+let roots ?(iterations = 500) ?(tol = 1e-13) p =
+  let p = monic p in
+  let n = Array.length p - 1 in
+  if n < 1 then invalid_arg "Poly.roots: degree must be at least 1";
+  (* start from non-real points spread on a circle sized by a root bound *)
+  let bound =
+    Array.fold_left (fun acc c -> Float.max acc (Cx.abs c)) 0. p +. 1.
+  in
+  let z =
+    Array.init n (fun k ->
+        Cx.polar (0.5 *. bound)
+          ((2. *. Float.pi *. float_of_int k /. float_of_int n) +. 0.4))
+  in
+  let step () =
+    let worst = ref 0. in
+    for k = 0 to n - 1 do
+      let denom = ref Cx.one in
+      for j = 0 to n - 1 do
+        if j <> k then denom := Cx.mul !denom (Cx.sub z.(k) z.(j))
+      done;
+      if Cx.abs !denom > 1e-300 then begin
+        let delta = Cx.div (eval p z.(k)) !denom in
+        z.(k) <- Cx.sub z.(k) delta;
+        let d = Cx.abs delta in
+        if d > !worst then worst := d
+      end
+      else
+        (* perturb coincident iterates so the iteration can separate them *)
+        z.(k) <- Cx.add z.(k) (Cx.make 1e-6 1e-6)
+    done;
+    !worst
+  in
+  let rec loop remaining =
+    if remaining > 0 then begin
+      let change = step () in
+      if change > tol then loop (remaining - 1)
+    end
+  in
+  loop iterations;
+  z
+
+let of_roots rs =
+  let p = ref [| Cx.one |] in
+  Array.iter
+    (fun r ->
+      let old = !p in
+      let n = Array.length old in
+      let next = Array.make (n + 1) Cx.zero in
+      (* multiply by (z - r) *)
+      for k = 0 to n - 1 do
+        next.(k + 1) <- Cx.add next.(k + 1) old.(k);
+        next.(k) <- Cx.sub next.(k) (Cx.mul r old.(k))
+      done;
+      p := next)
+    rs;
+  !p

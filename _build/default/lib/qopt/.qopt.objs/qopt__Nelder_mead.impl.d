@@ -1,0 +1,1 @@
+lib/qopt/nelder_mead.ml: Array Float

@@ -1,0 +1,117 @@
+type result = {
+  x : float array;
+  value : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+let minimize ?(max_iterations = 500) ?(tolerance = 1e-8) ?(step = 0.5) ~f x0 =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Nelder_mead.minimize: empty start point";
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    f x
+  in
+  (* simplex of n+1 vertices, kept sorted by value *)
+  let vertices =
+    Array.init (n + 1) (fun k ->
+        let x = Array.copy x0 in
+        if k > 0 then x.(k - 1) <- x.(k - 1) +. step;
+        (x, 0.))
+  in
+  Array.iteri (fun k (x, _) -> vertices.(k) <- (x, eval x)) vertices;
+  let sort () =
+    Array.sort (fun (_, a) (_, b) -> compare a b) vertices
+  in
+  sort ();
+  let centroid () =
+    (* of all but the worst vertex *)
+    let c = Array.make n 0. in
+    for k = 0 to n - 1 do
+      let x, _ = vertices.(k) in
+      Array.iteri (fun i v -> c.(i) <- c.(i) +. (v /. float_of_int n)) x
+    done;
+    c
+  in
+  let combine a wa b wb = Array.init n (fun i -> (wa *. a.(i)) +. (wb *. b.(i))) in
+  let iterations = ref 0 in
+  let converged = ref false in
+  (try
+     for iter = 1 to max_iterations do
+       iterations := iter;
+       let _, best = vertices.(0) and _, worst = vertices.(n) in
+       if Float.abs (worst -. best) <= tolerance *. (1. +. Float.abs best)
+       then begin
+         converged := true;
+         raise Exit
+       end;
+       let c = centroid () in
+       let xw, fw = vertices.(n) in
+       let _, f_second_worst = vertices.(n - 1) in
+       let f_best = snd vertices.(0) in
+       (* reflection *)
+       let xr = combine c 2. xw (-1.) in
+       let fr = eval xr in
+       if fr < f_best then begin
+         (* expansion *)
+         let xe = combine c 3. xw (-2.) in
+         let fe = eval xe in
+         if fe < fr then vertices.(n) <- (xe, fe) else vertices.(n) <- (xr, fr)
+       end
+       else if fr < f_second_worst then vertices.(n) <- (xr, fr)
+       else begin
+         (* contraction (outside if the reflection improved on the worst) *)
+         let xc, fc =
+           if fr < fw then begin
+             let x = combine c 1.5 xw (-0.5) in
+             (x, eval x)
+           end
+           else begin
+             let x = combine c 0.5 xw 0.5 in
+             (x, eval x)
+           end
+         in
+         if fc < Float.min fr fw then vertices.(n) <- (xc, fc)
+         else begin
+           (* shrink towards the best vertex *)
+           let xb, _ = vertices.(0) in
+           for k = 1 to n do
+             let xk, _ = vertices.(k) in
+             let x = combine xb 0.5 xk 0.5 in
+             vertices.(k) <- (x, eval x)
+           done
+         end
+       end;
+       sort ()
+     done
+   with Exit -> ());
+  let x, value = vertices.(0) in
+  { x = Array.copy x;
+    value;
+    iterations = !iterations;
+    evaluations = !evaluations;
+    converged = !converged }
+
+let minimize_scalar ?(max_iterations = 200) ?(tolerance = 1e-9) ~f lo hi =
+  if hi <= lo then invalid_arg "Nelder_mead.minimize_scalar: empty interval";
+  let phi = (Float.sqrt 5. -. 1.) /. 2. in
+  let rec go a b x1 x2 f1 f2 remaining =
+    if remaining = 0 || b -. a <= tolerance then begin
+      let x = (a +. b) /. 2. in
+      (x, f x)
+    end
+    else if f1 < f2 then begin
+      let b = x2 and x2 = x1 and f2 = f1 in
+      let x1 = b -. (phi *. (b -. a)) in
+      go a b x1 x2 (f x1) f2 (remaining - 1)
+    end
+    else begin
+      let a = x1 and x1 = x2 and f1 = f2 in
+      let x2 = a +. (phi *. (b -. a)) in
+      go a b x1 x2 f1 (f x2) (remaining - 1)
+    end
+  in
+  let x1 = hi -. (phi *. (hi -. lo)) and x2 = lo +. (phi *. (hi -. lo)) in
+  go lo hi x1 x2 (f x1) (f x2) max_iterations

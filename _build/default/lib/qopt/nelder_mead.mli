@@ -1,0 +1,38 @@
+(** Derivative-free minimization (Nelder–Mead simplex).
+
+    The classical-optimizer half of the paper's target workloads: QAOA and
+    VQE are hybrid loops in which a classical optimizer tunes circuit
+    angles against a measured expectation value (paper §1, [8, 36, 44]).
+    Nelder–Mead is the standard gradient-free choice when the objective
+    comes from sampling a quantum device. *)
+
+type result = {
+  x : float array;  (** best point found *)
+  value : float;
+  iterations : int;
+  evaluations : int;
+  converged : bool;  (** simplex spread fell below [tolerance] *)
+}
+
+val minimize :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  ?step:float ->
+  f:(float array -> float) ->
+  float array ->
+  result
+(** [minimize ~f x0] runs the standard (α=1, γ=2, ρ=1/2, σ=1/2) simplex
+    from [x0], with the initial simplex offset by [step] (default 0.5)
+    per coordinate. Defaults: 500 iterations, tolerance 1e-8 on the
+    value spread. Deterministic. Raises [Invalid_argument] on an empty
+    start point. *)
+
+val minimize_scalar :
+  ?max_iterations:int ->
+  ?tolerance:float ->
+  f:(float -> float) ->
+  float ->
+  float ->
+  float * float
+(** [minimize_scalar ~f lo hi]: golden-section search for a unimodal 1-D
+    objective on [lo, hi]; returns (argmin, min). *)

@@ -1,0 +1,1 @@
+lib/qsched/alap.ml: Float Hashtbl List Qgdg Schedule

@@ -1,0 +1,1 @@
+lib/qsched/alap.mli: Qgdg Schedule

@@ -1,0 +1,1 @@
+lib/qsched/asap.ml: List Qgdg Schedule

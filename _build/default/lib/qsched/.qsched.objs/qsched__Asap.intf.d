@@ -1,0 +1,1 @@
+lib/qsched/asap.mli: Qgdg Schedule

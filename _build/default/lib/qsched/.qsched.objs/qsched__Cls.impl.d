@@ -1,0 +1,1 @@
+lib/qsched/cls.ml: Array Float Hashtbl List Qgdg Qgraph Schedule

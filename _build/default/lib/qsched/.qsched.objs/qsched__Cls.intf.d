@@ -1,0 +1,1 @@
+lib/qsched/cls.mli: Qgdg Schedule

@@ -1,0 +1,1 @@
+lib/qsched/schedule.ml: Float Format Hashtbl List Option Qgate Qgdg

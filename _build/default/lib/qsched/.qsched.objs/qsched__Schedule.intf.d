@@ -1,0 +1,1 @@
+lib/qsched/schedule.mli: Format Qgate Qgdg

@@ -1,0 +1,9 @@
+let schedule g =
+  let timed, _ = Qgdg.Gdg.asap g in
+  let entries =
+    List.map
+      (fun (id, (start, finish)) ->
+        { Schedule.inst = Qgdg.Gdg.find g id; start; finish })
+      timed
+  in
+  Schedule.make ~n_qubits:(Qgdg.Gdg.n_qubits g) entries

@@ -1,0 +1,108 @@
+module Inst = Qgdg.Inst
+
+let schedule g =
+  let n_qubits = Qgdg.Gdg.n_qubits g in
+  let groups = Qgdg.Comm_group.build g in
+  (* per-qubit queue of remaining groups; head is the current group *)
+  let queue = Array.init (max 1 n_qubits) (fun q ->
+      ref (Qgdg.Comm_group.groups_on groups q))
+  in
+  let total = Qgdg.Gdg.size g in
+  let scheduled : (int, Schedule.entry) Hashtbl.t = Hashtbl.create total in
+  let qubit_free = Array.make (max 1 n_qubits) 0. in
+  let in_current_group id q =
+    match !(queue.(q)) with
+    | [] -> false
+    | current :: _ -> List.mem id current
+  in
+  let drop_from_group id q =
+    match !(queue.(q)) with
+    | [] -> ()
+    | current :: rest ->
+      let current = List.filter (( <> ) id) current in
+      queue.(q) := if current = [] then rest else current :: rest
+  in
+  let topo = Qgdg.Gdg.insts g in
+  let eps = 1e-9 in
+  let time = ref 0. in
+  let entries = ref [] in
+  while Hashtbl.length scheduled < total do
+    let candidates =
+      List.filter
+        (fun (i : Inst.t) ->
+          (not (Hashtbl.mem scheduled i.Inst.id))
+          && List.for_all
+               (fun q ->
+                 in_current_group i.Inst.id q
+                 && qubit_free.(q) <= !time +. eps)
+               i.Inst.qubits)
+        topo
+    in
+    let claimed = Array.make (max 1 n_qubits) false in
+    let select (i : Inst.t) =
+      let entry =
+        { Schedule.inst = i;
+          start = !time;
+          finish = !time +. i.Inst.latency }
+      in
+      Hashtbl.replace scheduled i.Inst.id entry;
+      entries := entry :: !entries;
+      List.iter
+        (fun q ->
+          claimed.(q) <- true;
+          qubit_free.(q) <- entry.Schedule.finish;
+          drop_from_group i.Inst.id q)
+        i.Inst.qubits
+    in
+    if candidates <> [] then begin
+      (* wide instructions claim greedily; the rest go through matching *)
+      let wide, narrow = List.partition (fun i -> Inst.width i > 2) candidates in
+      List.iter
+        (fun (i : Inst.t) ->
+          if List.for_all (fun q -> not claimed.(q)) i.Inst.qubits then select i)
+        wide;
+      let edges =
+        List.filter_map
+          (fun (i : Inst.t) ->
+            if List.exists (fun q -> claimed.(q)) i.Inst.qubits then None
+            else
+              match i.Inst.qubits with
+              | [ q ] -> Some { Qgraph.Matching.u = q; v = q; label = i }
+              | [ q; r ] -> Some { Qgraph.Matching.u = q; v = r; label = i }
+              | _ -> None)
+          narrow
+      in
+      let chosen = Qgraph.Matching.maximal_edges ~n:n_qubits edges in
+      List.iter (fun e -> select e.Qgraph.Matching.label) chosen
+    end;
+    if Hashtbl.length scheduled < total then begin
+      let startable_now =
+        List.exists
+          (fun (i : Inst.t) ->
+            (not (Hashtbl.mem scheduled i.Inst.id))
+            && List.for_all
+                 (fun q ->
+                   in_current_group i.Inst.id q
+                   && qubit_free.(q) <= !time +. eps)
+                 i.Inst.qubits)
+          topo
+      in
+      if not startable_now then begin
+        (* advance to the next completion event *)
+        let next =
+          Hashtbl.fold
+            (fun _ e acc ->
+              if e.Schedule.finish > !time +. eps then
+                Float.min acc e.Schedule.finish
+              else acc)
+            scheduled Float.infinity
+        in
+        if next = Float.infinity then
+          failwith "Cls.schedule: deadlock (malformed dependence graph)";
+        time := next
+      end
+    end
+  done;
+  Schedule.make ~n_qubits !entries
+
+let makespan g = (schedule g).Schedule.makespan

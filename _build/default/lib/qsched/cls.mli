@@ -1,0 +1,15 @@
+(** Commutativity-aware Logical Scheduling — CLS (paper §3.3.2, Alg. 1).
+
+    An event-driven list scheduler over the GDG's per-qubit commutation
+    groups: at each time point the candidate instructions are those whose
+    every qubit has them in its {e current} commutation group and free;
+    conflicts (shared qubits) are resolved by scheduling a maximal
+    matching of the candidates' computational graph (qubits as vertices,
+    instructions as edges, 1-qubit instructions as self-loops — Fig. 7).
+    Instructions wider than two qubits (post-aggregation) claim their
+    qubits greedily before the matching round. *)
+
+val schedule : Qgdg.Gdg.t -> Schedule.t
+(** Raises [Failure] on a malformed (cyclic) GDG. *)
+
+val makespan : Qgdg.Gdg.t -> float

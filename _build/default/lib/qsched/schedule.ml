@@ -1,0 +1,104 @@
+type entry = { inst : Qgdg.Inst.t; start : float; finish : float }
+
+type t = { n_qubits : int; entries : entry list; makespan : float }
+
+let compare_entries a b =
+  match compare a.start b.start with
+  | 0 -> compare a.inst.Qgdg.Inst.id b.inst.Qgdg.Inst.id
+  | c -> c
+
+let make ~n_qubits entries =
+  List.iter
+    (fun e ->
+      if e.finish < e.start then invalid_arg "Schedule.make: negative duration")
+    entries;
+  let entries = List.sort compare_entries entries in
+  let makespan = List.fold_left (fun acc e -> Float.max acc e.finish) 0. entries in
+  { n_qubits; entries; makespan }
+
+let no_qubit_overlap t =
+  let by_qubit = Hashtbl.create 32 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun q ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_qubit q) in
+          Hashtbl.replace by_qubit q (e :: prev))
+        e.inst.Qgdg.Inst.qubits)
+    t.entries;
+  let ok = ref true in
+  Hashtbl.iter
+    (fun _ es ->
+      (* entries arrive in reverse start order; adjacent pairs suffice *)
+      let sorted = List.sort compare_entries es in
+      let rec walk = function
+        | a :: (b :: _ as rest) ->
+          if b.start < a.finish -. 1e-9 then ok := false;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk sorted)
+    by_qubit;
+  !ok
+
+let respects_order ?(reorderable = fun _ _ -> false) ~original t =
+  let position = Hashtbl.create 64 in
+  List.iteri
+    (fun k e -> Hashtbl.replace position e.inst.Qgdg.Inst.id k)
+    t.entries;
+  let ok = ref true in
+  for q = 0 to Qgdg.Gdg.n_qubits original - 1 do
+    let chain = Qgdg.Gdg.chain original q in
+    let rec pairs = function
+      | [] -> ()
+      | (a : Qgdg.Inst.t) :: rest ->
+        List.iter
+          (fun (b : Qgdg.Inst.t) ->
+            match
+              (Hashtbl.find_opt position a.Qgdg.Inst.id,
+               Hashtbl.find_opt position b.Qgdg.Inst.id)
+            with
+            | Some pa, Some pb ->
+              if pa > pb && not (reorderable a b) then ok := false
+            | _ -> ok := false)
+          rest;
+        pairs rest
+    in
+    pairs chain
+  done;
+  !ok
+
+let qubit_busy_time t q =
+  List.fold_left
+    (fun acc e ->
+      if Qgdg.Inst.acts_on e.inst q then acc +. (e.finish -. e.start) else acc)
+    0. t.entries
+
+let utilization t =
+  if t.makespan <= 0. || t.n_qubits = 0 then 0.
+  else begin
+    let busy =
+      List.fold_left
+        (fun acc e ->
+          acc
+          +. ((e.finish -. e.start)
+              *. float_of_int (Qgdg.Inst.width e.inst)))
+        0. t.entries
+    in
+    busy /. (float_of_int t.n_qubits *. t.makespan)
+  end
+
+let linearize t = List.map (fun e -> e.inst) t.entries
+
+let to_circuit t =
+  Qgate.Circuit.make t.n_qubits
+    (List.concat_map (fun e -> e.inst.Qgdg.Inst.gates) t.entries)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>schedule: makespan %.2f ns@," t.makespan;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  [%8.2f, %8.2f] %a@," e.start e.finish Qgdg.Inst.pp
+        e.inst)
+    t.entries;
+  Format.fprintf ppf "@]"

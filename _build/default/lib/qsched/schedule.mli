@@ -1,0 +1,45 @@
+(** Timed instruction schedules.
+
+    A schedule assigns a start time to every instruction; qubits are
+    exclusive resources for the instruction's duration. The makespan is
+    the circuit's pulse latency — the quantity every experiment in the
+    paper reports. *)
+
+type entry = { inst : Qgdg.Inst.t; start : float; finish : float }
+
+type t = {
+  n_qubits : int;
+  entries : entry list;  (** sorted by start time (ties by id) *)
+  makespan : float;
+}
+
+val make : n_qubits:int -> entry list -> t
+(** Sorts entries and computes the makespan. Raises [Invalid_argument]
+    when an entry has [finish < start]. *)
+
+val no_qubit_overlap : t -> bool
+(** No two entries occupy a shared qubit at overlapping times. *)
+
+val respects_order : ?reorderable:(Qgdg.Inst.t -> Qgdg.Inst.t -> bool) ->
+  original:Qgdg.Gdg.t -> t -> bool
+(** Every pair of instructions sharing a qubit either runs in its original
+    chain order or is [reorderable] (default: never) — the legality
+    condition for commutativity-aware schedules. *)
+
+val utilization : t -> float
+(** Busy fraction: Σ (instruction duration × width) / (n_qubits ×
+    makespan) ∈ [0, 1]. The resource-efficiency counterpart of the
+    makespan — parallel circuits score high, serial ones low. 0 for an
+    empty schedule. *)
+
+val qubit_busy_time : t -> int -> float
+(** Total time the qubit spends inside instructions. *)
+
+val linearize : t -> Qgdg.Inst.t list
+(** Instructions by start time — a sequential order realizing the
+    schedule. *)
+
+val to_circuit : t -> Qgate.Circuit.t
+(** Member gates of the linearization, as a circuit. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/qsim/density.ml: Array Cmat Cx Float List Qgate Qnum State Vec

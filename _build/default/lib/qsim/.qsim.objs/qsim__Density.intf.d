@@ -1,0 +1,1 @@
+lib/qsim/density.mli: Qgate Qnum State

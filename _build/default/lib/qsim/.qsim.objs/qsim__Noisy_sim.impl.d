@@ -1,0 +1,1 @@
+lib/qsim/noisy_sim.ml: Array Density Float List Qgate Qgdg Qsched State

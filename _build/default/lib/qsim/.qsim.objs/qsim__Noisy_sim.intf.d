@@ -1,0 +1,1 @@
+lib/qsim/noisy_sim.mli: Density Qsched

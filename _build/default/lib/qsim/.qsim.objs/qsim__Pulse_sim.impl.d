@@ -1,0 +1,1 @@
+lib/qsim/pulse_sim.ml: Array Expm List Qcontrol Qnum State

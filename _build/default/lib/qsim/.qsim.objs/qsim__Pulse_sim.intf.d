@@ -1,0 +1,1 @@
+lib/qsim/pulse_sim.mli: Qcontrol Qnum State

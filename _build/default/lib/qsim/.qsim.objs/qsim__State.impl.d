@@ -1,0 +1,1 @@
+lib/qsim/state.ml: Array Cmat Cx Float List Qgate Qgraph Qnum Vec

@@ -1,0 +1,1 @@
+lib/qsim/state.mli: Qgate Qgraph Qnum

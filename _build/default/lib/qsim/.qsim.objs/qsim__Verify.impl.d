@@ -1,0 +1,1 @@
+lib/qsim/verify.ml: Array Float Format List Printf Qcontrol Qgate Qgraph Qnum

@@ -1,0 +1,1 @@
+lib/qsim/verify.mli: Format Qcontrol Qgate Qgraph

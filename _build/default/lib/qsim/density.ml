@@ -1,0 +1,92 @@
+open Qnum
+
+type t = { n : int; rho : Cmat.t }
+
+let n_qubits d = d.n
+
+let of_state st =
+  let v = State.amplitudes st in
+  let dim = Vec.dim v in
+  let rho =
+    Cmat.init dim dim (fun i j -> Cx.mul (Vec.get v i) (Cx.conj (Vec.get v j)))
+  in
+  { n = State.n_qubits st; rho }
+
+let zero n = of_state (State.zero n)
+let matrix d = Cmat.copy d.rho
+let trace d = Cx.re (Cmat.trace d.rho)
+let purity d = Cx.re (Cmat.trace (Cmat.mul d.rho d.rho))
+
+let lift ~n ~targets u = Cmat.embed ~n_qubits:n ~targets u
+
+let apply_unitary d ~targets u =
+  let full = lift ~n:d.n ~targets u in
+  { d with rho = Cmat.mul full (Cmat.mul d.rho (Cmat.dagger full)) }
+
+let apply_gate d g =
+  apply_unitary d ~targets:(Qgate.Gate.qubits g)
+    (Qgate.Unitary.of_kind g.Qgate.Gate.kind)
+
+let apply_circuit d circuit =
+  if Qgate.Circuit.n_qubits circuit <> d.n then
+    invalid_arg "Density.apply_circuit: register size mismatch";
+  List.fold_left apply_gate d (Qgate.Circuit.gates circuit)
+
+let apply_kraus d ~qubit ops =
+  let completeness =
+    List.fold_left
+      (fun acc k -> Cmat.add acc (Cmat.mul (Cmat.dagger k) k))
+      (Cmat.zeros 2 2) ops
+  in
+  if not (Cmat.equal ~eps:1e-9 completeness (Cmat.identity 2)) then
+    invalid_arg "Density.apply_kraus: operators are not trace-preserving";
+  let rho =
+    List.fold_left
+      (fun acc k ->
+        let full = lift ~n:d.n ~targets:[ qubit ] k in
+        Cmat.add acc (Cmat.mul full (Cmat.mul d.rho (Cmat.dagger full))))
+      (Cmat.zeros (Cmat.rows d.rho) (Cmat.cols d.rho))
+      ops
+  in
+  { d with rho }
+
+let amplitude_damping ~gamma =
+  if gamma < 0. || gamma > 1. then
+    invalid_arg "Density.amplitude_damping: gamma outside [0, 1]";
+  [ Cmat.of_lists
+      [ [ Cx.one; Cx.zero ]; [ Cx.zero; Cx.of_float (Float.sqrt (1. -. gamma)) ] ];
+    Cmat.of_lists
+      [ [ Cx.zero; Cx.of_float (Float.sqrt gamma) ]; [ Cx.zero; Cx.zero ] ] ]
+
+let phase_damping ~lambda =
+  if lambda < 0. || lambda > 1. then
+    invalid_arg "Density.phase_damping: lambda outside [0, 1]";
+  [ Cmat.of_lists
+      [ [ Cx.one; Cx.zero ];
+        [ Cx.zero; Cx.of_float (Float.sqrt (1. -. lambda)) ] ];
+    Cmat.of_lists
+      [ [ Cx.zero; Cx.zero ]; [ Cx.zero; Cx.of_float (Float.sqrt lambda) ] ] ]
+
+let idle ~t1 ~t2 ~duration d qubit =
+  if t1 <= 0. || t2 <= 0. then invalid_arg "Density.idle: non-positive T1/T2";
+  if t2 > 2. *. t1 +. 1e-9 then
+    invalid_arg "Density.idle: T2 must not exceed 2*T1";
+  if duration <= 0. then d
+  else begin
+    let gamma = 1. -. Float.exp (-.duration /. t1) in
+    (* total off-diagonal decay must be e^{-t/T2}; amplitude damping alone
+       contributes sqrt(1-γ) = e^{-t/(2 T1)}, pure dephasing supplies the
+       rest *)
+    let remaining = Float.exp (-.duration /. t2) /. Float.sqrt (1. -. gamma) in
+    let lambda = Float.max 0. (1. -. (remaining *. remaining)) in
+    let d = apply_kraus d ~qubit (amplitude_damping ~gamma) in
+    apply_kraus d ~qubit (phase_damping ~lambda)
+  end
+
+let fidelity_to_state d st =
+  let v = State.amplitudes st in
+  let rv = Cmat.apply d.rho v in
+  Cx.re (Vec.dot v rv)
+
+let probabilities d =
+  Array.init (Cmat.rows d.rho) (fun k -> Cx.re (Cmat.get d.rho k k))

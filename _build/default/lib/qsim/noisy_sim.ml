@@ -1,0 +1,45 @@
+type noise = { t1 : float; t2 : float }
+
+let default_noise = { t1 = 30_000.; t2 = 15_000. }
+
+let run_schedule ?(noise = default_noise) schedule =
+  let n = schedule.Qsched.Schedule.n_qubits in
+  if n > 10 then invalid_arg "Noisy_sim.run_schedule: register too large";
+  let clock = Array.make n 0. in
+  let idle_to d q time =
+    let gap = time -. clock.(q) in
+    clock.(q) <- time;
+    if gap > 1e-12 then
+      Density.idle ~t1:noise.t1 ~t2:noise.t2 ~duration:gap d q
+    else d
+  in
+  let step d (e : Qsched.Schedule.entry) =
+    let inst = e.Qsched.Schedule.inst in
+    let support, u = Qgdg.Inst.unitary_on_support inst in
+    let d = List.fold_left (fun d q -> idle_to d q e.Qsched.Schedule.start) d support in
+    let d = Density.apply_unitary d ~targets:support u in
+    (* decoherence accumulated while the pulse runs *)
+    List.fold_left (fun d q -> idle_to d q e.Qsched.Schedule.finish) d support
+  in
+  let d =
+    List.fold_left step (Density.zero n) schedule.Qsched.Schedule.entries
+  in
+  let makespan = schedule.Qsched.Schedule.makespan in
+  List.fold_left
+    (fun d q -> idle_to d q makespan)
+    d
+    (List.init n (fun q -> q))
+
+let noiseless_output schedule =
+  let circuit = Qsched.Schedule.to_circuit schedule in
+  State.apply_circuit (State.zero (Qgate.Circuit.n_qubits circuit)) circuit
+
+let schedule_fidelity ?noise schedule =
+  Density.fidelity_to_state (run_schedule ?noise schedule)
+    (noiseless_output schedule)
+
+let survival_estimate ?(noise = default_noise) ~n_qubits latency =
+  let per_qubit =
+    Float.exp (-.latency /. noise.t1) *. Float.exp (-.latency /. noise.t2)
+  in
+  Float.pow per_qubit (float_of_int n_qubits)

@@ -1,0 +1,28 @@
+open Qnum
+
+let unitary ~device ~n_qubits ~couplings pulse =
+  Qcontrol.Grape.propagator_of_pulse ~device ~n_qubits ~couplings pulse
+
+let evolve ~device ~couplings st pulse =
+  let n_qubits = State.n_qubits st in
+  let chans =
+    Qcontrol.Hamiltonian.channels ~device ~n_qubits ~couplings
+  in
+  Array.fold_left
+    (fun acc amps ->
+      let h = Qcontrol.Hamiltonian.total chans amps in
+      let prop = Expm.propagator h pulse.Qcontrol.Pulse.dt in
+      State.apply_unitary acc ~targets:(List.init n_qubits (fun q -> q)) prop)
+    st pulse.Qcontrol.Pulse.amps
+
+let leakage_proxy pulse =
+  let total = ref 0. and count = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun v ->
+          total := !total +. (v *. v);
+          incr count)
+        row)
+    pulse.Qcontrol.Pulse.amps;
+  if !count = 0 then 0. else !total /. float_of_int !count

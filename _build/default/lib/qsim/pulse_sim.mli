@@ -1,0 +1,26 @@
+(** Schrödinger integration of piecewise-constant pulse sequences.
+
+    The verification backend's dynamical half (paper §3.6): given the
+    control channels of an aggregate and a pulse sequence, compute the
+    realized unitary (exact per-slice exponentials) or evolve a state. *)
+
+val unitary :
+  device:Qcontrol.Device.t ->
+  n_qubits:int ->
+  couplings:(int * int) list ->
+  Qcontrol.Pulse.t ->
+  Qnum.Cmat.t
+(** Time-ordered product of the slice propagators. *)
+
+val evolve :
+  device:Qcontrol.Device.t ->
+  couplings:(int * int) list ->
+  State.t ->
+  Qcontrol.Pulse.t ->
+  State.t
+(** Apply the pulse to a state (same physics, state-vector side). *)
+
+val leakage_proxy : Qcontrol.Pulse.t -> float
+(** Mean squared amplitude over all channels and slices — the voltage-
+    fluctuation/leakage regularizer the paper's optimal control unit
+    penalizes; reported by the verification harness. *)

@@ -1,0 +1,128 @@
+open Qnum
+
+type t = { n : int; vec : Vec.t }
+
+let n_qubits st = st.n
+let dim st = Vec.dim st.vec
+
+let zero n =
+  if n < 0 || n > 24 then invalid_arg "State.zero: unsupported register size";
+  let vec = Vec.create (1 lsl n) in
+  Vec.set vec 0 Cx.one;
+  { n; vec }
+
+let basis n k =
+  if n < 0 || n > 24 then invalid_arg "State.basis: unsupported register size";
+  if k < 0 || k >= 1 lsl n then invalid_arg "State.basis: index out of range";
+  { n; vec = Vec.basis (1 lsl n) k }
+
+let of_vec n vec =
+  if Vec.dim vec <> 1 lsl n then invalid_arg "State.of_vec: dimension mismatch";
+  if Float.abs (Vec.norm2 vec -. 1.) > 1e-6 then
+    invalid_arg "State.of_vec: not normalized";
+  { n; vec = Vec.copy vec }
+
+let amplitudes st = Vec.copy st.vec
+let amplitude st k = Vec.get st.vec k
+
+let apply_unitary st ~targets u =
+  let k = List.length targets in
+  if Cmat.rows u <> 1 lsl k || Cmat.cols u <> 1 lsl k then
+    invalid_arg "State.apply_unitary: unitary/target mismatch";
+  List.iter
+    (fun q ->
+      if q < 0 || q >= st.n then invalid_arg "State.apply_unitary: bad qubit")
+    targets;
+  let bit_of_qubit q = st.n - 1 - q in
+  let target_bits = Array.of_list (List.map bit_of_qubit targets) in
+  let n_rest = st.n - k in
+  let rest_bits =
+    List.filter
+      (fun b -> not (Array.exists (( = ) b) target_bits))
+      (List.init st.n (fun b -> b))
+    |> Array.of_list
+  in
+  let src = st.vec in
+  let dst = Vec.create (Vec.dim src) in
+  let sre = Vec.unsafe_re src and sim = Vec.unsafe_im src in
+  let dre = Vec.unsafe_re dst and dim_ = Vec.unsafe_im dst in
+  let kk = 1 lsl k in
+  let indices = Array.make kk 0 in
+  for rest_cfg = 0 to (1 lsl n_rest) - 1 do
+    let base = ref 0 in
+    Array.iteri
+      (fun pos b -> if (rest_cfg lsr pos) land 1 = 1 then base := !base lor (1 lsl b))
+      rest_bits;
+    for local = 0 to kk - 1 do
+      let idx = ref !base in
+      Array.iteri
+        (fun pos b ->
+          (* local bit (k-1-pos) corresponds to the pos-th listed target *)
+          if (local lsr (k - 1 - pos)) land 1 = 1 then idx := !idx lor (1 lsl b))
+        target_bits;
+      indices.(local) <- !idx
+    done;
+    for r = 0 to kk - 1 do
+      let sr = ref 0. and si = ref 0. in
+      for c = 0 to kk - 1 do
+        let z = Cmat.get u r c in
+        let zr = Cx.re z and zi = Cx.im z in
+        if zr <> 0. || zi <> 0. then begin
+          let j = indices.(c) in
+          sr := !sr +. (zr *. sre.(j)) -. (zi *. sim.(j));
+          si := !si +. (zr *. sim.(j)) +. (zi *. sre.(j))
+        end
+      done;
+      dre.(indices.(r)) <- !sr;
+      dim_.(indices.(r)) <- !si
+    done
+  done;
+  { st with vec = dst }
+
+let apply_gate st g =
+  apply_unitary st ~targets:(Qgate.Gate.qubits g)
+    (Qgate.Unitary.of_kind g.Qgate.Gate.kind)
+
+let apply_circuit st circuit =
+  if Qgate.Circuit.n_qubits circuit <> st.n then
+    invalid_arg "State.apply_circuit: register size mismatch";
+  List.fold_left apply_gate st (Qgate.Circuit.gates circuit)
+
+let probability st k = Cx.norm2 (Vec.get st.vec k)
+
+let probabilities st =
+  Array.init (dim st) (fun k -> probability st k)
+
+let expectation st pauli =
+  if Qgate.Pauli.n_qubits pauli <> st.n then
+    invalid_arg "State.expectation: register size mismatch";
+  match Qgate.Pauli.support pauli with
+  | [] -> pauli.Qgate.Pauli.coeff
+  | supp ->
+    (* restrict the string to its support to keep the matrix small *)
+    let ops = pauli.Qgate.Pauli.ops in
+    let small =
+      Qgate.Pauli.make 1.0 (Array.of_list (List.map (fun q -> ops.(q)) supp))
+    in
+    let m = Qgate.Pauli.matrix small in
+    let transformed = apply_unitary st ~targets:supp m in
+    let ov = Vec.dot st.vec transformed.vec in
+    pauli.Qgate.Pauli.coeff *. Cx.re ov
+
+let measure_all rng st =
+  let u = Qgraph.Rand.float rng 1.0 in
+  let acc = ref 0. and result = ref (dim st - 1) in
+  (try
+     for k = 0 to dim st - 1 do
+       acc := !acc +. probability st k;
+       if u < !acc then begin
+         result := k;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !result
+
+let sample rng st shots = List.init shots (fun _ -> measure_all rng st)
+let overlap a b = Vec.dot a.vec b.vec
+let fidelity a b = Cx.norm2 (overlap a b)

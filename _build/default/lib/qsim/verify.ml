@@ -1,0 +1,90 @@
+type outcome = {
+  support : int list;
+  width : int;
+  model_time : float;
+  pulse_time : float option;
+  pulse_fidelity : float option;
+  passed : bool;
+}
+
+type report = {
+  outcomes : outcome list;
+  n_checked : int;
+  n_passed : int;
+  n_pulse_checked : int;
+}
+
+let verify_block ?(fidelity_threshold = 0.99) ?(slack = 1.6)
+    ?(max_pulse_width = 2) device gates =
+  if gates = [] then invalid_arg "Verify.verify_block: empty block";
+  let support, target = Qgate.Unitary.on_support gates in
+  let width = List.length support in
+  let unitary_ok = Qnum.Cmat.is_unitary ~eps:1e-7 target in
+  let model_time = Qcontrol.Latency_model.block_time device gates in
+  if width > max_pulse_width then
+    { support;
+      width;
+      model_time;
+      pulse_time = None;
+      pulse_fidelity = None;
+      passed = unitary_ok }
+  else begin
+    let duration = Float.max 4. (model_time *. slack) in
+    let n_steps = max 16 (int_of_float (Float.ceil duration)) in
+    let couplings = Qcontrol.Hamiltonian.line_couplings width in
+    let problem =
+      { Qcontrol.Grape.n_qubits = width;
+        couplings;
+        target;
+        duration;
+        n_steps;
+        device }
+    in
+    let result =
+      Qcontrol.Grape.optimize ~target_fidelity:fidelity_threshold problem
+    in
+    { support;
+      width;
+      model_time;
+      pulse_time = Some (Qcontrol.Pulse.duration result.Qcontrol.Grape.pulse);
+      pulse_fidelity = Some result.Qcontrol.Grape.fidelity;
+      passed = unitary_ok && result.Qcontrol.Grape.fidelity >= fidelity_threshold }
+  end
+
+let verify_sampled ?(samples = 10) ?fidelity_threshold ?slack ?max_pulse_width
+    rng device blocks =
+  let blocks = Array.of_list blocks in
+  let chosen =
+    if Array.length blocks <= samples then Array.to_list blocks
+    else
+      List.map
+        (fun k -> blocks.(k))
+        (Qgraph.Rand.pick_distinct rng samples (Array.length blocks))
+  in
+  let outcomes =
+    List.map
+      (verify_block ?fidelity_threshold ?slack ?max_pulse_width device)
+      chosen
+  in
+  { outcomes;
+    n_checked = List.length outcomes;
+    n_passed = List.length (List.filter (fun o -> o.passed) outcomes);
+    n_pulse_checked =
+      List.length (List.filter (fun o -> o.pulse_fidelity <> None) outcomes) }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "verified %d/%d aggregated instructions (%d with pulse synthesis)"
+    r.n_passed r.n_checked r.n_pulse_checked;
+  List.iter
+    (fun o ->
+      Format.fprintf ppf "@,  width=%d model=%.1fns%s%s %s" o.width
+        o.model_time
+        (match o.pulse_time with
+         | Some t -> Printf.sprintf " pulse=%.1fns" t
+         | None -> "")
+        (match o.pulse_fidelity with
+         | Some f -> Printf.sprintf " fid=%.4f" f
+         | None -> "")
+        (if o.passed then "ok" else "FAILED"))
+    r.outcomes

@@ -1,0 +1,49 @@
+(** Verification of aggregated instructions (paper §3.6).
+
+    For sampled aggregated instructions, (1) recompute the target unitary
+    from the member gates and check it is a well-formed unitary, and
+    (2) for instructions narrow enough for the optimal control unit to run
+    locally, synthesize a pulse with GRAPE at the latency model's
+    predicted duration (with slack) and check the realized propagator's
+    fidelity against the target — the paper's QuTiP-based procedure. *)
+
+type outcome = {
+  support : int list;
+  width : int;
+  model_time : float;  (** latency-model pulse time, ns *)
+  pulse_time : float option;  (** GRAPE pulse duration when attempted *)
+  pulse_fidelity : float option;  (** realized |tr(U†V)|²/d² when attempted *)
+  passed : bool;
+}
+
+type report = {
+  outcomes : outcome list;
+  n_checked : int;
+  n_passed : int;
+  n_pulse_checked : int;
+}
+
+val verify_block :
+  ?fidelity_threshold:float ->
+  ?slack:float ->
+  ?max_pulse_width:int ->
+  Qcontrol.Device.t ->
+  Qgate.Gate.t list ->
+  outcome
+(** Verify one aggregated instruction given as its member gate list.
+    Defaults: threshold 0.99, duration slack 1.6×, pulse checks for
+    width ≤ 2. Raises [Invalid_argument] on an empty block. *)
+
+val verify_sampled :
+  ?samples:int ->
+  ?fidelity_threshold:float ->
+  ?slack:float ->
+  ?max_pulse_width:int ->
+  Qgraph.Rand.t ->
+  Qcontrol.Device.t ->
+  Qgate.Gate.t list list ->
+  report
+(** Sample up to [samples] (default 10, the paper's count) blocks and
+    verify each. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/qviz/dot.ml: Buffer Hashtbl List Printf Qgate Qgdg Qsched String

@@ -1,0 +1,1 @@
+lib/qviz/dot.mli: Qgdg

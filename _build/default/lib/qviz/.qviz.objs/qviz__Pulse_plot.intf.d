@@ -1,0 +1,1 @@
+lib/qviz/pulse_plot.mli: Qcontrol

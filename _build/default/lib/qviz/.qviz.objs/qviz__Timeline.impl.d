@@ -1,0 +1,1 @@
+lib/qviz/timeline.ml: Array Buffer Float List Printf Qgate Qgdg Qsched String

@@ -1,0 +1,1 @@
+lib/qviz/timeline.mli: Qsched

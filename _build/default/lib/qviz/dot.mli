@@ -1,0 +1,12 @@
+(** Graphviz export of gate dependence graphs.
+
+    Renders the GDG in the style of the paper's Fig. 6: one node per
+    instruction (multi-gate aggregates show their member list), one edge
+    per immediate per-qubit dependence, labelled with the qubit. *)
+
+val of_gdg : ?highlight_critical:bool -> Qgdg.Gdg.t -> string
+(** DOT source. With [highlight_critical] (default true), zero-slack
+    instructions — the critical path the paper draws in red — are
+    colored. *)
+
+val write_file : ?highlight_critical:bool -> string -> Qgdg.Gdg.t -> unit

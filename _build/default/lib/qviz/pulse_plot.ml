@@ -1,0 +1,82 @@
+module Pulse = Qcontrol.Pulse
+
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#76b7b2"; "#edc948";
+     "#b07aa1"; "#9c755f" |]
+
+let to_svg ?(width = 860) ?(height = 360) ?(title = "control pulses") p =
+  let margin_l = 60 and margin_r = 140 and margin_t = 30 and margin_b = 30 in
+  let plot_w = width - margin_l - margin_r in
+  let plot_h = height - margin_t - margin_b in
+  let steps = Pulse.n_steps p in
+  let duration = Float.max 1e-9 (Pulse.duration p) in
+  let amp_max =
+    Array.fold_left
+      (fun acc label -> Float.max acc (Pulse.max_amplitude p label))
+      1e-9 p.Pulse.labels
+  in
+  let x_of t =
+    margin_l + int_of_float (float_of_int plot_w *. t /. duration)
+  in
+  let y_of a =
+    margin_t + (plot_h / 2)
+    - int_of_float (float_of_int plot_h /. 2. *. a /. (1.1 *. amp_max))
+  in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" font-family=\"monospace\" font-size=\"11\">\n"
+       width height);
+  Buffer.add_string buf "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  Buffer.add_string buf
+    (Printf.sprintf "<text x=\"%d\" y=\"18\" fill=\"#333\">%s</text>\n" margin_l
+       title);
+  (* axes *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#999\"/>\n"
+       margin_l (y_of 0.) (margin_l + plot_w) (y_of 0.));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" fill=\"#333\" text-anchor=\"end\">%+.3f GHz</text>\n"
+       (margin_l - 4) (y_of amp_max + 4) amp_max);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" fill=\"#333\" text-anchor=\"end\">%+.3f GHz</text>\n"
+       (margin_l - 4) (y_of (-.amp_max) + 4) (-.amp_max));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\" fill=\"#333\" text-anchor=\"end\">%.1f ns</text>\n"
+       (margin_l + plot_w) (height - 8) duration);
+  (* one step polyline per channel *)
+  Array.iteri
+    (fun ch label ->
+      let color = palette.(ch mod Array.length palette) in
+      let points = Buffer.create 512 in
+      for step = 0 to steps - 1 do
+        let t0 = p.Pulse.dt *. float_of_int step in
+        let t1 = p.Pulse.dt *. float_of_int (step + 1) in
+        let y = y_of p.Pulse.amps.(step).(ch) in
+        Buffer.add_string points (Printf.sprintf "%d,%d %d,%d " (x_of t0) y (x_of t1) y)
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"1.5\"/>\n"
+           (Buffer.contents points) color);
+      (* legend *)
+      let ly = margin_t + (ch * 16) in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"10\" height=\"10\" fill=\"%s\"/>\n"
+           (width - margin_r + 10) ly color);
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%d\" y=\"%d\" fill=\"#333\">%s</text>\n"
+           (width - margin_r + 26) (ly + 9) label))
+    p.Pulse.labels;
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let write_svg ?width ?height ?title path p =
+  let oc = open_out path in
+  output_string oc (to_svg ?width ?height ?title p);
+  close_out oc

@@ -1,0 +1,12 @@
+(** SVG rendering of control pulses — the Fig. 4(c,d) picture.
+
+    Each channel's piecewise-constant amplitude sequence becomes a step
+    polyline over the time axis, one color per channel, with a legend —
+    the same layout the paper uses to contrast gate-based concatenated
+    pulses against aggregated optimized pulses. *)
+
+val to_svg : ?width:int -> ?height:int -> ?title:string -> Qcontrol.Pulse.t -> string
+(** Self-contained SVG (default 860×360). *)
+
+val write_svg :
+  ?width:int -> ?height:int -> ?title:string -> string -> Qcontrol.Pulse.t -> unit

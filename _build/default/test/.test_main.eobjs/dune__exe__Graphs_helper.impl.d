@@ -1,0 +1,1 @@
+test/graphs_helper.ml: List Qgraph

@@ -1,0 +1,1 @@
+test/test_fermion.ml: Alcotest Fermion List Qapps Qgate Qnum Uccsd Util

@@ -1,0 +1,1 @@
+test/test_noise.ml: Alcotest Array Float Lazy List Printf Qapps Qcc Qcontrol Qgate Qgdg Qgraph Qmap Qnum Qsched Qsim Util

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Float List Printf QCheck Qcc Qgate Qgraph Qmap Qnum Qsched Util

@@ -1,0 +1,1 @@
+test/test_properties.ml: Float List QCheck Qapps Qcc Qcontrol Qgate Qgdg Qgraph Qnum Qsched Util

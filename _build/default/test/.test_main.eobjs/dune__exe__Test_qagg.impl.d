@@ -1,0 +1,1 @@
+test/test_qagg.ml: Action Aggregator List QCheck Qagg Qapps Qcontrol Qgate Qgdg Qgraph Util

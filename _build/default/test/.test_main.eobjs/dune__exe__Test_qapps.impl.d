@@ -1,0 +1,1 @@
+test/test_qapps.ml: Alcotest Array Characteristics Float Graphs Ising List Qaoa Qapps Qgate Qgraph Qnum Qsim Sqrt_poly Suite Uccsd Util

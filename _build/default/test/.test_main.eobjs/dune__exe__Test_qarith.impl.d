@@ -1,0 +1,1 @@
+test/test_qarith.ml: Adder Alcotest Array Comparator List Mcx Qarith Qgate Rev_sim Square Util

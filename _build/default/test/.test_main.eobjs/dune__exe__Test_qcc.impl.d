@@ -1,0 +1,1 @@
+test/test_qcc.ml: Alcotest List Printf QCheck Qapps Qcc Qcontrol Qfront Qgate Qgraph Qmap Qnum Qsched Qsim Util

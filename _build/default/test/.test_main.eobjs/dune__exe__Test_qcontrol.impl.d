@@ -1,0 +1,1 @@
+test/test_qcontrol.ml: Alcotest Device Float Grape Hamiltonian Latency_model List Printf Pulse QCheck Qcontrol Qgate Qgraph Qnum String Util Weyl

@@ -1,0 +1,1 @@
+test/test_qgate.ml: Alcotest Circuit Decompose Float Gate List Pauli Printf Qapps Qasm Qgate Qgraph Qnum Unitary Util

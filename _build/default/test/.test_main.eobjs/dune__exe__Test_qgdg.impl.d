@@ -1,0 +1,1 @@
+test/test_qgdg.ml: Alcotest Comm_group Commute Diagonal Gdg Hashtbl Inst List Option Printf QCheck Qapps Qgate Qgdg Qgraph Qnum Util

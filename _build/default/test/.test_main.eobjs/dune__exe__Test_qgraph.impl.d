@@ -1,0 +1,1 @@
+test/test_qgraph.ml: Alcotest Array Float Graph Graphs_helper Grid List Matching Partition QCheck Qgraph Rand Util

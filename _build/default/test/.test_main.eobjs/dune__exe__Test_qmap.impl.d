@@ -1,0 +1,1 @@
+test/test_qmap.ml: Alcotest Array List Placement QCheck Qapps Qgate Qgraph Qmap Qnum Router Topology Util

@@ -1,0 +1,1 @@
+test/test_qnum.ml: Alcotest Array Cmat Cx Eig Expm Float Gen List Poly QCheck Qgate Qgraph Qnum Util Vec

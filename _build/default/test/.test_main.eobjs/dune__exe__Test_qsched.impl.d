@@ -1,0 +1,1 @@
+test/test_qsched.ml: Alcotest Asap Cls List QCheck Qapps Qgate Qgdg Qgraph Qsched Schedule Util

@@ -1,0 +1,1 @@
+test/test_qsim.ml: Alcotest List Pulse_sim Qcontrol Qgate Qgraph Qnum Qsim State Util Verify

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Float List Qapps Qcc Qcontrol Qgate Qgdg Qmap Qnum Qopt Qsched Qviz Str String Util

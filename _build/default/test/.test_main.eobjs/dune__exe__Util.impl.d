@@ -1,0 +1,1 @@
+test/util.ml: Alcotest Cmat Float List QCheck QCheck_alcotest Qgate Qgraph Qnum Random

@@ -1,0 +1,7 @@
+(* small graph constructors shared by tests *)
+
+let ring n =
+  Qgraph.Graph.of_edges n (List.init n (fun k -> (k, (k + 1) mod n)))
+
+let path n =
+  Qgraph.Graph.of_edges n (List.init (n - 1) (fun k -> (k, k + 1)))

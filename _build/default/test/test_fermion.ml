@@ -1,0 +1,132 @@
+(* tests for the fermionic operator algebra and both qubit encodings *)
+
+open Qapps
+open Util
+module Cx = Qnum.Cx
+module Cmat = Qnum.Cmat
+
+let encodings = [ Fermion.Jordan_wigner; Fermion.Bravyi_kitaev ]
+
+let anti x y = Cmat.add (Cmat.mul x y) (Cmat.mul y x)
+
+let fermion_cases =
+  [ case "bravyi-kitaev index sets (known values, n = 8)" (fun () ->
+        (* mode 0 updates qubits 1, 3, 7 in the Fenwick tree over 8 modes *)
+        Alcotest.(check (list int)) "update 0" [ 1; 3; 7 ] (Fermion.update_set ~n:8 0);
+        Alcotest.(check (list int)) "update 2" [ 3; 7 ] (Fermion.update_set ~n:8 2);
+        Alcotest.(check (list int)) "parity 4" [ 3 ] (Fermion.parity_set ~n:8 4);
+        Alcotest.(check (list int)) "parity 5" [ 4; 3 ] (Fermion.parity_set ~n:8 5);
+        Alcotest.(check (list int)) "flip 3" [ 2; 1 ] (Fermion.flip_set ~n:8 3);
+        Alcotest.(check (list int)) "flip 2" [] (Fermion.flip_set ~n:8 2));
+    case "canonical anticommutation relations" (fun () ->
+        List.iter
+          (fun enc ->
+            let n = 4 in
+            let dim = 1 lsl n in
+            for i = 0 to n - 1 do
+              for j = 0 to n - 1 do
+                let ai = Fermion.matrix_of_sum (Fermion.lowering enc ~n i) in
+                let aj = Fermion.matrix_of_sum (Fermion.lowering enc ~n j) in
+                let ajd = Fermion.matrix_of_sum (Fermion.raising enc ~n j) in
+                check_mat ~eps:1e-9 "anticommutator zero" (Cmat.zeros dim dim) (anti ai aj);
+                let expect = if i = j then Cmat.identity dim else Cmat.zeros dim dim in
+                check_mat ~eps:1e-9 "anticommutator delta" expect (anti ai ajd)
+              done
+            done)
+          encodings);
+    case "number operator is a projector" (fun () ->
+        List.iter
+          (fun enc ->
+            let n = 4 in
+            let num = Fermion.matrix_of_sum (Fermion.number_operator enc ~n 2) in
+            check_mat ~eps:1e-9 "n² = n" num (Cmat.mul num num);
+            check_bool "hermitian" true (Cmat.is_hermitian ~eps:1e-9 num))
+          encodings);
+    case "encodings are isospectral" (fun () ->
+        (* total number operator has the same trace and square trace *)
+        let n = 4 in
+        let total enc =
+          List.fold_left
+            (fun acc j ->
+              Cmat.add acc (Fermion.matrix_of_sum (Fermion.number_operator enc ~n j)))
+            (Cmat.zeros 16 16)
+            (List.init n (fun j -> j))
+        in
+        let jw = total Fermion.Jordan_wigner and bk = total Fermion.Bravyi_kitaev in
+        check_bool "trace" true (Cx.equal ~eps:1e-9 (Cmat.trace jw) (Cmat.trace bk));
+        check_bool "trace of square" true
+          (Cx.equal ~eps:1e-9
+             (Cmat.trace (Cmat.mul jw jw))
+             (Cmat.trace (Cmat.mul bk bk))));
+    case "bravyi-kitaev strings are lighter than jordan-wigner at scale" (fun () ->
+        (* the BK advantage: O(log n) weight vs O(n) chains *)
+        let n = 16 in
+        let weight enc j =
+          List.fold_left
+            (fun acc (_, p) -> max acc (Qgate.Pauli.weight p))
+            0
+            (Fermion.lowering enc ~n j)
+        in
+        check_bool "lighter on the last mode" true
+          (weight Fermion.Bravyi_kitaev (n - 1) < weight Fermion.Jordan_wigner (n - 1)));
+    case "excitation rotations reproduce the exact exponential" (fun () ->
+        List.iter
+          (fun enc ->
+            let n = 4 and theta = 0.37 in
+            let rotations =
+              Fermion.single_excitation_rotations enc ~n ~theta ~i:0 ~a:2
+            in
+            let gates =
+              List.concat_map
+                (fun (angle, p) -> Qgate.Pauli.rotation_circuit ~theta:angle p)
+                rotations
+            in
+            let generator =
+              Fermion.add_sums
+                (Fermion.mul_sums (Fermion.raising enc ~n 2) (Fermion.lowering enc ~n 0))
+                (Fermion.scale_sum (Cx.of_float (-1.))
+                   (Fermion.mul_sums (Fermion.raising enc ~n 0)
+                      (Fermion.lowering enc ~n 2)))
+            in
+            let exact =
+              Qnum.Expm.expm (Cmat.scale_real theta (Fermion.matrix_of_sum generator))
+            in
+            check_mat_phase ~eps:1e-7
+              (Fermion.encoding_name enc)
+              exact
+              (Qgate.Circuit.unitary (Qgate.Circuit.make n gates)))
+          encodings);
+    case "double excitation rotations are exact too" (fun () ->
+        List.iter
+          (fun enc ->
+            let n = 4 and theta = 0.21 in
+            let rotations =
+              Fermion.double_excitation_rotations enc ~n ~theta ~i:0 ~j:1 ~a:2 ~b:3
+            in
+            check_int "eight strings" 8 (List.length rotations);
+            let gates =
+              List.concat_map
+                (fun (angle, p) -> Qgate.Pauli.rotation_circuit ~theta:angle p)
+                rotations
+            in
+            let u = Qgate.Circuit.unitary (Qgate.Circuit.make n gates) in
+            check_bool "unitary" true (Cmat.is_unitary ~eps:1e-8 u))
+          encodings);
+    case "repeated modes raise" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Fermion.double_excitation_rotations: modes must be distinct")
+          (fun () ->
+            ignore
+              (Fermion.double_excitation_rotations Fermion.Jordan_wigner ~n:4
+                 ~theta:0.1 ~i:0 ~j:0 ~a:2 ~b:3)));
+    case "uccsd under both encodings is unitary and distinct" (fun () ->
+        let jw = Uccsd.circuit ~encoding:Fermion.Jordan_wigner 4 in
+        let bk = Uccsd.circuit ~encoding:Fermion.Bravyi_kitaev 4 in
+        check_bool "jw unitary" true
+          (Cmat.is_unitary ~eps:1e-8 (Qgate.Circuit.unitary jw));
+        check_bool "bk unitary" true
+          (Cmat.is_unitary ~eps:1e-8 (Qgate.Circuit.unitary bk));
+        check_bool "different circuits" true
+          (Qgate.Circuit.gates jw <> Qgate.Circuit.gates bk)) ]
+
+let suites = [ ("qapps.fermion", fermion_cases) ]

@@ -1,0 +1,136 @@
+(* tests for the aggregation action space and the monotonic aggregator *)
+
+open Qagg
+open Util
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+module Gdg = Qgdg.Gdg
+module Inst = Qgdg.Inst
+
+let device = Qcontrol.Device.default
+let cost gs = Qcontrol.Latency_model.block_time device gs
+let gdg_of gates n = Gdg.of_circuit ~latency:cost (Circuit.make n gates)
+let zz theta a b = [ Gate.cnot a b; Gate.rz theta b; Gate.cnot a b ]
+
+let action_cases =
+  [ case "adjacent gates on shared qubit are schedulable" (fun () ->
+        let g = gdg_of [ Gate.cnot 0 1; Gate.cnot 1 2 ] 3 in
+        let groups = Qgdg.Comm_group.build g in
+        check_bool "0 absorbs 1" true (Action.is_schedulable g groups 0 1);
+        check_bool "wrong direction" false (Action.is_schedulable g groups 1 0));
+    case "disjoint gates are not schedulable" (fun () ->
+        let g = gdg_of [ Gate.h 0; Gate.h 1 ] 2 in
+        let groups = Qgdg.Comm_group.build g in
+        check_bool "no overlap" false (Action.is_schedulable g groups 0 1));
+    case "non-adjacent non-commuting are rejected" (fun () ->
+        let g = gdg_of [ Gate.h 0; Gate.x 0; Gate.h 0 ] 1 in
+        let groups = Qgdg.Comm_group.build g in
+        check_bool "h..h blocked by x" false (Action.is_schedulable g groups 0 2));
+    case "same-group siblings are schedulable" (fun () ->
+        (* rz and rzz commute: the first and third can merge past the second *)
+        let g = gdg_of [ Gate.rz 0.1 0; Gate.rzz 0.2 0 1; Gate.rz 0.3 0 ] 2 in
+        let groups = Qgdg.Comm_group.build g in
+        check_bool "rz past rzz" true (Action.is_schedulable g groups 0 2));
+    case "merged width" (fun () ->
+        let g = gdg_of [ Gate.cnot 0 1; Gate.cnot 1 2 ] 3 in
+        check_int "3 qubits" 3 (Action.merged_width g 0 1));
+    case "candidates respect width limit" (fun () ->
+        let g = gdg_of [ Gate.cnot 0 1; Gate.cnot 1 2 ] 3 in
+        let groups = Qgdg.Comm_group.build g in
+        check_bool "found at width 3" true
+          (List.mem (0, 1) (Action.candidates g groups ~width_limit:3));
+        check_bool "excluded at width 2" false
+          (List.mem (0, 1) (Action.candidates g groups ~width_limit:2)));
+    case "candidates on triangle qaoa" (fun () ->
+        let g =
+          Gdg.of_circuit ~latency:cost (Qapps.Qaoa.triangle_example ())
+        in
+        let groups = Qgdg.Comm_group.build g in
+        let cands = Action.candidates g groups ~width_limit:10 in
+        check_bool "non-empty" true (cands <> []);
+        List.iter
+          (fun (a, b) ->
+            check_bool "each candidate is schedulable" true
+              (Action.is_schedulable g groups a b))
+          cands) ]
+
+let semantics_preserved original g =
+  let after = Circuit.make (Gdg.n_qubits g) (Gdg.all_gates g) in
+  Circuit.equal_semantics ~eps:1e-8 original after
+
+let aggregator_cases =
+  [ case "staircase collapses to one block" (fun () ->
+        let gates = List.init 5 (fun k -> Gate.cnot k (k + 1)) in
+        let g = gdg_of gates 6 in
+        let stats = Aggregator.run ~cost g in
+        check_int "one instruction" 1 (Gdg.size g);
+        check_bool "latency reduced" true
+          (stats.Aggregator.final_makespan < stats.Aggregator.initial_makespan);
+        Gdg.validate g);
+    case "toffoli aggregates into one block" (fun () ->
+        let circuit = Circuit.make 3 (Qgate.Decompose.ccx 0 1 2) in
+        let g = Gdg.of_circuit ~latency:cost circuit in
+        let stats = Aggregator.run ~cost g in
+        check_bool "significant gain" true
+          (stats.Aggregator.final_makespan < 0.6 *. stats.Aggregator.initial_makespan);
+        check_bool "semantics" true (semantics_preserved circuit g));
+    case "width limit respected" (fun () ->
+        let gates = List.init 7 (fun k -> Gate.cnot k (k + 1)) in
+        let g = gdg_of gates 8 in
+        ignore (Aggregator.run ~width_limit:4 ~cost g);
+        List.iter
+          (fun (i : Inst.t) ->
+            check_bool "width <= 4" true (Inst.width i <= 4))
+          (Gdg.insts g);
+        Gdg.validate g);
+    case "makespan never increases" (fun () ->
+        let circuit = Qapps.Qaoa.triangle_example () in
+        let g = Gdg.of_circuit ~latency:cost circuit in
+        let stats = Aggregator.run ~cost g in
+        check_bool "monotone" true
+          (stats.Aggregator.final_makespan
+           <= stats.Aggregator.initial_makespan +. 1e-6));
+    case "serial pessimism is more conservative" (fun () ->
+        let circuit = Circuit.make 3 (Qgate.Decompose.ccx 0 1 2) in
+        let model_g = Gdg.of_circuit ~latency:cost circuit in
+        let serial_g = Gdg.of_circuit ~latency:cost circuit in
+        let m = Aggregator.run ~pessimism:`Model ~cost model_g in
+        let s = Aggregator.run ~pessimism:`Serial ~cost serial_g in
+        check_bool "model at least as aggressive" true
+          (m.Aggregator.final_makespan <= s.Aggregator.final_makespan +. 1e-6));
+    case "single instruction is a fixpoint" (fun () ->
+        let g = gdg_of [ Gate.cnot 0 1 ] 2 in
+        let stats = Aggregator.run ~cost g in
+        check_int "no merges" 0 stats.Aggregator.merges);
+    qcheck ~count:12 "aggregation preserves semantics on random circuits"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let gates = random_unitary_gates rng 4 12 in
+        let circuit = Circuit.make 4 gates in
+        let g = Gdg.of_circuit ~latency:cost circuit in
+        ignore (Aggregator.run ~cost g);
+        Gdg.validate g;
+        semantics_preserved circuit g);
+    qcheck ~count:12 "aggregation preserves semantics on commutative circuits"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 4 in
+        let gates =
+          List.concat
+            (List.init 5 (fun _ ->
+                 let a = Qgraph.Rand.int rng n in
+                 let b = (a + 1 + Qgraph.Rand.int rng (n - 1)) mod n in
+                 zz (Qgraph.Rand.float rng 3.) (min a b) (max a b)))
+        in
+        let circuit = Circuit.make n gates in
+        let g = Gdg.of_circuit ~latency:cost circuit in
+        ignore
+          (Qgdg.Diagonal.detect_and_contract ~latency:cost g);
+        ignore (Aggregator.run ~cost g);
+        Gdg.validate g;
+        semantics_preserved circuit g) ]
+
+let suites =
+  [ ("qagg.action", action_cases); ("qagg.aggregator", aggregator_cases) ]

@@ -1,0 +1,192 @@
+(* tests for the benchmark generators and program characteristics *)
+
+open Qapps
+open Util
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+
+let graphs_cases =
+  [ case "line structure" (fun () ->
+        let g = Graphs.line 5 in
+        check_int "edges" 4 (Qgraph.Graph.n_edges g);
+        check_bool "connected" true (Qgraph.Graph.is_connected g));
+    case "regular4 degrees" (fun () ->
+        let g = Graphs.regular4 ~seed:3 12 in
+        for v = 0 to 11 do
+          check_int "degree 4" 4 (Qgraph.Graph.degree g v)
+        done;
+        check_bool "connected" true (Qgraph.Graph.is_connected g));
+    case "regular4 deterministic per seed" (fun () ->
+        let a = Graphs.regular4 ~seed:5 10 and b = Graphs.regular4 ~seed:5 10 in
+        check_bool "same edges" true (Qgraph.Graph.edges a = Qgraph.Graph.edges b);
+        let c = Graphs.regular4 ~seed:6 10 in
+        check_bool "different seed differs" true (Qgraph.Graph.edges a <> Qgraph.Graph.edges c));
+    case "cluster structure" (fun () ->
+        let g = Graphs.cluster ~seed:1 ~clusters:3 ~size:4 in
+        check_int "vertices" 12 (Qgraph.Graph.n_vertices g);
+        (* 3 complete K4s = 18 edges + ring joins *)
+        check_bool "edge count" true (Qgraph.Graph.n_edges g >= 18 + 2);
+        check_bool "connected" true (Qgraph.Graph.is_connected g));
+    case "brute force maxcut on square" (fun () ->
+        let g = Qgraph.Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+        let value, side = Graphs.max_cut_brute_force g in
+        check_float "cut 4" 4. value;
+        check_float "side achieves it" 4. (Qgraph.Graph.cut_weight g side)) ]
+
+let qaoa_cases =
+  [ case "structure of one level" (fun () ->
+        let g = Graphs.line 4 in
+        let c = Qaoa.circuit g in
+        (* 4 H + 3 edges x 3 gates + 4 Rx *)
+        check_int "gate count" (4 + 9 + 4) (Circuit.n_gates c));
+    case "levels multiply the body" (fun () ->
+        let g = Graphs.line 3 in
+        let c1 = Qaoa.circuit ~levels:1 g and c2 = Qaoa.circuit ~levels:2 g in
+        check_int "body doubled"
+          ((2 * (Circuit.n_gates c1 - 3)) + 3)
+          (Circuit.n_gates c2));
+    case "triangle example matches paper shape" (fun () ->
+        let c = Qaoa.triangle_example () in
+        check_int "3 qubits" 3 (Circuit.n_qubits c);
+        check_int "6 cnots" 6 (Circuit.count (fun g -> g.Gate.kind = Gate.Cnot) c));
+    case "qaoa improves over uniform guessing" (fun () ->
+        (* expectation of the cut after one QAOA level on a 4-ring must beat
+           the uniform-random expectation (=2) for these angles *)
+        let g = Qgraph.Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+        let c = Qaoa.circuit ~gamma:0.5 ~beta:1.18 g in
+        let st = Qsim.State.apply_circuit (Qsim.State.zero 4) c in
+        let expectation = Qaoa.cut_expectation g (Qsim.State.probability st) in
+        check_bool "beats random" true (expectation > 2.2));
+    case "cut_expectation of basis state" (fun () ->
+        let g = Qgraph.Graph.of_edges 2 [ (0, 1) ] in
+        (* probability 1 on |01> : cut = 1 *)
+        let prob z = if z = 1 then 1.0 else 0.0 in
+        check_float "cut 1" 1. (Qaoa.cut_expectation g prob)) ]
+
+let ising_cases =
+  [ case "gate structure" (fun () ->
+        let c = Ising.circuit ~steps:1 4 in
+        (* 4 H + 3 pairs x 3 + 4 Rx *)
+        check_int "count" (4 + 9 + 4) (Circuit.n_gates c));
+    case "even-odd layering is shallow" (fun () ->
+        let c = Ising.circuit ~steps:1 8 in
+        check_bool "depth below serial" true (Circuit.depth c <= 9));
+    case "hamiltonian terms" (fun () ->
+        let terms = Ising.hamiltonian_terms 4 in
+        check_int "3 zz + 4 x" 7 (List.length terms));
+    case "trotter approximates exact evolution" (fun () ->
+        (* small dt: one step of the circuit vs exact exp(-iHt) on 3 qubits *)
+        let n = 3 and dt = 0.05 in
+        let c = Ising.circuit ~dt ~steps:1 n in
+        (* drop the state-prep layer (first n Hadamards) *)
+        let gates = List.filteri (fun k _ -> k >= n) (Circuit.gates c) in
+        let u_trotter = Qgate.Unitary.of_gates ~n_qubits:n gates in
+        let h =
+          List.fold_left
+            (fun acc term -> Qnum.Cmat.add acc (Qgate.Pauli.matrix term))
+            (Qnum.Cmat.zeros 8 8)
+            (Ising.hamiltonian_terms n)
+        in
+        let u_exact = Qnum.Expm.propagator h dt in
+        check_bool "close" true
+          (Qnum.Cmat.fidelity u_exact u_trotter > 0.999)) ]
+
+let sqrt_cases =
+  [ case "oracle marks exactly the roots" (fun () ->
+        (* classical check on the flag via phase kickback is not visible in
+           Rev_sim; instead verify the squarer+comparator structure via the
+           full state vector on n = 2 *)
+        let t = Sqrt_poly.build ~n:2 ~target:9 () in
+        let probs = Sqrt_poly.success_probability t in
+        (* x = 3 squares to 9: one Grover iteration on 4 candidates makes
+           the marked state certain *)
+        check_bool "root amplified" true (probs.(3) > 0.95);
+        check_bool "others suppressed" true (probs.(0) < 0.05));
+    case "no root leaves uniform" (fun () ->
+        (* target 7 is not a square: diffusion leaves the uniform state *)
+        let t = Sqrt_poly.build ~n:2 ~target:7 () in
+        let probs = Sqrt_poly.success_probability t in
+        Array.iter (fun p -> check_bool "uniform" true (Float.abs (p -. 0.25) < 0.01)) probs);
+    case "circuit is within register" (fun () ->
+        let t = Sqrt_poly.build ~n:3 ~target:25 () in
+        check_int "qubits" 17 (Circuit.n_qubits t.Sqrt_poly.circuit));
+    case "target out of range raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Sqrt_poly.build: target out of range") (fun () ->
+            ignore (Sqrt_poly.build ~n:2 ~target:16 ()))) ]
+
+let uccsd_cases =
+  [ case "excitation count at half filling" (fun () ->
+        (* n=4: occ {0,1}, virt {2,3}: 4 singles + 1x1 doubles *)
+        check_int "n4" 5 (List.length (Uccsd.excitations 4));
+        (* n=6: 9 singles + 3x3 doubles *)
+        check_int "n6" 18 (List.length (Uccsd.excitations 6)));
+    case "odd count raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Uccsd.excitations: need an even count of at least 4")
+          (fun () -> ignore (Uccsd.excitations 5)));
+    case "single excitation strings" (fun () ->
+        match Uccsd.strings_of_excitation ~n:4 ~theta:0.4 (Uccsd.Single (0, 2)) with
+        | [ (a1, s1); (a2, s2) ] ->
+          check_float "half angle" 0.2 a1;
+          check_float "negated" (-0.2) a2;
+          Alcotest.(check string) "XZY" "1*XZYI" (Qgate.Pauli.to_string s1);
+          Alcotest.(check string) "YZX" "1*YZXI" (Qgate.Pauli.to_string s2)
+        | _ -> Alcotest.fail "expected two strings");
+    case "double excitation yields 8 strings" (fun () ->
+        check_int "8" 8
+          (List.length
+             (Uccsd.strings_of_excitation ~n:4 ~theta:1.0 (Uccsd.Double (0, 1, 2, 3)))));
+    case "ansatz unitary on 4 qubits" (fun () ->
+        let c = Uccsd.circuit 4 in
+        check_bool "unitary by construction" true
+          (Qnum.Cmat.is_unitary ~eps:1e-8 (Circuit.unitary c)));
+    case "deterministic per seed" (fun () ->
+        let a = Uccsd.circuit ~seed:1 4 and b = Uccsd.circuit ~seed:1 4 in
+        check_bool "equal" true (Circuit.gates a = Circuit.gates b)) ]
+
+let characteristics_cases =
+  [ case "qaoa is commutative, sqrt is not" (fun () ->
+        let qaoa = Characteristics.analyze (Suite.lowered (Suite.find "maxcut-line")) in
+        let sqrt3 = Characteristics.analyze (Suite.lowered (Suite.find "sqrt-n3")) in
+        check_bool "qaoa more commutative" true
+          (qaoa.Characteristics.commutativity > sqrt3.Characteristics.commutativity);
+        check_bool "qaoa high" true
+          (qaoa.Characteristics.commutativity_level = Characteristics.High));
+    case "ising is parallel, uccsd is not" (fun () ->
+        let ising = Characteristics.analyze (Suite.lowered (Suite.find "ising-n30")) in
+        let uccsd = Characteristics.analyze (Suite.lowered (Suite.find "uccsd-n6")) in
+        check_bool "parallelism ordering" true
+          (ising.Characteristics.parallelism > uccsd.Characteristics.parallelism));
+    case "line is more local than cluster" (fun () ->
+        let line = Characteristics.analyze (Suite.lowered (Suite.find "maxcut-line")) in
+        let cluster = Characteristics.analyze (Suite.lowered (Suite.find "maxcut-cluster")) in
+        check_bool "locality ordering" true
+          (line.Characteristics.spatial_locality
+           > cluster.Characteristics.spatial_locality)) ]
+
+let suite_cases =
+  [ case "ten instances" (fun () -> check_int "count" 10 (List.length Suite.all));
+    case "fig9 drops one ising" (fun () ->
+        check_int "nine" 9 (List.length Suite.fig9));
+    case "find known and unknown" (fun () ->
+        check_int "found" 4 (Suite.find "uccsd-n4").Suite.paper_qubits;
+        Alcotest.check_raises "raises" Not_found (fun () -> ignore (Suite.find "nope")));
+    case "lowered circuits contain only isa gates" (fun () ->
+        List.iter
+          (fun name ->
+            let c = Suite.lowered (Suite.find name) in
+            check_bool name true
+              (List.for_all
+                 (fun g -> Qgate.Decompose.isa_kind g.Gate.kind)
+                 (Circuit.gates c)))
+          [ "maxcut-line"; "sqrt-n3"; "uccsd-n4"; "ising-n30" ]) ]
+
+let suites =
+  [ ("qapps.graphs", graphs_cases);
+    ("qapps.qaoa", qaoa_cases);
+    ("qapps.ising", ising_cases);
+    ("qapps.sqrt", sqrt_cases);
+    ("qapps.uccsd", uccsd_cases);
+    ("qapps.characteristics", characteristics_cases);
+    ("qapps.suite", suite_cases) ]

@@ -1,0 +1,250 @@
+(* tests for the gate dependence graph, commutation and diagonal blocks *)
+
+open Qgdg
+open Util
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+
+let unit_latency _ = 1.0
+let sum_latency gates = float_of_int (List.length gates)
+
+let zz a b = [ Gate.cnot a b; Gate.rz 5.67 b; Gate.cnot a b ]
+
+let qaoa_triangle () =
+  Gdg.of_circuit ~latency:unit_latency (Qapps.Qaoa.triangle_example ())
+
+let inst_cases =
+  [ case "make computes support" (fun () ->
+        let i = Inst.make ~id:0 ~latency:1.0 [ Gate.cnot 3 1; Gate.h 3 ] in
+        Alcotest.(check (list int)) "sorted support" [ 1; 3 ] i.Inst.qubits;
+        check_int "width" 2 (Inst.width i));
+    case "empty raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Inst.make: empty gate list")
+          (fun () -> ignore (Inst.make ~id:0 ~latency:1.0 [])));
+    case "merge keeps order" (fun () ->
+        let a = Inst.of_gate ~id:0 ~latency:1. (Gate.h 0) in
+        let b = Inst.of_gate ~id:1 ~latency:1. (Gate.cnot 0 1) in
+        let m = Inst.merge ~id:2 ~latency:2. a b in
+        check_bool "h first" true (Gate.equal (Gate.h 0) (List.hd m.Inst.gates));
+        check_int "two members" 2 (List.length m.Inst.gates));
+    case "unitary on support" (fun () ->
+        let i = Inst.make ~id:0 ~latency:1.0 (zz 4 2) in
+        let support, u = Inst.unitary_on_support i in
+        Alcotest.(check (list int)) "support" [ 2; 4 ] support;
+        check_bool "diagonal" true (Qnum.Cmat.is_diagonal ~eps:1e-9 u)) ]
+
+let commute_cases =
+  [ case "disjoint gates commute" (fun () ->
+        check_bool "h0 vs h1" true (Commute.gates (Gate.h 0) (Gate.h 1)));
+    case "diagonal gates commute" (fun () ->
+        check_bool "rz vs cz" true (Commute.gates (Gate.rz 0.3 0) (Gate.cz 0 1));
+        check_bool "rzz vs rzz shared" true
+          (Commute.gates (Gate.rzz 0.5 0 1) (Gate.rzz 0.7 1 2)));
+    case "table 2: control commutes with rz" (fun () ->
+        check_bool "rz on control" true (Commute.gates (Gate.rz 0.4 0) (Gate.cnot 0 1));
+        check_bool "rz on target" false (Commute.gates (Gate.rz 0.4 1) (Gate.cnot 0 1)));
+    case "table 2: cnots with shared control" (fun () ->
+        check_bool "shared control" true (Commute.gates (Gate.cnot 0 1) (Gate.cnot 0 2));
+        check_bool "shared target" true (Commute.gates (Gate.cnot 0 2) (Gate.cnot 1 2));
+        check_bool "control-target clash" false
+          (Commute.gates (Gate.cnot 0 1) (Gate.cnot 1 2)));
+    case "x and rx commute" (fun () ->
+        check_bool "same axis" true (Commute.gates (Gate.x 0) (Gate.rx 1.1 0)));
+    case "h and x do not commute" (fun () ->
+        check_bool "h x" false (Commute.gates (Gate.h 0) (Gate.x 0)));
+    case "blocks: zz structures commute" (fun () ->
+        check_bool "zz 01 vs zz 12" true (Commute.blocks (zz 0 1) (zz 1 2)));
+    case "blocks: cnot chains do not" (fun () ->
+        check_bool "cnot vs zz on target" false
+          (Commute.blocks [ Gate.cnot 0 1 ] (zz 1 2) |> fun r ->
+           (* cnot(0,1) vs diagonal zz(1,2): cnot's target is in zz support *)
+           r));
+    case "is_diagonal_block" (fun () ->
+        check_bool "zz block" true (Commute.is_diagonal_block (zz 0 1));
+        check_bool "with stray h" false
+          (Commute.is_diagonal_block (zz 0 1 @ [ Gate.h 0 ]));
+        check_bool "empty" true (Commute.is_diagonal_block []));
+    qcheck ~count:40 "commute agrees with dense check" QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let gates = random_unitary_gates rng 3 2 in
+        match gates with
+        | [ a; b ] ->
+          let sup = List.sort_uniq compare (Gate.qubits a @ Gate.qubits b) in
+          let relabel = List.mapi (fun k q -> (q, k)) sup in
+          let f q = List.assoc q relabel in
+          let n = List.length sup in
+          let ua = Qgate.Unitary.of_gates ~n_qubits:n [ Gate.map_qubits f a ] in
+          let ub = Qgate.Unitary.of_gates ~n_qubits:n [ Gate.map_qubits f b ] in
+          Commute.gates a b = Qnum.Cmat.commute ~eps:1e-9 ua ub
+        | _ -> true) ]
+
+let gdg_cases =
+  [ case "of_circuit sizes" (fun () ->
+        let g = qaoa_triangle () in
+        check_int "one node per gate" 15 (Gdg.size g);
+        check_int "qubits" 3 (Gdg.n_qubits g));
+    case "chains in program order" (fun () ->
+        let c = Circuit.make 2 [ Gate.h 0; Gate.cnot 0 1; Gate.h 1 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let chain0 = List.map (fun i -> i.Inst.id) (Gdg.chain g 0) in
+        Alcotest.(check (list int)) "qubit 0" [ 0; 1 ] chain0;
+        let chain1 = List.map (fun i -> i.Inst.id) (Gdg.chain g 1) in
+        Alcotest.(check (list int)) "qubit 1" [ 1; 2 ] chain1);
+    case "parents and children" (fun () ->
+        let c = Circuit.make 3 [ Gate.h 0; Gate.cnot 0 1; Gate.cnot 1 2 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        check_int "cnot01 has one parent" 1 (List.length (Gdg.parents g 1));
+        check_int "h has no parents" 0 (List.length (Gdg.parents g 0));
+        check_int "cnot01 has one child" 1 (List.length (Gdg.children g 1)));
+    case "asap makespan unit latencies" (fun () ->
+        let c = Circuit.make 3 [ Gate.h 0; Gate.h 1; Gate.cnot 0 1; Gate.cnot 1 2 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        check_float "depth 3" 3. (Gdg.makespan g));
+    case "asap respects latencies" (fun () ->
+        let c = Circuit.make 2 [ Gate.h 0; Gate.cnot 0 1 ] in
+        let g = Gdg.of_circuit ~latency:(fun gs ->
+            if List.exists (fun x -> Gate.arity x = 2) gs then 10. else 2.) c in
+        check_float "2 + 10" 12. (Gdg.makespan g));
+    case "merge combines and keeps acyclicity" (fun () ->
+        let c = Circuit.make 2 (zz 0 1) in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let merged = Gdg.merge g ~latency:2.0 0 1 in
+        check_int "size shrinks" 2 (Gdg.size g);
+        check_int "two members" 2 (List.length merged.Inst.gates);
+        Gdg.validate g);
+    case "merge cycle rollback" (fun () ->
+        (* A(0,1) ; B(1,2) ; C(0,2): merging A with C around B creates a
+           cycle through B and must be rejected, leaving the graph valid *)
+        let c = Circuit.make 3 [ Gate.cnot 0 1; Gate.cnot 1 2; Gate.cnot 0 2 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        check_bool "raises" true
+          (try
+             ignore (Gdg.merge g ~latency:2.0 0 2);
+             false
+           with Invalid_argument _ -> true);
+        Gdg.validate g;
+        check_int "unchanged" 3 (Gdg.size g));
+    case "merge self raises" (fun () ->
+        let g = qaoa_triangle () in
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Gdg.merge: cannot merge a node with itself")
+          (fun () -> ignore (Gdg.merge g ~latency:1.0 2 2)));
+    case "all_gates preserves count" (fun () ->
+        let g = qaoa_triangle () in
+        check_int "15 gates" 15 (List.length (Gdg.all_gates g)));
+    case "set_latency" (fun () ->
+        let g = qaoa_triangle () in
+        Gdg.set_latency g 0 42.0;
+        check_float "updated" 42.0 (Gdg.find g 0).Inst.latency);
+    case "neighbor tables match pred_on" (fun () ->
+        let g = qaoa_triangle () in
+        let pred, succ = Gdg.neighbor_tables g in
+        List.iter
+          (fun (i : Inst.t) ->
+            List.iter
+              (fun q ->
+                let via_table = Hashtbl.find_opt pred (i.Inst.id, q) in
+                let direct =
+                  Option.map (fun (p : Inst.t) -> p.Inst.id)
+                    (Gdg.pred_on g i.Inst.id ~qubit:q)
+                in
+                check_bool "pred agrees" true (via_table = direct);
+                let via_table = Hashtbl.find_opt succ (i.Inst.id, q) in
+                let direct =
+                  Option.map (fun (s : Inst.t) -> s.Inst.id)
+                    (Gdg.succ_on g i.Inst.id ~qubit:q)
+                in
+                check_bool "succ agrees" true (via_table = direct))
+              i.Inst.qubits)
+          (Gdg.insts g)) ]
+
+let comm_group_cases =
+  [ case "cnot-rz-cnot groups on control vs target" (fun () ->
+        let c = Circuit.make 2 (zz 0 1) in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let groups = Comm_group.build g in
+        (* the two CNOTs share a group on the control qubit... *)
+        check_bool "same group on control" true (Comm_group.same_group groups ~qubit:0 0 2);
+        (* ...but not on the target, where the Rz separates them *)
+        check_bool "split on target" false (Comm_group.same_group groups ~qubit:1 0 2));
+    case "group count on serial chain" (fun () ->
+        let c = Circuit.make 1 [ Gate.h 0; Gate.x 0; Gate.h 0 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let groups = Comm_group.build g in
+        check_int "three singleton groups" 3 (List.length (Comm_group.groups_on groups 0)));
+    case "commuting run forms one group" (fun () ->
+        let c = Circuit.make 3 [ Gate.rzz 0.1 0 1; Gate.rzz 0.2 1 2; Gate.rz 0.3 1 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let groups = Comm_group.build g in
+        check_int "one group on qubit 1" 1 (List.length (Comm_group.groups_on groups 1)));
+    case "reorderable requires all common qubits" (fun () ->
+        let c = Circuit.make 2 (zz 0 1) in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let groups = Comm_group.build g in
+        check_bool "cnots not reorderable" false
+          (Comm_group.reorderable groups (Gdg.find g 0) (Gdg.find g 2)));
+    case "refresh matches rebuild" (fun () ->
+        let g = qaoa_triangle () in
+        let a = Comm_group.build g in
+        ignore (Gdg.merge g ~latency:3.0 4 5);
+        Comm_group.refresh a g
+          ~qubits:(List.init (Gdg.n_qubits g) (fun q -> q));
+        let b = Comm_group.build g in
+        for q = 0 to Gdg.n_qubits g - 1 do
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "qubit %d" q)
+            (Comm_group.groups_on b q) (Comm_group.groups_on a q)
+        done) ]
+
+let diagonal_cases =
+  [ case "contracts cnot-rz-cnot" (fun () ->
+        let c = Circuit.make 2 (zz 0 1) in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let merges = Diagonal.detect_and_contract ~latency:sum_latency g in
+        check_bool "merged" true (merges >= 1);
+        check_int "single block" 1 (Gdg.size g);
+        Gdg.validate g);
+    case "contracted block is diagonal" (fun () ->
+        let c = Circuit.make 2 (zz 0 1) in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        ignore (Diagonal.detect_and_contract ~latency:sum_latency g);
+        List.iter
+          (fun (i : Inst.t) ->
+            if List.length i.Inst.gates > 1 then
+              check_bool "diagonal" true (Commute.is_diagonal_block i.Inst.gates))
+          (Gdg.insts g));
+    case "does not contract non-diagonal runs" (fun () ->
+        let c = Circuit.make 2 [ Gate.h 0; Gate.cnot 0 1; Gate.h 1 ] in
+        let g = Gdg.of_circuit ~latency:unit_latency c in
+        let merges = Diagonal.detect_and_contract ~latency:sum_latency g in
+        check_int "no merges" 0 merges;
+        check_int "unchanged" 3 (Gdg.size g));
+    case "respects run gate budget" (fun () ->
+        (* a long diagonal chain on one pair: blocks stay <= max_run_gates *)
+        let gates = List.concat (List.init 8 (fun _ -> zz 0 1)) in
+        let g = Gdg.of_circuit ~latency:unit_latency (Circuit.make 2 gates) in
+        ignore (Diagonal.detect_and_contract ~latency:sum_latency g);
+        List.iter
+          (fun (i : Inst.t) ->
+            check_bool "size bounded" true
+              (List.length i.Inst.gates <= Diagonal.max_run_gates))
+          (Gdg.insts g));
+    case "triangle qaoa contracts three blocks" (fun () ->
+        let g = qaoa_triangle () in
+        let merges = Diagonal.detect_and_contract ~latency:sum_latency g in
+        check_int "three zz merges" 3 merges;
+        Gdg.validate g);
+    case "semantics preserved" (fun () ->
+        let circuit = Qapps.Qaoa.triangle_example () in
+        let g = Gdg.of_circuit ~latency:unit_latency circuit in
+        ignore (Diagonal.detect_and_contract ~latency:sum_latency g);
+        let after = Circuit.make 3 (Gdg.all_gates g) in
+        check_bool "unitary equal" true (Circuit.equal_semantics circuit after)) ]
+
+let suites =
+  [ ("qgdg.inst", inst_cases);
+    ("qgdg.commute", commute_cases);
+    ("qgdg.gdg", gdg_cases);
+    ("qgdg.comm_group", comm_group_cases);
+    ("qgdg.diagonal", diagonal_cases) ]

@@ -1,0 +1,229 @@
+(* tests for graphs, matching, partitioning, grids and the PRNG *)
+
+open Qgraph
+open Util
+
+let graph_cases =
+  [ case "add and query edges" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1); (1, 2) ] in
+        check_bool "has 0-1" true (Graph.has_edge g 0 1);
+        check_bool "symmetric" true (Graph.has_edge g 1 0);
+        check_bool "no 0-2" false (Graph.has_edge g 0 2);
+        check_int "n_edges" 2 (Graph.n_edges g));
+    case "self loop raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Graph.add_edge: self-loop")
+          (fun () -> Graph.add_edge (Graph.create 3) 1 1));
+    case "weights accumulate" (fun () ->
+        let g = Graph.create 2 in
+        Graph.add_edge ~weight:1.5 g 0 1;
+        Graph.add_edge ~weight:2.0 g 0 1;
+        check_float "weight" 3.5 (Graph.weight g 0 1));
+    case "remove edge" (fun () ->
+        let g = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+        Graph.remove_edge g 0 1;
+        check_bool "gone" false (Graph.has_edge g 0 1);
+        check_bool "other kept" true (Graph.has_edge g 1 2));
+    case "neighbors sorted" (fun () ->
+        let g = Graph.of_edges 5 [ (2, 4); (2, 0); (2, 3) ] in
+        Alcotest.(check (list int)) "neighbors" [ 0; 3; 4 ] (Graph.neighbors g 2));
+    case "degree" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1); (0, 2); (0, 3) ] in
+        check_int "deg 0" 3 (Graph.degree g 0);
+        check_int "deg 1" 1 (Graph.degree g 1));
+    case "bfs distances on path" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3) ] in
+        let d = Graph.bfs_distances g 0 in
+        Alcotest.(check (array int)) "dist" [| 0; 1; 2; 3 |] d);
+    case "bfs unreachable" (fun () ->
+        let g = Graph.of_edges 3 [ (0, 1) ] in
+        check_int "unreachable" max_int (Graph.bfs_distances g 0).(2));
+    case "shortest path endpoints" (fun () ->
+        let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ] in
+        let p = Graph.shortest_path g 1 4 in
+        check_int "length" 3 (List.length p);
+        check_int "starts" 1 (List.hd p);
+        check_int "ends" 4 (List.nth p (List.length p - 1)));
+    case "shortest path no route" (fun () ->
+        let g = Graph.of_edges 3 [ (0, 1) ] in
+        Alcotest.check_raises "raises" Not_found (fun () ->
+            ignore (Graph.shortest_path g 0 2)));
+    case "connected components" (fun () ->
+        let g = Graph.of_edges 5 [ (0, 1); (2, 3) ] in
+        let comps = Graph.connected_components g in
+        check_int "three components" 3 (List.length comps);
+        check_bool "connected" false (Graph.is_connected g));
+    case "cut weight" (fun () ->
+        let g = Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ] in
+        let side = [| true; false; true; false |] in
+        check_float "full cut" 4. (Graph.cut_weight g side);
+        check_float "empty cut" 0. (Graph.cut_weight g [| true; true; true; true |]));
+    case "induced subgraph" (fun () ->
+        let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4) ] in
+        let sub, back = Graph.induced g [ 1; 2; 3 ] in
+        check_int "size" 3 (Graph.n_vertices sub);
+        check_int "edges" 2 (Graph.n_edges sub);
+        check_int "back map" 1 back.(0)) ]
+
+let matching_cases =
+  let edge u v label = { Matching.u; v; label } in
+  [ case "path graph matching" (fun () ->
+        (* path 0-1-2-3: maximal matchings have size >= 1; ours should find 2 *)
+        let edges = [ edge 0 1 "a"; edge 1 2 "b"; edge 2 3 "c" ] in
+        let m = Matching.maximal_edges ~n:4 edges in
+        check_bool "valid" true (Matching.is_matching ~n:4 m);
+        check_bool "maximal" true (Matching.is_maximal ~n:4 ~candidates:edges m));
+    case "self loops occupy one vertex" (fun () ->
+        let edges = [ edge 0 0 "x"; edge 0 1 "y"; edge 1 1 "z" ] in
+        let m = Matching.maximal_edges ~n:2 edges in
+        check_bool "valid" true (Matching.is_matching ~n:2 m);
+        check_bool "maximal" true (Matching.is_maximal ~n:2 ~candidates:edges m));
+    case "star graph picks one" (fun () ->
+        let edges = [ edge 0 1 1; edge 0 2 2; edge 0 3 3 ] in
+        let m = Matching.maximal_edges ~n:4 edges in
+        check_int "one edge" 1 (List.length m));
+    case "disjoint edges all picked" (fun () ->
+        let edges = [ edge 0 1 1; edge 2 3 2; edge 4 5 3 ] in
+        let m = Matching.maximal_edges ~n:6 edges in
+        check_int "all three" 3 (List.length m));
+    case "empty input" (fun () ->
+        check_int "empty" 0 (List.length (Matching.maximal_edges ~n:3 [])));
+    case "out of range raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Matching: vertex out of range")
+          (fun () -> ignore (Matching.maximal_edges ~n:2 [ edge 0 5 () ])));
+    qcheck ~count:60 "random graphs give valid maximal matchings"
+      QCheck.(pair (int_range 2 12) (int_range 0 10000))
+      (fun (n, seed) ->
+        let rng = Rand.create seed in
+        let edges =
+          List.init (2 * n) (fun k ->
+              let u = Rand.int rng n and v = Rand.int rng n in
+              edge u v k)
+        in
+        let m = Matching.maximal_edges ~n edges in
+        Matching.is_matching ~n m && Matching.is_maximal ~n ~candidates:edges m) ]
+
+let partition_cases =
+  [ case "two cliques split cleanly" (fun () ->
+        (* K4 + K4 joined by one edge: the bisection should cut only it *)
+        let g = Graph.create 8 in
+        List.iter
+          (fun base ->
+            for u = 0 to 3 do
+              for v = u + 1 to 3 do
+                Graph.add_edge g (base + u) (base + v)
+              done
+            done)
+          [ 0; 4 ];
+        Graph.add_edge g 0 4;
+        let side = Partition.bisect g in
+        check_float "cut weight 1" 1. (Graph.cut_weight g side));
+    case "balanced sizes" (fun () ->
+        let g = Graphs_helper.ring 7 in
+        let side = Partition.bisect g in
+        let count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 side in
+        check_int "|A| = 4" 4 count);
+    case "recursive order covers all vertices" (fun () ->
+        let g = Graphs_helper.ring 10 in
+        let order = Partition.recursive_order g in
+        Alcotest.(check (list int)) "is a permutation"
+          (List.init 10 (fun k -> k))
+          (List.sort compare (Array.to_list order)));
+    case "ring order keeps most neighbors adjacent" (fun () ->
+        let g = Graphs_helper.ring 8 in
+        let order = Partition.recursive_order g in
+        let position = Array.make 8 0 in
+        Array.iteri (fun pos v -> position.(v) <- pos) order;
+        (* at least half the ring edges should land within distance 2 *)
+        let close =
+          List.length
+            (List.filter
+               (fun (u, v, _) -> abs (position.(u) - position.(v)) <= 2)
+               (Graph.edges g))
+        in
+        check_bool "locality preserved" true (close >= 4)) ]
+
+let grid_cases =
+  [ case "square_for sizes" (fun () ->
+        let g = Grid.square_for 17 in
+        check_bool "fits" true (Grid.size g >= 17);
+        check_bool "near square" true
+          (g.Grid.width - g.Grid.height >= 0 && g.Grid.width - g.Grid.height <= 1));
+    case "coords roundtrip" (fun () ->
+        let g = Grid.make ~width:4 ~height:3 in
+        for k = 0 to Grid.size g - 1 do
+          let r, c = Grid.coords g k in
+          check_int "roundtrip" k (Grid.index g ~row:r ~col:c)
+        done);
+    case "adjacency" (fun () ->
+        let g = Grid.make ~width:3 ~height:3 in
+        check_bool "right neighbor" true (Grid.adjacent g 0 1);
+        check_bool "below neighbor" true (Grid.adjacent g 0 3);
+        check_bool "diagonal not adjacent" false (Grid.adjacent g 0 4);
+        check_bool "row wrap not adjacent" false (Grid.adjacent g 2 3));
+    case "manhattan distance" (fun () ->
+        let g = Grid.make ~width:4 ~height:4 in
+        check_int "corner to corner" 6 (Grid.distance g 0 15));
+    case "graph edge count" (fun () ->
+        (* w x h grid has w(h-1) + h(w-1) edges *)
+        let g = Grid.make ~width:3 ~height:4 in
+        check_int "edges" ((3 * 3) + (4 * 2)) (Graph.n_edges (Grid.graph g))) ]
+
+let rand_cases =
+  [ case "determinism" (fun () ->
+        let a = Rand.create 42 and b = Rand.create 42 in
+        for _ = 1 to 20 do
+          check_int "same stream" (Rand.int a 1000) (Rand.int b 1000)
+        done);
+    case "different seeds differ" (fun () ->
+        let a = Rand.create 1 and b = Rand.create 2 in
+        let xs = List.init 10 (fun _ -> Rand.int a 1_000_000) in
+        let ys = List.init 10 (fun _ -> Rand.int b 1_000_000) in
+        check_bool "streams differ" true (xs <> ys));
+    case "int bounds" (fun () ->
+        let rng = Rand.create 7 in
+        for _ = 1 to 1000 do
+          let v = Rand.int rng 17 in
+          check_bool "in range" true (v >= 0 && v < 17)
+        done);
+    case "float bounds" (fun () ->
+        let rng = Rand.create 8 in
+        for _ = 1 to 1000 do
+          let v = Rand.float rng 2.5 in
+          check_bool "in range" true (v >= 0. && v < 2.5)
+        done);
+    case "float roughly uniform" (fun () ->
+        let rng = Rand.create 9 in
+        let n = 10_000 in
+        let acc = ref 0. in
+        for _ = 1 to n do
+          acc := !acc +. Rand.float rng 1.0
+        done;
+        check_bool "mean near 0.5" true (Float.abs ((!acc /. float_of_int n) -. 0.5) < 0.02));
+    case "shuffle permutes" (fun () ->
+        let rng = Rand.create 10 in
+        let a = Array.init 20 (fun k -> k) in
+        Rand.shuffle rng a;
+        Alcotest.(check (list int)) "same multiset"
+          (List.init 20 (fun k -> k))
+          (List.sort compare (Array.to_list a)));
+    case "pick_distinct" (fun () ->
+        let rng = Rand.create 11 in
+        let picked = Rand.pick_distinct rng 5 10 in
+        check_int "count" 5 (List.length picked);
+        check_int "distinct" 5 (List.length (List.sort_uniq compare picked)));
+    case "pick_distinct too many raises" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "Rand.pick_distinct: k > n")
+          (fun () -> ignore (Rand.pick_distinct (Rand.create 1) 5 3)));
+    case "split independence" (fun () ->
+        let parent = Rand.create 13 in
+        let child = Rand.split parent in
+        let xs = List.init 5 (fun _ -> Rand.int parent 1000) in
+        let ys = List.init 5 (fun _ -> Rand.int child 1000) in
+        check_bool "streams differ" true (xs <> ys)) ]
+
+let suites =
+  [ ("qgraph.graph", graph_cases);
+    ("qgraph.matching", matching_cases);
+    ("qgraph.partition", partition_cases);
+    ("qgraph.grid", grid_cases);
+    ("qgraph.rand", rand_cases) ]

@@ -1,0 +1,145 @@
+(* tests for schedules, the ASAP baseline and the CLS scheduler *)
+
+open Qsched
+open Util
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+module Gdg = Qgdg.Gdg
+module Inst = Qgdg.Inst
+
+let unit_latency _ = 1.0
+let zz theta a b = [ Gate.cnot a b; Gate.rz theta b; Gate.cnot a b ]
+
+let gdg_of gates n = Gdg.of_circuit ~latency:unit_latency (Circuit.make n gates)
+
+let contract g =
+  ignore
+    (Qgdg.Diagonal.detect_and_contract
+       ~latency:(fun gs -> float_of_int (List.length gs))
+       g);
+  g
+
+let schedule_cases =
+  [ case "makespan computed" (fun () ->
+        let i = Inst.of_gate ~id:0 ~latency:5. (Gate.h 0) in
+        let s =
+          Schedule.make ~n_qubits:1
+            [ { Schedule.inst = i; start = 2.; finish = 7. } ]
+        in
+        check_float "makespan" 7. s.Schedule.makespan);
+    case "entries sorted by start" (fun () ->
+        let mk id st =
+          { Schedule.inst = Inst.of_gate ~id ~latency:1. (Gate.h id);
+            start = st;
+            finish = st +. 1. }
+        in
+        let s = Schedule.make ~n_qubits:3 [ mk 0 5.; mk 1 1.; mk 2 3. ] in
+        Alcotest.(check (list int)) "order" [ 1; 2; 0 ]
+          (List.map (fun (i : Inst.t) -> i.Inst.id) (Schedule.linearize s)));
+    case "negative duration raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Schedule.make: negative duration") (fun () ->
+            ignore
+              (Schedule.make ~n_qubits:1
+                 [ { Schedule.inst = Inst.of_gate ~id:0 ~latency:1. (Gate.h 0);
+                     start = 3.;
+                     finish = 1. } ])));
+    case "overlap detection" (fun () ->
+        let mk id st =
+          { Schedule.inst = Inst.of_gate ~id ~latency:2. (Gate.h 0);
+            start = st;
+            finish = st +. 2. }
+        in
+        let bad = Schedule.make ~n_qubits:1 [ mk 0 0.; mk 1 1. ] in
+        check_bool "overlap caught" false (Schedule.no_qubit_overlap bad);
+        let good = Schedule.make ~n_qubits:1 [ mk 0 0.; mk 1 2. ] in
+        check_bool "ok" true (Schedule.no_qubit_overlap good)) ]
+
+let asap_cases =
+  [ case "respects dependencies" (fun () ->
+        let g = gdg_of [ Gate.h 0; Gate.cnot 0 1; Gate.h 1 ] 2 in
+        let s = Asap.schedule g in
+        check_float "makespan 3" 3. s.Schedule.makespan;
+        check_bool "no overlap" true (Schedule.no_qubit_overlap s);
+        check_bool "order kept" true (Schedule.respects_order ~original:g s));
+    case "parallelizes independent gates" (fun () ->
+        let g = gdg_of [ Gate.h 0; Gate.h 1; Gate.h 2 ] 3 in
+        check_float "all at once" 1. (Asap.schedule g).Schedule.makespan) ]
+
+let cls_cases =
+  [ case "cls on serial circuit equals asap" (fun () ->
+        let g = gdg_of [ Gate.h 0; Gate.x 0; Gate.h 0 ] 1 in
+        check_float "serial" 3. (Cls.makespan g));
+    case "cls exploits zz commutativity" (fun () ->
+        (* 4-ring of ZZ blocks, contracted: CLS fits them in two layers *)
+        let gates =
+          zz 1. 0 1 @ zz 1. 1 2 @ zz 1. 2 3 @ zz 1. 3 0
+        in
+        let g = contract (gdg_of gates 4) in
+        let asap = Asap.schedule g in
+        let cls = Cls.schedule g in
+        check_bool "cls at least as good" true
+          (cls.Schedule.makespan <= asap.Schedule.makespan +. 1e-9);
+        check_float "two layers" 6. cls.Schedule.makespan);
+    case "cls without commutativity matches chain order" (fun () ->
+        let g = gdg_of [ Gate.cnot 0 1; Gate.cnot 1 2; Gate.cnot 2 3 ] 4 in
+        check_float "serial chain" 3. (Cls.makespan g));
+    case "cls schedules all instructions exactly once" (fun () ->
+        let g = contract (gdg_of (zz 1. 0 1 @ zz 2. 1 2 @ [ Gate.h 0; Gate.rx 0.4 2 ]) 3) in
+        let s = Cls.schedule g in
+        check_int "count" (Gdg.size g) (List.length s.Schedule.entries);
+        check_bool "no overlap" true (Schedule.no_qubit_overlap s));
+    case "cls legality via commutation" (fun () ->
+        let g = contract (gdg_of (zz 1. 0 1 @ zz 2. 1 2) 3) in
+        let groups = Qgdg.Comm_group.build g in
+        let s = Cls.schedule g in
+        check_bool "order or commuting" true
+          (Schedule.respects_order
+             ~reorderable:(Qgdg.Comm_group.reorderable groups)
+             ~original:g s));
+    case "cls preserves semantics on qaoa ring" (fun () ->
+        let circuit =
+          Qapps.Qaoa.circuit (Qgraph.Graph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (3, 0) ])
+        in
+        let g =
+          Gdg.of_circuit ~latency:unit_latency circuit |> contract
+        in
+        let s = Cls.schedule g in
+        check_bool "unitary preserved" true
+          (Circuit.equal_semantics ~eps:1e-8 circuit (Schedule.to_circuit s)));
+    case "cls handles wide instructions" (fun () ->
+        let wide = Inst.make ~id:0 ~latency:5. [ Gate.cnot 0 1; Gate.cnot 1 2 ] in
+        let tail = Inst.of_gate ~id:1 ~latency:1. (Gate.h 1) in
+        let g = Gdg.of_insts ~n_qubits:3 [ wide; tail ] in
+        let s = Cls.schedule g in
+        check_float "serialized" 6. s.Schedule.makespan);
+    qcheck ~count:25 "cls never loses to chain asap on random commutative circuits"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 4 + Qgraph.Rand.int rng 3 in
+        let gates =
+          List.concat
+            (List.init 6 (fun _ ->
+                 let a = Qgraph.Rand.int rng n in
+                 let b = (a + 1 + Qgraph.Rand.int rng (n - 1)) mod n in
+                 zz (Qgraph.Rand.float rng 3.) (min a b) (max a b)))
+        in
+        let g = contract (gdg_of gates n) in
+        let cls = Cls.makespan g in
+        let asap = (Asap.schedule g).Schedule.makespan in
+        cls <= asap +. 1e-6);
+    qcheck ~count:25 "cls schedules are always overlap-free"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let gates = random_unitary_gates rng 4 15 in
+        let g = contract (gdg_of gates 4) in
+        let s = Cls.schedule g in
+        Schedule.no_qubit_overlap s
+        && List.length s.Schedule.entries = Gdg.size g) ]
+
+let suites =
+  [ ("qsched.schedule", schedule_cases);
+    ("qsched.asap", asap_cases);
+    ("qsched.cls", cls_cases) ]

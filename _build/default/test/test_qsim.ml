@@ -1,0 +1,151 @@
+(* tests for the state-vector simulator, pulse simulation and verification *)
+
+open Qsim
+open Util
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+
+let device = Qcontrol.Device.default
+
+let state_cases =
+  [ case "zero state" (fun () ->
+        let st = State.zero 3 in
+        check_float "P(|000>)" 1. (State.probability st 0);
+        check_int "dim" 8 (State.dim st));
+    case "x flips" (fun () ->
+        let st = State.apply_gate (State.zero 2) (Gate.x 0) in
+        (* qubit 0 is the most significant bit *)
+        check_float "P(|10>)" 1. (State.probability st 2));
+    case "hadamard superposition" (fun () ->
+        let st = State.apply_gate (State.zero 1) (Gate.h 0) in
+        check_float ~eps:1e-12 "P(0)" 0.5 (State.probability st 0);
+        check_float ~eps:1e-12 "P(1)" 0.5 (State.probability st 1));
+    case "bell state" (fun () ->
+        let st =
+          State.apply_circuit (State.zero 2)
+            (Circuit.make 2 [ Gate.h 0; Gate.cnot 0 1 ])
+        in
+        check_float ~eps:1e-12 "P(00)" 0.5 (State.probability st 0);
+        check_float ~eps:1e-12 "P(11)" 0.5 (State.probability st 3);
+        check_float ~eps:1e-12 "P(01)" 0. (State.probability st 1));
+    case "ghz state on 5 qubits" (fun () ->
+        let gates = Gate.h 0 :: List.init 4 (fun k -> Gate.cnot k (k + 1)) in
+        let st = State.apply_circuit (State.zero 5) (Circuit.make 5 gates) in
+        check_float ~eps:1e-12 "P(00000)" 0.5 (State.probability st 0);
+        check_float ~eps:1e-12 "P(11111)" 0.5 (State.probability st 31));
+    case "apply agrees with dense unitary" (fun () ->
+        let rng = Qgraph.Rand.create 17 in
+        let gates = random_unitary_gates rng 3 12 in
+        let circuit = Circuit.make 3 gates in
+        let via_sim = State.apply_circuit (State.basis 3 5) circuit in
+        let u = Circuit.unitary circuit in
+        let via_mat = Qnum.Cmat.apply u (State.amplitudes (State.basis 3 5)) in
+        check_bool "same amplitudes" true
+          (Qnum.Vec.equal ~eps:1e-9 via_mat (State.amplitudes via_sim)));
+    case "norm preserved" (fun () ->
+        let rng = Qgraph.Rand.create 23 in
+        let gates = random_unitary_gates rng 4 30 in
+        let st = State.apply_circuit (State.zero 4) (Circuit.make 4 gates) in
+        check_float ~eps:1e-9 "norm 1" 1. (Qnum.Vec.norm2 (State.amplitudes st)));
+    case "expectation of Z on |1>" (fun () ->
+        let st = State.apply_gate (State.zero 1) (Gate.x 0) in
+        check_float ~eps:1e-12 "<Z> = -1" (-1.)
+          (State.expectation st (Qgate.Pauli.of_string 1.0 "Z")));
+    case "expectation of X on |+>" (fun () ->
+        let st = State.apply_gate (State.zero 1) (Gate.h 0) in
+        check_float ~eps:1e-12 "<X> = 1" 1.
+          (State.expectation st (Qgate.Pauli.of_string 1.0 "X")));
+    case "expectation with coefficient and identity" (fun () ->
+        let st = State.zero 2 in
+        check_float ~eps:1e-12 "2.5 * <II>" 2.5
+          (State.expectation st (Qgate.Pauli.of_string 2.5 "II"));
+        check_float ~eps:1e-12 "<ZZ> on |00>" 1.
+          (State.expectation st (Qgate.Pauli.of_string 1.0 "ZZ")));
+    case "measurement statistics on |+>" (fun () ->
+        let st = State.apply_gate (State.zero 1) (Gate.h 0) in
+        let rng = Qgraph.Rand.create 31 in
+        let shots = State.sample rng st 2000 in
+        let ones = List.length (List.filter (( = ) 1) shots) in
+        check_bool "roughly half" true (ones > 850 && ones < 1150));
+    case "measurement of basis state is deterministic" (fun () ->
+        let rng = Qgraph.Rand.create 5 in
+        let st = State.basis 3 6 in
+        check_bool "always 6" true
+          (List.for_all (( = ) 6) (State.sample rng st 50)));
+    case "fidelity of orthogonal states" (fun () ->
+        check_float "0" 0. (State.fidelity (State.basis 2 0) (State.basis 2 3)));
+    case "of_vec rejects unnormalized" (fun () ->
+        Alcotest.check_raises "raises" (Invalid_argument "State.of_vec: not normalized")
+          (fun () ->
+            ignore (State.of_vec 1 (Qnum.Vec.of_array [| Qnum.Cx.of_float 2.; Qnum.Cx.zero |])))) ]
+
+let pulse_sim_cases =
+  [ case "zero pulse is identity" (fun () ->
+        let pulse =
+          Qcontrol.Pulse.constant ~dt:1. ~labels:[| "x0"; "y0" |] ~steps:5
+            [| 0.; 0. |]
+        in
+        let u = Pulse_sim.unitary ~device ~n_qubits:1 ~couplings:[] pulse in
+        check_mat ~eps:1e-12 "identity" (Qnum.Cmat.identity 2) u);
+    case "constant x drive rotates" (fun () ->
+        (* amplitude µ for t: angle 2µt about x *)
+        let t = 10. and amp = 0.05 in
+        let pulse =
+          Qcontrol.Pulse.constant ~dt:1. ~labels:[| "x0"; "y0" |]
+            ~steps:(int_of_float t) [| amp; 0. |]
+        in
+        let u = Pulse_sim.unitary ~device ~n_qubits:1 ~couplings:[] pulse in
+        check_mat_phase ~eps:1e-9 "Rx(2 µ t)"
+          (Qgate.Unitary.of_kind (Gate.Rx (2. *. amp *. t)))
+          u);
+    case "evolve matches unitary" (fun () ->
+        let pulse =
+          Qcontrol.Pulse.constant ~dt:0.5
+            ~labels:[| "x0"; "y0"; "x1"; "y1"; "xy0-1" |] ~steps:20
+            [| 0.03; -0.01; 0.; 0.02; 0.015 |]
+        in
+        let couplings = [ (0, 1) ] in
+        let u = Pulse_sim.unitary ~device ~n_qubits:2 ~couplings pulse in
+        let st = Pulse_sim.evolve ~device ~couplings (State.zero 2) pulse in
+        let expect = Qnum.Cmat.apply u (State.amplitudes (State.zero 2)) in
+        check_bool "same" true
+          (Qnum.Vec.equal ~eps:1e-9 expect (State.amplitudes st)));
+    case "leakage proxy" (fun () ->
+        let pulse =
+          Qcontrol.Pulse.constant ~dt:1. ~labels:[| "a"; "b" |] ~steps:2
+            [| 0.1; 0.3 |]
+        in
+        check_float ~eps:1e-12 "mean square" ((0.01 +. 0.09) /. 2.)
+          (Pulse_sim.leakage_proxy pulse)) ]
+
+let verify_cases =
+  [ case "unitary-only check passes for valid blocks" (fun () ->
+        let o =
+          Verify.verify_block ~max_pulse_width:0 device
+            [ Gate.cnot 0 1; Gate.rz 0.4 1; Gate.cnot 0 1 ]
+        in
+        check_bool "passed" true o.Verify.passed;
+        check_bool "no pulse" true (o.Verify.pulse_fidelity = None));
+    slow_case "pulse check verifies a diagonal block" (fun () ->
+        let o =
+          Verify.verify_block ~max_pulse_width:2 ~slack:2.0 device
+            [ Gate.cnot 0 1; Gate.rz 5.67 1; Gate.cnot 0 1 ]
+        in
+        check_bool "passed" true o.Verify.passed;
+        (match o.Verify.pulse_fidelity with
+         | Some f -> check_bool "fidelity high" true (f >= 0.99)
+         | None -> Alcotest.fail "expected a pulse check"));
+    case "sampling caps the block count" (fun () ->
+        let rng = Qgraph.Rand.create 1 in
+        let blocks = List.init 30 (fun k -> [ Gate.h (k mod 3) ]) in
+        let r = Verify.verify_sampled ~samples:7 ~max_pulse_width:0 rng device blocks in
+        check_int "7 sampled" 7 r.Verify.n_checked);
+    case "empty block raises" (fun () ->
+        Alcotest.check_raises "raises"
+          (Invalid_argument "Verify.verify_block: empty block") (fun () ->
+            ignore (Verify.verify_block device []))) ]
+
+let suites =
+  [ ("qsim.state", state_cases);
+    ("qsim.pulse_sim", pulse_sim_cases);
+    ("qsim.verify", verify_cases) ]

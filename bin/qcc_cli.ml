@@ -4,26 +4,55 @@
      compile    compile a QASM file (or named benchmark) under a strategy
      compare    run all strategies and print normalized latencies
      bench-list list the built-in benchmark instances
+     lint       run the Qlint static checkers on a circuit / compilation
      verify     verify sampled aggregated instructions of a compilation
      pulse      GRAPE-synthesize a pulse for a named 1-2 qubit gate *)
 
 open Cmdliner
 
+(* user errors (bad flags, malformed inputs) exit 2 with a one-line
+   message instead of an uncaught-exception backtrace *)
+let or_die f =
+  let die msg =
+    Printf.eprintf "qcc: %s\n" msg;
+    exit 2
+  in
+  try f () with Failure msg | Invalid_argument msg -> die msg
+
 let load_circuit ~qasm_file ~benchmark =
   match (qasm_file, benchmark) with
   | Some path, None -> Qgate.Qasm.read_file path
-  | None, Some name -> Qapps.Suite.lowered (Qapps.Suite.find name)
+  | None, Some name ->
+    (match Qapps.Suite.find name with
+     | b -> Qapps.Suite.lowered b
+     | exception Not_found ->
+       failwith
+         (Printf.sprintf "unknown benchmark %S (see qcc bench-list)" name))
   | Some _, Some _ -> failwith "give either a QASM file or a benchmark, not both"
   | None, None -> failwith "give a QASM file (-f) or a benchmark name (-b)"
+
+let parse_size ~what s =
+  match int_of_string_opt s with
+  | None ->
+    failwith
+      (Printf.sprintf "%s: %S is not an integer" what s)
+  | Some n when n <= 0 ->
+    failwith
+      (Printf.sprintf "%s: %d is not a positive qubit count" what n)
+  | Some n -> n
 
 let topology_of = function
   | None -> None
   | Some "grid" -> None
   | Some s ->
     (match String.split_on_char ':' s with
-     | [ "line"; n ] -> Some (Qmap.Topology.line (int_of_string n))
-     | [ "full"; n ] -> Some (Qmap.Topology.full (int_of_string n))
-     | _ -> failwith "topology must be 'grid', 'line:N' or 'full:N'")
+     | [ "line"; n ] -> Some (Qmap.Topology.line (parse_size ~what:"line topology" n))
+     | [ "full"; n ] -> Some (Qmap.Topology.full (parse_size ~what:"full topology" n))
+     | _ ->
+       failwith
+         (Printf.sprintf
+            "bad topology %S: expected 'grid', 'line:N' or 'full:N' with N \
+             a positive integer" s))
 
 let qasm_arg =
   Arg.(value & opt (some file) None & info [ "f"; "qasm" ] ~doc:"Input QASM file.")
@@ -58,6 +87,9 @@ let device_of = function
   | s -> failwith (Printf.sprintf "unknown architecture %S (xy zz heisenberg)" s)
 
 let config topology width arch =
+  if width <= 0 then
+    failwith
+      (Printf.sprintf "--width: %d is not a positive width limit" width);
   { Qcc.Compiler.device = device_of arch;
     topology = topology_of topology;
     width_limit = width }
@@ -73,6 +105,7 @@ let print_result r =
 
 let compile_cmd =
   let run qasm bench strategy topology width arch verbose =
+    or_die @@ fun () ->
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let strategy = Qcc.Strategy.of_string strategy in
     let r =
@@ -91,6 +124,7 @@ let compile_cmd =
 
 let compare_cmd =
   let run qasm bench topology width arch =
+    or_die @@ fun () ->
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let results =
       Qcc.Compiler.compile_all ~config:(config topology width arch) circuit
@@ -116,8 +150,59 @@ let bench_list_cmd =
   Cmd.v (Cmd.info "bench-list" ~doc:"List built-in benchmarks.")
     Term.(const run $ const ())
 
+let lint_cmd =
+  let run qasm bench strategy topology width arch format =
+    or_die @@ fun () ->
+    let render report =
+      (match format with
+       | "text" -> Format.printf "%a" Qlint.Report.pp_text report
+       | "json" -> Format.printf "%a" Qlint.Report.pp_json report
+       | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f));
+      if Qlint.Report.has_errors report then exit 1
+    in
+    (* front-door lint: QASM parse + well-formedness before compiling *)
+    let input_diags =
+      match (qasm, bench) with
+      | Some _, Some _ ->
+        failwith "give either a QASM file or a benchmark, not both"
+      | Some path, None ->
+        Qlint.Check_circuit.lint_qasm_file ~stage:"input" path
+      | _ ->
+        Qlint.Check_circuit.run ~stage:"input" ~warn_unused:true
+          (load_circuit ~qasm_file:qasm ~benchmark:bench)
+    in
+    if List.exists Qlint.Diagnostic.is_error input_diags then
+      render (Qlint.Report.of_list input_diags)
+    else begin
+      let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+      let strategy = Qcc.Strategy.of_string strategy in
+      let compiled =
+        match
+          Qcc.Compiler.compile ~config:(config topology width arch)
+            ~check:true ~strategy circuit
+        with
+        | r -> r.Qcc.Compiler.diagnostics
+        | exception Qlint.Report.Check_failed rep ->
+          Qlint.Report.diagnostics rep
+      in
+      render (Qlint.Report.of_list (input_diags @ compiled))
+    end
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ] ~doc:"Report format: text (default) or json.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static checkers (circuit, GDG, schedule, mapping, \
+             aggregation) over a full compilation; exit 1 on any error \
+             diagnostic.")
+    Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
+          $ width_arg $ arch_arg $ format)
+
 let verify_cmd =
   let run qasm bench topology width arch samples =
+    or_die @@ fun () ->
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let r =
       Qcc.Compiler.compile ~config:(config topology width arch)
@@ -141,6 +226,7 @@ let verify_cmd =
 
 let pulse_cmd =
   let run gate duration =
+    or_die @@ fun () ->
     let target, n_qubits, couplings =
       match gate with
       | "x" -> (Qgate.Unitary.of_kind Qgate.Gate.X, 1, [])
@@ -176,6 +262,7 @@ let pulse_cmd =
 
 let export_cmd =
   let run qasm bench strategy topology width arch out_dir =
+    or_die @@ fun () ->
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let strategy = Qcc.Strategy.of_string strategy in
     let r =
@@ -205,5 +292,5 @@ let () =
   let doc = "optimized compilation of aggregated quantum instructions" in
   let info = Cmd.info "qcc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ compile_cmd; compare_cmd; bench_list_cmd; verify_cmd;
-                      pulse_cmd; export_cmd ]))
+                    [ compile_cmd; compare_cmd; bench_list_cmd; lint_cmd;
+                      verify_cmd; pulse_cmd; export_cmd ]))

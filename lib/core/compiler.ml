@@ -23,6 +23,7 @@ type result = {
   n_swaps_inserted : int;
   n_merges : int;
   compile_time : float;
+  diagnostics : Qlint.Diagnostic.t list;
 }
 
 let topology_of config circuit =
@@ -36,6 +37,83 @@ let serial_cost device gates = Qcontrol.Latency_model.isa_critical_path device g
 let opt_cost config gates =
   Qcontrol.Latency_model.block_time ~width_limit:config.width_limit
     config.device gates
+
+(* ---- static-check instrumentation (the [~check:true] mode) ----
+
+   [ctx] accumulates diagnostics across pipeline boundaries; an
+   error-severity diagnostic fails fast with the structured report built
+   so far ([Qlint.Report.Check_failed]). [None] disables everything at
+   zero cost. *)
+
+type lint_ctx = Qlint.Diagnostic.t list ref option
+
+let checkpoint (ctx : lint_ctx) f =
+  match ctx with
+  | None -> ()
+  | Some acc ->
+    let diags = f () in
+    acc := !acc @ diags;
+    if List.exists Qlint.Diagnostic.is_error diags then
+      raise (Qlint.Report.Check_failed (Qlint.Report.of_list !acc))
+
+let check_circuit ctx ~stage circuit =
+  checkpoint ctx (fun () -> Qlint.Check_circuit.run ~stage circuit)
+
+let check_gdg ctx ~stage gdg =
+  checkpoint ctx (fun () -> Qlint.Check_gdg.run ~stage gdg)
+
+let check_logical_schedule ctx ~stage gdg schedule =
+  checkpoint ctx (fun () ->
+      let groups = Qgdg.Comm_group.build gdg in
+      Qlint.Check_schedule.run ~stage ~original:gdg
+        ~reorderable:(Qgdg.Comm_group.reorderable groups)
+        schedule)
+
+(* the routing boundary for instruction streams: placement consistency,
+   site adjacency, and a full replay of the router's contract *)
+let check_routed_insts ctx ~topology ~initial ~final ~logical ~routed =
+  checkpoint ctx (fun () ->
+      let gates insts =
+        List.concat_map (fun (i : Inst.t) -> i.Inst.gates) insts
+      in
+      Qlint.Check_mapping.run ~stage:"route" ~topology ~initial ~final routed
+      @ Qlint.Check_mapping.check_routing ~stage:"route" ~topology ~initial
+          ~final ~logical:(gates logical) ~physical:(gates routed) ())
+
+(* same boundary when the router ran over a plain gate stream *)
+let check_routed_circuit ctx ~topology ~initial ~final ~logical ~physical =
+  checkpoint ctx (fun () ->
+      Qlint.Check_mapping.check_placement ~stage:"route"
+        ~label:"initial placement" ~topology initial
+      @ Qlint.Check_mapping.check_placement ~stage:"route"
+          ~label:"final placement" ~topology final
+      @ Qlint.Check_mapping.check_adjacency_circuit ~stage:"route" ~topology
+          physical
+      @ Qlint.Check_mapping.check_routing ~stage:"route" ~topology ~initial
+          ~final ~logical:(Circuit.gates logical)
+          ~physical:(Circuit.gates physical) ())
+
+let check_aggregate ctx ~config gdg =
+  checkpoint ctx (fun () ->
+      (* diagonal detection may build 2-qubit blocks below any limit *)
+      Qlint.Check_agg.run ~stage:"aggregate"
+        ~width_limit:(max config.width_limit 2) gdg
+      @ Qlint.Check_gdg.run ~stage:"aggregate" gdg)
+
+(* the last boundary re-checks everything the earlier passes could have
+   invalidated: graph structure, block policy, site adjacency and the
+   final schedule's legality modulo declared commutations *)
+let check_final ctx ~config ~topology gdg schedule =
+  checkpoint ctx (fun () ->
+      let groups = Qgdg.Comm_group.build gdg in
+      Qlint.Check_gdg.run ~stage:"schedule" gdg
+      @ Qlint.Check_agg.run ~stage:"schedule"
+          ~width_limit:(max config.width_limit 2) gdg
+      @ Qlint.Check_mapping.check_adjacency ~stage:"schedule" ~topology
+          (Gdg.insts gdg)
+      @ Qlint.Check_schedule.run ~stage:"schedule" ~original:gdg
+          ~reorderable:(Qgdg.Comm_group.reorderable groups)
+          schedule)
 
 (* relabel instructions to fresh consecutive ids (after routing mixes
    logical instructions with inserted swaps) *)
@@ -65,23 +143,28 @@ let gdg_of_physical ~topology insts =
   Gdg.of_insts ~n_qubits:(Qmap.Topology.n_sites topology) insts
 
 (* ISA baseline: program order, per-gate pulses, ASAP *)
-let compile_isa ~config circuit =
+let compile_isa ~config ~ctx circuit =
   let topology = topology_of config circuit in
   let placement = Qmap.Placement.initial topology circuit in
   let physical, final = Qmap.Router.route_circuit ~placement ~topology circuit in
+  check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
+    ~physical;
   let gdg =
     Gdg.of_circuit
       ~latency:(fun gates -> serial_cost config.device gates)
       physical
   in
+  check_gdg ctx ~stage:"gdg" gdg;
   let swaps =
     Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical
     - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
   in
-  (Qsched.Asap.schedule gdg, gdg, swaps, 0, placement, final)
+  let schedule = Qsched.Asap.schedule gdg in
+  check_final ctx ~config ~topology gdg schedule;
+  (schedule, gdg, swaps, 0, placement, final)
 
 (* commutativity detection + CLS, gates still pulsed individually *)
-let compile_cls ~config circuit =
+let compile_cls ~config ~ctx circuit =
   let topology = topology_of config circuit in
   let gdg =
     Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
@@ -92,12 +175,16 @@ let compile_cls ~config circuit =
       ~latency:(fun gates -> serial_cost config.device gates)
       gdg
   in
+  check_gdg ctx ~stage:"gdg" gdg;
   let logical_schedule = Qsched.Cls.schedule gdg in
+  check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
   let placement = Qmap.Placement.initial topology circuit in
+  let linear = Qsched.Schedule.linearize logical_schedule in
   let routed, swaps, final =
-    route_insts ~config ~topology ~placement
-      (Qsched.Schedule.linearize logical_schedule)
+    route_insts ~config ~topology ~placement linear
   in
+  check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
+    ~routed;
   (* CLS gets no custom pulses: expand blocks back to gates so the final
      schedule recovers gate-level overlap; the commutativity gain is
      already baked into the routed order *)
@@ -109,15 +196,19 @@ let compile_cls ~config circuit =
     Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
       flat
   in
-  (Qsched.Cls.schedule physical, physical, swaps, merges, placement, final)
+  let schedule = Qsched.Cls.schedule physical in
+  check_final ctx ~config ~topology physical schedule;
+  (schedule, physical, swaps, merges, placement, final)
 
 (* aggregation without commutativity-aware scheduling *)
-let compile_aggregation ~config circuit =
+let compile_aggregation ~config ~ctx circuit =
   let topology = topology_of config circuit in
   let placement = Qmap.Placement.initial topology circuit in
   let physical_circuit, final =
     Qmap.Router.route_circuit ~placement ~topology circuit
   in
+  check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
+    ~physical:physical_circuit;
   let swaps =
     Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical_circuit
     - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
@@ -129,11 +220,15 @@ let compile_aggregation ~config circuit =
   let d_merges =
     Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
   in
+  check_gdg ctx ~stage:"gdg" gdg;
   let stats =
     Qagg.Aggregator.run ~width_limit:config.width_limit
       ~cost:(opt_cost config) gdg
   in
-  ( Qsched.Asap.schedule gdg,
+  check_aggregate ctx ~config gdg;
+  let schedule = Qsched.Asap.schedule gdg in
+  check_final ctx ~config ~topology gdg schedule;
+  ( schedule,
     gdg,
     swaps,
     d_merges + stats.Qagg.Aggregator.merges,
@@ -141,7 +236,7 @@ let compile_aggregation ~config circuit =
     final )
 
 (* the full pipeline *)
-let compile_cls_aggregation ~config circuit =
+let compile_cls_aggregation ~config ~ctx circuit =
   let topology = topology_of config circuit in
   let gdg =
     Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates) circuit
@@ -149,18 +244,25 @@ let compile_cls_aggregation ~config circuit =
   let d_merges =
     Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
   in
+  check_gdg ctx ~stage:"gdg" gdg;
   let logical_schedule = Qsched.Cls.schedule gdg in
+  check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
   let placement = Qmap.Placement.initial topology circuit in
+  let linear = Qsched.Schedule.linearize logical_schedule in
   let routed, swaps, final =
-    route_insts ~config ~topology ~placement
-      (Qsched.Schedule.linearize logical_schedule)
+    route_insts ~config ~topology ~placement linear
   in
+  check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
+    ~routed;
   let physical = gdg_of_physical ~topology routed in
   let stats =
     Qagg.Aggregator.run ~width_limit:config.width_limit
       ~cost:(opt_cost config) physical
   in
-  ( Qsched.Cls.schedule physical,
+  check_aggregate ctx ~config physical;
+  let schedule = Qsched.Cls.schedule physical in
+  check_final ctx ~config ~topology physical schedule;
+  ( schedule,
     physical,
     swaps,
     d_merges + stats.Qagg.Aggregator.merges,
@@ -168,19 +270,24 @@ let compile_cls_aggregation ~config circuit =
     final )
 
 (* CLS + mechanical hand optimization *)
-let compile_cls_hand ~config circuit =
+let compile_cls_hand ~config ~ctx circuit =
   let topology = topology_of config circuit in
   let hand = Handopt.optimize circuit in
+  check_circuit ctx ~stage:"handopt" hand;
   let gdg =
     Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
       hand
   in
+  check_gdg ctx ~stage:"gdg" gdg;
   let logical_schedule = Qsched.Cls.schedule gdg in
+  check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
   let placement = Qmap.Placement.initial topology hand in
+  let linear = Qsched.Schedule.linearize logical_schedule in
   let routed, swaps, final =
-    route_insts ~config ~topology ~placement
-      (Qsched.Schedule.linearize logical_schedule)
+    route_insts ~config ~topology ~placement linear
   in
+  check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
+    ~routed;
   (* a second peephole pass over the routed stream (swaps enable new
      cancellations), then the final commutativity-aware schedule *)
   let flat =
@@ -188,23 +295,28 @@ let compile_cls_hand ~config circuit =
       (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
   in
   let hand2 = Handopt.optimize flat in
+  check_circuit ctx ~stage:"handopt" hand2;
   let physical =
     Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
       hand2
   in
-  (Qsched.Cls.schedule physical, physical, swaps, 0, placement, final)
+  let schedule = Qsched.Cls.schedule physical in
+  check_final ctx ~config ~topology physical schedule;
+  (schedule, physical, swaps, 0, placement, final)
 
-let compile ?(config = default_config) ~strategy circuit =
+let compile ?(config = default_config) ?(check = false) ~strategy circuit =
   let t0 = Sys.time () in
+  let ctx = if check then Some (ref []) else None in
   let circuit = Qgate.Decompose.to_isa circuit in
+  check_circuit ctx ~stage:"lower" circuit;
   let schedule, gdg, n_swaps_inserted, n_merges, initial_placement,
       final_placement =
     match strategy with
-    | Strategy.Isa -> compile_isa ~config circuit
-    | Strategy.Cls -> compile_cls ~config circuit
-    | Strategy.Aggregation -> compile_aggregation ~config circuit
-    | Strategy.Cls_aggregation -> compile_cls_aggregation ~config circuit
-    | Strategy.Cls_hand -> compile_cls_hand ~config circuit
+    | Strategy.Isa -> compile_isa ~config ~ctx circuit
+    | Strategy.Cls -> compile_cls ~config ~ctx circuit
+    | Strategy.Aggregation -> compile_aggregation ~config ~ctx circuit
+    | Strategy.Cls_aggregation -> compile_cls_aggregation ~config ~ctx circuit
+    | Strategy.Cls_hand -> compile_cls_hand ~config ~ctx circuit
   in
   { strategy;
     schedule;
@@ -215,11 +327,15 @@ let compile ?(config = default_config) ~strategy circuit =
     n_instructions = Gdg.size gdg;
     n_swaps_inserted;
     n_merges;
-    compile_time = Sys.time () -. t0 }
+    compile_time = Sys.time () -. t0;
+    diagnostics =
+      (match ctx with
+       | Some acc -> List.stable_sort Qlint.Diagnostic.compare !acc
+       | None -> []) }
 
-let compile_all ?config circuit =
+let compile_all ?config ?check circuit =
   List.map
-    (fun strategy -> (strategy, compile ?config ~strategy circuit))
+    (fun strategy -> (strategy, compile ?config ?check ~strategy circuit))
     Strategy.all
 
 let blocks result =

@@ -46,13 +46,25 @@ type result = {
   n_swaps_inserted : int;
   n_merges : int;  (** diagonal contractions + aggregation merges *)
   compile_time : float;  (** seconds *)
+  diagnostics : Qlint.Diagnostic.t list;
+      (** static-check findings accumulated across pass boundaries; always
+          [[]] unless compiled with [~check:true] *)
 }
 
 val compile :
-  ?config:config -> strategy:Strategy.t -> Qgate.Circuit.t -> result
+  ?config:config -> ?check:bool -> strategy:Strategy.t -> Qgate.Circuit.t ->
+  result
+(** [~check:true] runs the Qlint checker families at every pass boundary
+    (lowered circuit, GDG construction, logical CLS schedule, routing,
+    aggregation, final schedule). Warnings and infos accumulate into
+    {!field:result.diagnostics}; the first boundary that produces an
+    error-severity diagnostic aborts compilation by raising
+    [Qlint.Report.Check_failed] carrying everything gathered so far.
+    [~check:false] (the default) costs nothing. *)
 
 val compile_all :
-  ?config:config -> Qgate.Circuit.t -> (Strategy.t * result) list
+  ?config:config -> ?check:bool -> Qgate.Circuit.t ->
+  (Strategy.t * result) list
 (** All five strategies on one circuit. *)
 
 val blocks : result -> Qgate.Gate.t list list

@@ -63,12 +63,19 @@ let edge_tables g =
     g.chains;
   (pred, succ)
 
-(* Kahn topological order over per-qubit chain edges; raises on cycles *)
-let topo_ids g =
+(* Kahn topological order over per-qubit chain edges; nodes left with a
+   positive in-degree sit on (or behind) a dependence cycle. Edges whose
+   endpoint is not a live node (a dangling chain id) are skipped so the
+   walk stays total on corrupted graphs. *)
+let kahn g =
   let _, succ = edge_tables g in
   let indeg = Hashtbl.create (size g) in
   Hashtbl.iter (fun id _ -> Hashtbl.replace indeg id 0) g.nodes;
-  let bump id d = Hashtbl.replace indeg id (Hashtbl.find indeg id + d) in
+  let bump id d =
+    match Hashtbl.find_opt indeg id with
+    | None -> ()
+    | Some v -> Hashtbl.replace indeg id (v + d)
+  in
   Hashtbl.iter (fun _ s -> bump s 1) succ;
   let order = ref [] in
   let module Iset = Set.Make (Int) in
@@ -87,11 +94,18 @@ let topo_ids g =
         | None -> ()
         | Some s ->
           bump s (-1);
-          if Hashtbl.find indeg s = 0 then ready := Iset.add s !ready)
+          if Hashtbl.find_opt indeg s = Some 0 then ready := Iset.add s !ready)
       inst.Inst.qubits
   done;
-  if !emitted <> size g then failwith "Gdg: cyclic dependence graph";
-  List.rev !order
+  let stuck =
+    Hashtbl.fold (fun id d acc -> if d > 0 then id :: acc else acc) indeg []
+  in
+  (List.rev !order, List.sort compare stuck)
+
+let topo_ids g =
+  match kahn g with
+  | order, [] -> order
+  | _ -> failwith "Gdg: cyclic dependence graph"
 
 let insts g = List.map (find g) (topo_ids g)
 let iter_insts g f = Hashtbl.iter (fun _ i -> f i) g.nodes
@@ -197,36 +211,69 @@ let makespan g = snd (asap g)
 
 let all_gates g = List.concat_map (fun i -> i.Inst.gates) (insts g)
 
-let validate g =
+type problem =
+  | Dangling_node of { qubit : int; id : int }
+  | Not_in_support of { qubit : int; id : int }
+  | Missing_from_chain of { qubit : int; id : int }
+  | Duplicate_on_chain of { qubit : int; id : int }
+  | Cycle of int list
+
+let problem_message = function
+  | Dangling_node { qubit; id } ->
+    Printf.sprintf "Gdg: dangling node %d on qubit %d" id qubit
+  | Not_in_support { qubit; id } ->
+    Printf.sprintf "Gdg: node %d on chain %d but not in support" id qubit
+  | Missing_from_chain { qubit; id } ->
+    Printf.sprintf "Gdg: node %d missing from chain %d" id qubit
+  | Duplicate_on_chain { qubit; id } ->
+    Printf.sprintf "Gdg: duplicate node %d on qubit %d" id qubit
+  | Cycle ids ->
+    Printf.sprintf "Gdg: cyclic dependence through nodes %s"
+      (String.concat ", " (List.map string_of_int ids))
+
+let problems g =
   (* every chain id resolves; every node appears exactly once per support
      qubit and nowhere else; the graph is acyclic *)
+  let probs = ref [] in
+  let add p = probs := p :: !probs in
   Array.iteri
     (fun q chain ->
       List.iter
         (fun id ->
           match Hashtbl.find_opt g.nodes id with
-          | None -> failwith (Printf.sprintf "Gdg: dangling node %d on qubit %d" id q)
+          | None -> add (Dangling_node { qubit = q; id })
           | Some inst ->
             if not (Inst.acts_on inst q) then
-              failwith (Printf.sprintf "Gdg: node %d on chain %d but not in support" id q))
+              add (Not_in_support { qubit = q; id }))
         chain;
       let sorted = List.sort compare chain in
-      let rec dup = function
-        | x :: y :: _ when x = y -> true
-        | _ :: rest -> dup rest
-        | [] -> false
+      let rec dups = function
+        | x :: y :: rest when x = y ->
+          add (Duplicate_on_chain { qubit = q; id = x });
+          dups (List.filter (fun z -> z <> x) rest)
+        | _ :: rest -> dups rest
+        | [] -> ()
       in
-      if dup sorted then failwith (Printf.sprintf "Gdg: duplicate node on qubit %d" q))
+      dups sorted)
     g.chains;
-  Hashtbl.iter
-    (fun id inst ->
+  let ids = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) g.nodes []) in
+  List.iter
+    (fun id ->
+      let inst = find g id in
       List.iter
         (fun q ->
-          if not (List.mem id g.chains.(q)) then
-            failwith (Printf.sprintf "Gdg: node %d missing from chain %d" id q))
+          if q >= 0 && q < Array.length g.chains
+             && not (List.mem id g.chains.(q)) then
+            add (Missing_from_chain { qubit = q; id }))
         inst.Inst.qubits)
-    g.nodes;
-  ignore (topo_ids g)
+    ids;
+  (match kahn g with _, [] -> () | _, stuck -> add (Cycle stuck));
+  List.rev !probs
+
+let validate g =
+  match problems g with
+  | [] -> ()
+  | p :: _ -> failwith (problem_message p)
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>gdg: %d qubits, %d instructions@," g.n_qubits (size g);

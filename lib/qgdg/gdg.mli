@@ -72,8 +72,27 @@ val all_gates : t -> Qgate.Gate.t list
 (** Member gates of all instructions, in a topological program order. *)
 
 val copy : t -> t
+
+type problem =
+  | Dangling_node of { qubit : int; id : int }
+      (** a chain references an id with no node *)
+  | Not_in_support of { qubit : int; id : int }
+      (** a node sits on a qubit's chain without acting on that qubit *)
+  | Missing_from_chain of { qubit : int; id : int }
+      (** a node acts on a qubit but is absent from its chain *)
+  | Duplicate_on_chain of { qubit : int; id : int }
+  | Cycle of int list
+      (** ids on or behind a dependence cycle *)
+
+val problems : t -> problem list
+(** All structural-invariant violations, in deterministic order (empty
+    for a well-formed graph). Total even on corrupted graphs — the static
+    checkers build diagnostics from this. *)
+
+val problem_message : problem -> string
+
 val validate : t -> unit
-(** Checks chain/node consistency and acyclicity; raises [Failure] with a
-    diagnostic otherwise (used by tests). *)
+(** Raises [Failure] with the first {!problems} message, if any (used by
+    tests). *)
 
 val pp : Format.formatter -> t -> unit

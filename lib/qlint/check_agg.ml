@@ -1,0 +1,39 @@
+module Gdg = Qgdg.Gdg
+module Inst = Qgdg.Inst
+module Gate = Qgate.Gate
+module D = Diagnostic
+
+let run ?stage ~width_limit g =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (i : Inst.t) ->
+      let width = Inst.width i in
+      if width > width_limit then
+        add
+          (D.make ?stage ~insts:[ i.Inst.id ] ~qubits:i.Inst.qubits
+             ~code:"QL050" ~severity:D.Error
+             (Printf.sprintf
+                "block %d spans %d qubits, over the width limit %d"
+                i.Inst.id width width_limit));
+      let member_support =
+        List.sort_uniq compare (List.concat_map Gate.qubits i.Inst.gates)
+      in
+      if List.sort_uniq compare i.Inst.qubits <> member_support then
+        add
+          (D.make ?stage ~insts:[ i.Inst.id ] ~qubits:i.Inst.qubits
+             ~code:"QL051" ~severity:D.Error
+             (Printf.sprintf
+                "block %d records qubits {%s} but its member gates act on \
+                 {%s}"
+                i.Inst.id
+                (String.concat "," (List.map string_of_int i.Inst.qubits))
+                (String.concat ","
+                   (List.map string_of_int member_support))));
+      if i.Inst.qubits = [] then
+        add
+          (D.make ?stage ~insts:[ i.Inst.id ] ~code:"QL052"
+             ~severity:D.Warning
+             (Printf.sprintf "block %d has an empty qubit support" i.Inst.id)))
+    (Gdg.insts g);
+  List.rev !diags

@@ -1,0 +1,13 @@
+(** Aggregation policy (QL05x).
+
+    - QL050 error: an aggregated block's qubit support exceeds the width
+      limit (the optimal-control scalability bound, paper §2.5)
+    - QL051 error: a block's recorded qubit set differs from the union of
+      its member gates' supports — merged blocks must cover exactly their
+      members
+    - QL052 warning: a block with an empty qubit support *)
+
+val run : ?stage:string -> width_limit:int -> Qgdg.Gdg.t -> Diagnostic.t list
+(** Checks every instruction of an aggregated GDG. The diagonal-detection
+    pass may create 2-qubit blocks regardless of the limit, so callers
+    should pass [max width_limit 2]. *)

@@ -1,0 +1,88 @@
+module Gate = Qgate.Gate
+module D = Diagnostic
+
+let rec has_dup = function
+  | [] -> false
+  | (q : int) :: rest -> List.mem q rest || has_dup rest
+
+let check_gates ?stage ~n_qubits gates =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iteri
+    (fun index g ->
+      let qubits = Gate.qubits g in
+      let arity = Gate.kind_arity g.Gate.kind in
+      if List.length qubits <> arity then
+        add
+          (D.make ?stage ~gate_index:index ~qubits ~code:"QL012"
+             ~severity:D.Error
+             (Printf.sprintf "gate %s takes %d operand%s but is given %d"
+                (Gate.name g) arity
+                (if arity = 1 then "" else "s")
+                (List.length qubits)));
+      if has_dup qubits then
+        add
+          (D.make ?stage ~gate_index:index ~qubits ~code:"QL011"
+             ~severity:D.Error
+             (Printf.sprintf "gate %s repeats a qubit operand" (Gate.name g)));
+      List.iter
+        (fun q ->
+          if q < 0 || q >= n_qubits then
+            add
+              (D.make ?stage ~gate_index:index ~qubits:[ q ] ~code:"QL010"
+                 ~severity:D.Error
+                 (Printf.sprintf
+                    "gate %s touches qubit %d outside the %d-qubit register"
+                    (Gate.name g) q n_qubits)))
+        qubits)
+    gates;
+  List.rev !diags
+
+let run ?stage ?(warn_unused = false) circuit =
+  let n_qubits = Qgate.Circuit.n_qubits circuit in
+  let gates = Qgate.Circuit.gates circuit in
+  let diags = check_gates ?stage ~n_qubits gates in
+  if not warn_unused then diags
+  else begin
+    let used = Qgate.Circuit.used_qubits circuit in
+    let idle =
+      List.filter (fun q -> not (List.mem q used)) (List.init n_qubits Fun.id)
+    in
+    diags
+    @ List.map
+        (fun q ->
+          D.make ?stage ~qubits:[ q ] ~code:"QL013" ~severity:D.Warning
+            (Printf.sprintf "register qubit %d is never used" q))
+        idle
+  end
+
+(* [Gate.make] inside the parser rejects repeated / out-of-range
+   operands with [Invalid_argument] before the checker can see the gate
+   as data; report that as a lint finding too, under the matching code *)
+let lint_parsed ?stage ~where parse =
+  match parse () with
+  | circuit -> run ?stage ~warn_unused:true circuit
+  | exception Qgate.Qasm.Parse_error msg ->
+    [ D.make ?stage ~code:"QL015" ~severity:D.Error
+        (Printf.sprintf "QASM parse error%s: %s" where msg) ]
+  | exception Invalid_argument msg ->
+    let contains sub =
+      let n = String.length sub and m = String.length msg in
+      let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+      at 0
+    in
+    let code =
+      if contains "repeated qubit" then "QL011"
+      else if contains "arity" then "QL012"
+      else "QL010"
+    in
+    [ D.make ?stage ~code ~severity:D.Error
+        (Printf.sprintf "malformed gate%s: %s" where msg) ]
+
+let lint_qasm_string ?stage text =
+  lint_parsed ?stage ~where:"" (fun () -> Qgate.Qasm.of_string text)
+
+let lint_qasm_file ?stage path =
+  lint_parsed ?stage
+    ~where:(Printf.sprintf " in %s" path)
+    (fun () -> Qgate.Qasm.read_file path)

@@ -1,0 +1,26 @@
+(** Circuit / QASM well-formedness (QL01x).
+
+    - QL010 error: gate qubit index outside the register
+    - QL011 error: duplicate qubit operands in one gate
+    - QL012 error: operand count does not match the gate's arity
+    - QL013 warning: register qubit never used (only with [warn_unused])
+    - QL015 error: QASM parse failure
+
+    [Qgate.Gate.make]/[Circuit.make] enforce most of this at construction
+    time; the checker re-verifies hand-built or deserialized gate records
+    and turns violations into diagnostics instead of exceptions. *)
+
+val check_gates :
+  ?stage:string -> n_qubits:int -> Qgate.Gate.t list -> Diagnostic.t list
+
+val run :
+  ?stage:string -> ?warn_unused:bool -> Qgate.Circuit.t -> Diagnostic.t list
+(** [warn_unused] defaults to [false]: compiled circuits legitimately
+    carry idle register qubits (device sites), so only the front-door
+    input lint asks for QL013. *)
+
+val lint_qasm_string : ?stage:string -> string -> Diagnostic.t list
+(** Parse, then {!run} with [warn_unused:true]; a parse failure is the
+    single QL015 diagnostic. *)
+
+val lint_qasm_file : ?stage:string -> string -> Diagnostic.t list

@@ -1,0 +1,160 @@
+module Gate = Qgate.Gate
+module Inst = Qgdg.Inst
+module Topology = Qmap.Topology
+module Placement = Qmap.Placement
+module D = Diagnostic
+
+let check_placement ?stage ?(label = "placement") ~topology p =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let n_sites = Topology.n_sites topology in
+  if Array.length p.Placement.site_to_logical <> n_sites then
+    add
+      (D.make ?stage ~code:"QL043" ~severity:D.Error
+         (Printf.sprintf
+            "%s covers %d sites but the device has %d" label
+            (Array.length p.Placement.site_to_logical)
+            n_sites));
+  Array.iteri
+    (fun logical site ->
+      if site < 0 || site >= Array.length p.Placement.site_to_logical then
+        add
+          (D.make ?stage ~qubits:[ site ] ~code:"QL043" ~severity:D.Error
+             (Printf.sprintf "%s sends logical qubit %d to site %d, outside \
+                              the device"
+                label logical site))
+      else if p.Placement.site_to_logical.(site) <> logical then
+        add
+          (D.make ?stage ~qubits:[ site ] ~code:"QL041" ~severity:D.Error
+             (Printf.sprintf
+                "%s is not a bijection: logical qubit %d maps to site %d, \
+                 which records occupant %d"
+                label logical site
+                p.Placement.site_to_logical.(site))))
+    p.Placement.logical_to_site;
+  List.rev !diags
+
+let check_adjacency ?stage ~topology insts =
+  let n_sites = Topology.n_sites topology in
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  List.iter
+    (fun (i : Inst.t) ->
+      List.iter
+        (fun g ->
+          let qubits = Gate.qubits g in
+          let out_of_range = List.filter (fun q -> q < 0 || q >= n_sites) qubits in
+          if out_of_range <> [] then
+            add
+              (D.make ?stage ~insts:[ i.Inst.id ] ~qubits:out_of_range
+                 ~code:"QL043" ~severity:D.Error
+                 (Printf.sprintf
+                    "instruction %d's gate %s touches a site outside the \
+                     %d-site device"
+                    i.Inst.id (Gate.to_string g) n_sites))
+          else if not (Qmap.Router.gate_respects_topology ~topology g) then
+            add
+              (D.make ?stage ~insts:[ i.Inst.id ] ~qubits ~code:"QL040"
+                 ~severity:D.Error
+                 (Printf.sprintf
+                    "instruction %d's gate %s acts on non-adjacent sites"
+                    i.Inst.id (Gate.to_string g))))
+        i.Inst.gates)
+    insts;
+  List.rev !diags
+
+let check_adjacency_circuit ?stage ~topology circuit =
+  let n_sites = Topology.n_sites topology in
+  let out_of_range g =
+    List.filter (fun q -> q < 0 || q >= n_sites) (Gate.qubits g)
+  in
+  List.concat_map
+    (fun (index, g) ->
+      match out_of_range g with
+      | [] ->
+        [ D.make ?stage ~gate_index:index ~qubits:(Gate.qubits g)
+            ~code:"QL040" ~severity:D.Error
+            (Printf.sprintf "gate %s acts on non-adjacent sites"
+               (Gate.to_string g)) ]
+      | bad ->
+        [ D.make ?stage ~gate_index:index ~qubits:bad ~code:"QL043"
+            ~severity:D.Error
+            (Printf.sprintf "gate %s touches a site outside the %d-site \
+                             device"
+               (Gate.to_string g) n_sites) ])
+    (Qmap.Router.topology_violations ~topology circuit)
+
+(* Replay the routing contract. The physical stream interleaves
+   current-placement images of the logical gates with inserted SWAPs;
+   a SWAP identical to the expected routed gate is the program's own
+   (the router never inserts a SWAP between already-adjacent operands,
+   which is exactly when the expected image is that SWAP). *)
+let check_routing ?stage ~topology ~initial ~final ~logical ~physical () =
+  let err fmt =
+    Printf.ksprintf
+      (fun m -> [ D.make ?stage ~code:"QL042" ~severity:D.Error m ])
+      fmt
+  in
+  let n_sites = Topology.n_sites topology in
+  let rec walk placement index logical physical =
+    match (logical, physical) with
+    | [], [] ->
+      if Placement.equal placement final then []
+      else begin
+        let drift =
+          Array.to_list placement.Placement.logical_to_site
+          |> List.mapi (fun l s -> (l, s))
+          |> List.find_opt (fun (l, s) ->
+                 final.Placement.logical_to_site.(l) <> s)
+        in
+        match drift with
+        | Some (l, s) ->
+          err
+            "final placement disagrees with initial ∘ routing SWAPs: \
+             logical qubit %d ends on site %d, but the result records %d"
+            l s final.Placement.logical_to_site.(l)
+        | None -> err "final placement disagrees with initial ∘ routing SWAPs"
+      end
+    | l :: ls, p :: ps ->
+      let expected =
+        Gate.map_qubits (fun q -> Placement.site_of placement q) l
+      in
+      if Gate.equal p expected then walk placement (index + 1) ls ps
+      else begin
+        match (p.Gate.kind, Gate.qubits p) with
+        | Gate.Swap, [ a; b ]
+          when a >= 0 && a < n_sites && b >= 0 && b < n_sites ->
+          walk (Placement.apply_swap placement a b) (index + 1) logical ps
+        | _ ->
+          err
+            "physical gate %d is %s, but the placement image of the next \
+             logical gate is %s and it is not a routing SWAP"
+            index (Gate.to_string p) (Gate.to_string expected)
+      end
+    | [], p :: ps ->
+      (match (p.Gate.kind, Gate.qubits p) with
+       | Gate.Swap, [ a; b ]
+         when a >= 0 && a < n_sites && b >= 0 && b < n_sites ->
+         walk (Placement.apply_swap placement a b) (index + 1) [] ps
+       | _ ->
+         err
+           "physical gate %d (%s) has no corresponding logical gate left"
+           index (Gate.to_string p))
+    | _ :: _, [] ->
+      err
+        "the physical stream ends with %d logical gate%s unrouted"
+        (List.length logical)
+        (if List.length logical = 1 then "" else "s")
+  in
+  match walk initial 0 logical physical with
+  | diags -> diags
+  | exception Invalid_argument msg -> err "routing replay failed: %s" msg
+
+let run ?stage ~topology ?initial ?final insts =
+  let placement_diags label = function
+    | None -> []
+    | Some p -> check_placement ?stage ~label ~topology p
+  in
+  placement_diags "initial placement" initial
+  @ placement_diags "final placement" final
+  @ check_adjacency ?stage ~topology insts

@@ -1,0 +1,50 @@
+(** Mapping / routing legality (QL04x).
+
+    - QL040 error: a 2-qubit physical gate joins non-adjacent sites (a
+      wider gate is not site-local)
+    - QL041 error: a placement is not a consistent logical↔site bijection
+    - QL042 error: the final placement does not equal the initial
+      placement composed with the net effect of the routing SWAPs
+    - QL043 error: a site index outside the device *)
+
+val check_placement :
+  ?stage:string -> ?label:string -> topology:Qmap.Topology.t ->
+  Qmap.Placement.t -> Diagnostic.t list
+(** QL041/QL043 on one placement; [label] names it in messages
+    ("initial", "final"). *)
+
+val check_adjacency :
+  ?stage:string -> topology:Qmap.Topology.t -> Qgdg.Inst.t list ->
+  Diagnostic.t list
+(** QL040/QL043 on every member gate of a physical instruction stream. *)
+
+val check_adjacency_circuit :
+  ?stage:string -> topology:Qmap.Topology.t -> Qgate.Circuit.t ->
+  Diagnostic.t list
+(** Same, over a plain physical circuit; locations carry the gate index
+    instead of an instruction id. *)
+
+val check_routing :
+  ?stage:string ->
+  topology:Qmap.Topology.t ->
+  initial:Qmap.Placement.t ->
+  final:Qmap.Placement.t ->
+  logical:Qgate.Gate.t list ->
+  physical:Qgate.Gate.t list ->
+  unit ->
+  Diagnostic.t list
+(** Replays the router's contract: walking the physical stream, every
+    gate must be the current-placement image of the next logical gate,
+    or a routing SWAP that updates the placement; the walk must consume
+    the whole logical stream and land exactly on [final]. Catches wrong
+    relabelling, dropped/duplicated gates and placement drift (QL042). *)
+
+val run :
+  ?stage:string ->
+  topology:Qmap.Topology.t ->
+  ?initial:Qmap.Placement.t ->
+  ?final:Qmap.Placement.t ->
+  Qgdg.Inst.t list ->
+  Diagnostic.t list
+(** Adjacency over the stream plus placement consistency for whichever
+    placements are supplied. *)

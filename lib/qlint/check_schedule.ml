@@ -1,0 +1,126 @@
+module Schedule = Qsched.Schedule
+module Gdg = Qgdg.Gdg
+module Inst = Qgdg.Inst
+module D = Diagnostic
+
+let eps = 1e-9
+
+let intra ?stage (s : Schedule.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (* per-entry timing sanity *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let id = e.Schedule.inst.Inst.id in
+      if Hashtbl.mem seen id then
+        add
+          (D.make ?stage ~insts:[ id ] ~code:"QL036" ~severity:D.Error
+             (Printf.sprintf "instruction %d is scheduled more than once" id))
+      else Hashtbl.replace seen id ();
+      let duration = e.Schedule.finish -. e.Schedule.start in
+      if duration < -.eps then
+        add
+          (D.make ?stage ~insts:[ id ]
+             ~interval:(e.Schedule.start, e.Schedule.finish) ~code:"QL033"
+             ~severity:D.Error
+             (Printf.sprintf "instruction %d finishes before it starts" id))
+      else if Float.abs (duration -. e.Schedule.inst.Inst.latency) > 1e-6 then
+        add
+          (D.make ?stage ~insts:[ id ]
+             ~interval:(e.Schedule.start, e.Schedule.finish) ~code:"QL032"
+             ~severity:D.Warning
+             (Printf.sprintf
+                "instruction %d occupies %.3f ns but its latency is %.3f ns"
+                id duration e.Schedule.inst.Inst.latency)))
+    s.Schedule.entries;
+  (* qubit-resource conflicts, with the exact pair, qubit and window *)
+  List.iter
+    (fun ((a : Schedule.entry), (b : Schedule.entry), q) ->
+      let ia = a.Schedule.inst.Inst.id and ib = b.Schedule.inst.Inst.id in
+      let lo = Float.max a.Schedule.start b.Schedule.start in
+      let hi = Float.min a.Schedule.finish b.Schedule.finish in
+      add
+        (D.make ?stage ~insts:[ ia; ib ] ~qubits:[ q ] ~interval:(lo, hi)
+           ~code:"QL030" ~severity:D.Error
+           (Printf.sprintf
+              "instructions %d and %d double-book qubit %d over [%.2f, %.2f]"
+              ia ib q lo hi)))
+    (Schedule.conflicts s);
+  let last_finish =
+    List.fold_left
+      (fun acc (e : Schedule.entry) -> Float.max acc e.Schedule.finish)
+      0. s.Schedule.entries
+  in
+  if Float.abs (last_finish -. s.Schedule.makespan) > 1e-6 then
+    add
+      (D.make ?stage ~interval:(0., s.Schedule.makespan) ~code:"QL035"
+         ~severity:D.Warning
+         (Printf.sprintf
+            "recorded makespan %.3f ns differs from the last finish %.3f ns"
+            s.Schedule.makespan last_finish));
+  List.rev !diags
+
+let against_gdg ?stage ~reorderable g (s : Schedule.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let start = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Schedule.entry) ->
+      let id = e.Schedule.inst.Inst.id in
+      if not (Hashtbl.mem start id) then
+        Hashtbl.replace start id e.Schedule.start)
+    s.Schedule.entries;
+  (* the schedule must cover exactly the graph's instruction set *)
+  Gdg.iter_insts g (fun i ->
+      if not (Hashtbl.mem start i.Inst.id) then
+        add
+          (D.make ?stage ~insts:[ i.Inst.id ] ~code:"QL034" ~severity:D.Error
+             (Printf.sprintf "instruction %d is in the GDG but never \
+                              scheduled"
+                i.Inst.id)));
+  List.iter
+    (fun (e : Schedule.entry) ->
+      if not (Gdg.mem g e.Schedule.inst.Inst.id) then
+        add
+          (D.make ?stage ~insts:[ e.Schedule.inst.Inst.id ] ~code:"QL034"
+             ~severity:D.Error
+             (Printf.sprintf
+                "scheduled instruction %d does not exist in the GDG"
+                e.Schedule.inst.Inst.id)))
+    s.Schedule.entries;
+  (* chain order modulo declared commutations: a chain predecessor must
+     not start strictly later (overlaps are QL030's business) *)
+  for q = 0 to Gdg.n_qubits g - 1 do
+    let rec pairs = function
+      | [] -> ()
+      | (a : Inst.t) :: rest ->
+        List.iter
+          (fun (b : Inst.t) ->
+            match
+              (Hashtbl.find_opt start a.Inst.id, Hashtbl.find_opt start b.Inst.id)
+            with
+            | Some sa, Some sb ->
+              if sb < sa -. 1e-9 && not (reorderable a b) then
+                add
+                  (D.make ?stage ~insts:[ a.Inst.id; b.Inst.id ]
+                     ~qubits:[ q ] ~interval:(sb, sa) ~code:"QL031"
+                     ~severity:D.Error
+                     (Printf.sprintf
+                        "instruction %d starts at %.2f, before \
+                         non-commuting chain predecessor %d on qubit %d \
+                         (starts %.2f)"
+                        b.Inst.id sb a.Inst.id q sa))
+            | _ -> () (* coverage gaps already reported as QL034 *))
+          rest;
+        pairs rest
+    in
+    pairs (Gdg.chain g q)
+  done;
+  List.rev !diags
+
+let run ?stage ?original ?(reorderable = fun _ _ -> false) s =
+  let diags = intra ?stage s in
+  match original with
+  | None -> diags
+  | Some g -> diags @ against_gdg ?stage ~reorderable g s

@@ -1,0 +1,52 @@
+type t = { diagnostics : Diagnostic.t list }
+
+exception Check_failed of t
+
+let empty = { diagnostics = [] }
+let of_list ds = { diagnostics = List.stable_sort Diagnostic.compare ds }
+let diagnostics r = r.diagnostics
+let errors r = List.filter Diagnostic.is_error r.diagnostics
+let has_errors r = List.exists Diagnostic.is_error r.diagnostics
+
+let counts r =
+  List.fold_left
+    (fun (e, w, i) (d : Diagnostic.t) ->
+      match d.Diagnostic.severity with
+      | Diagnostic.Error -> (e + 1, w, i)
+      | Diagnostic.Warning -> (e, w + 1, i)
+      | Diagnostic.Info -> (e, w, i + 1))
+    (0, 0, 0) r.diagnostics
+
+let summary r =
+  let e, w, i = counts r in
+  if e + w + i = 0 then "no diagnostics"
+  else begin
+    let part n what =
+      if n = 0 then None
+      else Some (Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s"))
+    in
+    String.concat ", "
+      (List.filter_map
+         (fun x -> x)
+         [ part e "error"; part w "warning"; part i "info" ])
+  end
+
+let pp_text ppf r =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diagnostic.pp d) r.diagnostics;
+  Format.fprintf ppf "%s@." (summary r)
+
+let to_json r =
+  let e, w, i = counts r in
+  Printf.sprintf
+    "{\"diagnostics\":[%s],\"errors\":%d,\"warnings\":%d,\"infos\":%d}"
+    (String.concat "," (List.map Diagnostic.to_json r.diagnostics))
+    e w i
+
+let pp_json ppf r = Format.fprintf ppf "%s@." (to_json r)
+
+let () =
+  Printexc.register_printer (function
+    | Check_failed r ->
+      Some
+        (Printf.sprintf "Qlint.Report.Check_failed (%s)" (summary r))
+    | _ -> None)

@@ -1,0 +1,33 @@
+(** Diagnostic collections and reporters.
+
+    A report is the ordered set of diagnostics one lint run produced,
+    with text and JSON renderings. [Check_failed] is how the compiler's
+    [~check] mode fails fast: the exception carries the full structured
+    report accumulated up to (and including) the offending boundary. *)
+
+type t = { diagnostics : Diagnostic.t list }
+
+exception Check_failed of t
+
+val empty : t
+
+val of_list : Diagnostic.t list -> t
+(** Sorts into report order (errors first, then code, then location). *)
+
+val diagnostics : t -> Diagnostic.t list
+val errors : t -> Diagnostic.t list
+val has_errors : t -> bool
+
+val counts : t -> int * int * int
+(** (errors, warnings, infos). *)
+
+val summary : t -> string
+(** e.g. ["2 errors, 1 warning"] or ["no diagnostics"]. *)
+
+val pp_text : Format.formatter -> t -> unit
+(** One diagnostic per line, then the summary line. *)
+
+val to_json : t -> string
+(** [{"diagnostics": [...], "errors": n, "warnings": n, "infos": n}]. *)
+
+val pp_json : Format.formatter -> t -> unit

@@ -64,6 +64,10 @@ let site_of p logical = p.logical_to_site.(logical)
 let logical_at p site =
   match p.site_to_logical.(site) with -1 -> None | l -> Some l
 
+let equal a b =
+  a.logical_to_site = b.logical_to_site
+  && a.site_to_logical = b.site_to_logical
+
 let is_consistent p =
   Array.for_all
     (fun site -> site >= 0 && site < Array.length p.site_to_logical)

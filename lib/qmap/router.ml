@@ -59,17 +59,31 @@ let route_circuit ?placement ~topology circuit =
   in
   (Qgate.Circuit.make (Topology.n_sites topology) items, final)
 
+let gate_respects_topology ~topology g =
+  match Qgate.Gate.qubits g with
+  | [] | [ _ ] -> true
+  | [ a; b ] -> Topology.connected topology a b
+  | wider ->
+    let rec ok = function
+      | [] -> true
+      | s :: rest ->
+        List.for_all (fun r -> Topology.connected topology s r) rest && ok rest
+    in
+    ok wider
+
+let topology_violations ~topology circuit =
+  let violations = ref [] in
+  List.iteri
+    (fun index g ->
+      let ok =
+        (* out-of-range sites (impossible via Circuit.make, but gates are
+           plain records) count as violations, not exceptions *)
+        try gate_respects_topology ~topology g
+        with Invalid_argument _ -> false
+      in
+      if not ok then violations := (index, g) :: !violations)
+    (Qgate.Circuit.gates circuit);
+  List.rev !violations
+
 let respects_topology ~topology circuit =
-  List.for_all
-    (fun g ->
-      match Qgate.Gate.qubits g with
-      | [] | [ _ ] -> true
-      | [ a; b ] -> Topology.connected topology a b
-      | wider ->
-        let rec ok = function
-          | [] -> true
-          | s :: rest ->
-            List.for_all (fun r -> Topology.connected topology s r) rest && ok rest
-        in
-        ok wider)
-    (Qgate.Circuit.gates circuit)
+  topology_violations ~topology circuit = []

@@ -28,4 +28,14 @@ val route_circuit :
     result's register is the device size; all 2-qubit gates are between
     adjacent sites. *)
 
+val gate_respects_topology : topology:Topology.t -> Qgate.Gate.t -> bool
+(** 2-qubit gates must join adjacent sites; wider gates must be
+    site-local (pairwise adjacent); 1-qubit gates always pass. *)
+
+val topology_violations :
+  topology:Topology.t -> Qgate.Circuit.t -> (int * Qgate.Gate.t) list
+(** Gates breaking {!gate_respects_topology}, with their stream index —
+    the diagnostic-producing form of {!respects_topology}. *)
+
 val respects_topology : topology:Topology.t -> Qgate.Circuit.t -> bool
+(** [topology_violations] is empty. *)

@@ -16,7 +16,9 @@ let make ~n_qubits entries =
   let makespan = List.fold_left (fun acc e -> Float.max acc e.finish) 0. entries in
   { n_qubits; entries; makespan }
 
-let no_qubit_overlap t =
+let conflict_eps = 1e-9
+
+let conflicts t =
   let by_qubit = Hashtbl.create 32 in
   List.iter
     (fun e ->
@@ -26,20 +28,33 @@ let no_qubit_overlap t =
           Hashtbl.replace by_qubit q (e :: prev))
         e.inst.Qgdg.Inst.qubits)
     t.entries;
-  let ok = ref true in
-  Hashtbl.iter
-    (fun _ es ->
-      (* entries arrive in reverse start order; adjacent pairs suffice *)
-      let sorted = List.sort compare_entries es in
+  let qubits =
+    List.sort compare (Hashtbl.fold (fun q _ acc -> q :: acc) by_qubit [])
+  in
+  List.concat_map
+    (fun q ->
+      let sorted = List.sort compare_entries (Hashtbl.find by_qubit q) in
+      (* sorted by start: an entry can only conflict with later entries
+         that begin before it finishes; among those, a conflict needs a
+         positive-measure overlap window — busy intervals are half-open,
+         so a zero-duration entry never collides, even at a busy
+         instant *)
       let rec walk = function
-        | a :: (b :: _ as rest) ->
-          if b.start < a.finish -. 1e-9 then ok := false;
-          walk rest
-        | [ _ ] | [] -> ()
+        | [] -> []
+        | a :: rest ->
+          let rec take = function
+            | b :: more when b.start < a.finish -. conflict_eps ->
+              if Float.min a.finish b.finish -. b.start > conflict_eps then
+                (a, b, q) :: take more
+              else take more
+            | _ -> []
+          in
+          take rest @ walk rest
       in
       walk sorted)
-    by_qubit;
-  !ok
+    qubits
+
+let no_qubit_overlap t = conflicts t = []
 
 let respects_order ?(reorderable = fun _ _ -> false) ~original t =
   let position = Hashtbl.create 64 in

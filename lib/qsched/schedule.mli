@@ -17,8 +17,18 @@ val make : n_qubits:int -> entry list -> t
 (** Sorts entries and computes the makespan. Raises [Invalid_argument]
     when an entry has [finish < start]. *)
 
+val conflicts : t -> (entry * entry * int) list
+(** Every pair of entries double-booking a qubit, as
+    [(earlier, later, qubit)] with [earlier.start <= later.start] — the
+    overlapping window is [later.start, min earlier.finish later.finish].
+    Busy intervals are half-open: entries meeting exactly at an endpoint
+    ([finish = start], up to 1e-9) do not conflict, and a zero-duration
+    entry never conflicts, even at an instant a neighbor occupies.
+    Ordered by qubit, then start time. *)
+
 val no_qubit_overlap : t -> bool
-(** No two entries occupy a shared qubit at overlapping times. *)
+(** No two entries occupy a shared qubit at overlapping times
+    ([conflicts] is empty). *)
 
 val respects_order : ?reorderable:(Qgdg.Inst.t -> Qgdg.Inst.t -> bool) ->
   original:Qgdg.Gdg.t -> t -> bool

@@ -1,0 +1,40 @@
+(* lint-self: the compiler must lint its own output clean.
+
+   Compiles three benchmarks under the cls and aggregation strategies
+   with [~check:true] and fails if any diagnostic (of any severity)
+   survives — the pipeline's IR is expected to be not just legal but
+   warning-free. Runs under `dune runtest`. *)
+
+let benchmarks = [ "maxcut-line"; "sqrt-n3"; "uccsd-n4" ]
+let strategies = [ Qcc.Strategy.Cls; Qcc.Strategy.Aggregation ]
+
+let () =
+  let failures = ref 0 in
+  List.iter
+    (fun name ->
+      let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
+      List.iter
+        (fun strategy ->
+          let label =
+            Printf.sprintf "%s / %s" name (Qcc.Strategy.to_string strategy)
+          in
+          match Qcc.Compiler.compile ~check:true ~strategy circuit with
+          | r ->
+            let report = Qlint.Report.of_list r.Qcc.Compiler.diagnostics in
+            if Qlint.Report.diagnostics report = [] then
+              Printf.printf "lint-self %-28s ok\n" label
+            else begin
+              incr failures;
+              Printf.printf "lint-self %-28s FAILED (%s)\n" label
+                (Qlint.Report.summary report);
+              Format.printf "%a" Qlint.Report.pp_text report
+            end
+          | exception Qlint.Report.Check_failed report ->
+            incr failures;
+            Printf.printf "lint-self %-28s FAILED (check aborted: %s)\n"
+              label
+              (Qlint.Report.summary report);
+            Format.printf "%a" Qlint.Report.pp_text report)
+        strategies)
+    benchmarks;
+  if !failures > 0 then exit 1

@@ -53,7 +53,72 @@ let schedule_cases =
         let bad = Schedule.make ~n_qubits:1 [ mk 0 0.; mk 1 1. ] in
         check_bool "overlap caught" false (Schedule.no_qubit_overlap bad);
         let good = Schedule.make ~n_qubits:1 [ mk 0 0.; mk 1 2. ] in
-        check_bool "ok" true (Schedule.no_qubit_overlap good)) ]
+        check_bool "ok" true (Schedule.no_qubit_overlap good));
+    case "empty schedule is overlap-free" (fun () ->
+        let s = Schedule.make ~n_qubits:4 [] in
+        check_bool "no overlap" true (Schedule.no_qubit_overlap s);
+        check_float "makespan" 0. s.Schedule.makespan;
+        check_int "no conflicts" 0 (List.length (Schedule.conflicts s)));
+    case "zero-duration entries may share an instant" (fun () ->
+        (* two zero-length virtual instructions at t=1 on the same qubit:
+           the half-open busy intervals [1,1) are empty, so no conflict *)
+        let mk id =
+          { Schedule.inst = Inst.of_gate ~id ~latency:0. (Gate.rz 0.3 0);
+            start = 1.;
+            finish = 1. }
+        in
+        let s = Schedule.make ~n_qubits:1 [ mk 0; mk 1 ] in
+        check_bool "no overlap" true (Schedule.no_qubit_overlap s));
+    case "zero-duration entry at a busy instant does not conflict" (fun () ->
+        (* a virtual (zero-latency) instruction fired at the very moment
+           a long one starts on the same qubit — legal, its busy interval
+           is empty (seen in CLS on uccsd-n6 with zero-cost Rz gates) *)
+        let long =
+          { Schedule.inst = Inst.of_gate ~id:0 ~latency:47. (Gate.h 0);
+            start = 10.;
+            finish = 57. }
+        in
+        let virt =
+          { Schedule.inst = Inst.of_gate ~id:1 ~latency:0. (Gate.rz 0.1 0);
+            start = 10.;
+            finish = 10. }
+        in
+        let s = Schedule.make ~n_qubits:1 [ long; virt ] in
+        check_bool "no overlap" true (Schedule.no_qubit_overlap s));
+    case "back-to-back finish = start does not conflict" (fun () ->
+        let mk id st =
+          { Schedule.inst = Inst.of_gate ~id ~latency:2. (Gate.h 0);
+            start = st;
+            finish = st +. 2. }
+        in
+        let s = Schedule.make ~n_qubits:1 [ mk 0 0.; mk 1 2.; mk 2 4. ] in
+        check_bool "meeting endpoints legal" true
+          (Schedule.no_qubit_overlap s));
+    case "conflicts names the pair, qubit and window" (fun () ->
+        let mk id q st fin =
+          { Schedule.inst = Inst.of_gate ~id ~latency:(fin -. st) (Gate.h q);
+            start = st;
+            finish = fin }
+        in
+        (* qubit 2 double-booked over [3, 5]; qubit 1 untouched *)
+        let s =
+          Schedule.make ~n_qubits:3
+            [ mk 0 2 0. 5.; mk 1 2 3. 8.; mk 2 1 0. 8. ]
+        in
+        (match Schedule.conflicts s with
+         | [ (a, b, q) ] ->
+           check_int "earlier" 0 a.Schedule.inst.Inst.id;
+           check_int "later" 1 b.Schedule.inst.Inst.id;
+           check_int "qubit" 2 q;
+           check_float "overlap start" 3. b.Schedule.start;
+           check_float "overlap end" 5.
+             (Float.min a.Schedule.finish b.Schedule.finish)
+         | l -> Alcotest.failf "expected one conflict, got %d" (List.length l)));
+    case "respects_order on empty schedule of empty gdg" (fun () ->
+        let g = Gdg.of_insts ~n_qubits:2 [] in
+        check_bool "vacuously ordered" true
+          (Schedule.respects_order ~original:g
+             (Schedule.make ~n_qubits:2 []))) ]
 
 let asap_cases =
   [ case "respects dependencies" (fun () ->

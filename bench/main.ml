@@ -150,9 +150,9 @@ let fig9 () =
   in
   Qcc.Report.print_speedup_table
     ~header:"(the 9 Fig. 9 benchmarks)"
-    ~rows:(List.filter (fun (n, _) -> n <> "ising-n60") rows);
+    (List.filter (fun (n, _) -> n <> "ising-n60") rows);
   Printf.printf "\nall 10 Table 3 instances (including ising-n60):\n";
-  Qcc.Report.print_speedup_table ~header:"" ~rows;
+  Qcc.Report.print_speedup_table ~header:"" rows;
   Printf.printf
     "paper: geomean speedup 5.07x (cls+aggregation), 2.338x (cls+hand), max ~10x\n\
      note: our ISA baseline schedules the generated program order, which is\n\
@@ -395,6 +395,123 @@ let ablations () =
     [ "maxcut-line"; "ising-n30" ]
 
 (* ------------------------------------------------------------------ *)
+(* Pipeline observability: per-pass wall time for BENCH_pipeline.json  *)
+
+let pipeline_benchmarks =
+  [ "maxcut-line"; "maxcut-reg4"; "ising-n30"; "sqrt-n3"; "uccsd-n4";
+    "uccsd-n6" ]
+
+let pipeline () =
+  header "Pipeline: per-pass wall-time breakdown (BENCH_pipeline.json)";
+  let entries =
+    List.concat_map
+      (fun name ->
+        let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
+        Printf.printf "  profiling %s...\n%!" name;
+        List.map
+          (fun strategy ->
+            let obs = Qobs.Trace.create () in
+            let metrics = Qobs.Metrics.create () in
+            let r = Compiler.compile ~obs ~metrics ~strategy circuit in
+            let passes =
+              match r.Compiler.trace with
+              | None -> []
+              | Some root ->
+                List.concat_map
+                  (fun pass ->
+                    List.map
+                      (fun span ->
+                        Qobs.Json.Obj
+                          [ ("pass", Qobs.Json.Str pass);
+                            ("wall_ns",
+                             Qobs.Json.Float (Qobs.Span.duration_ns span)) ])
+                      (Qobs.Span.find_all ~name:pass root))
+                  (Compiler.passes strategy)
+            in
+            Qobs.Json.Obj
+              [ ("benchmark", Qobs.Json.Str name);
+                ("strategy", Qobs.Json.Str (Strategy.to_string strategy));
+                ("compile_time_s", Qobs.Json.Float r.Compiler.compile_time);
+                ("latency_ns", Qobs.Json.Float r.Compiler.latency);
+                ("instructions", Qobs.Json.Int r.Compiler.n_instructions);
+                ("swaps", Qobs.Json.Int r.Compiler.n_swaps_inserted);
+                ("merges", Qobs.Json.Int r.Compiler.n_merges);
+                ("passes", Qobs.Json.List passes);
+                ("metrics", Qobs.Metrics.to_json metrics) ])
+          Strategy.all)
+      pipeline_benchmarks
+  in
+  let doc =
+    Qobs.Json.Obj
+      [ ("schema", Qobs.Json.Str "qcc.bench.pipeline/1");
+        ("entries", Qobs.Json.List entries) ]
+  in
+  Qobs.Json.write_file "BENCH_pipeline.json" doc;
+  Printf.printf "  wrote BENCH_pipeline.json (%d entries)\n%!"
+    (List.length entries)
+
+(* ------------------------------------------------------------------ *)
+(* Observability overhead: the default-off path must be free           *)
+
+let obs_overhead () =
+  header "Observability overhead: disabled collectors vs instrumented compile";
+  let circuit = Qapps.Qaoa.triangle_example () in
+  let config =
+    { Compiler.default_config with
+      Compiler.topology = Some (Qmap.Topology.line 3) }
+  in
+  let compile_off () =
+    Compiler.compile ~config ~strategy:Strategy.Cls_aggregation circuit
+  in
+  let compile_on () =
+    Compiler.compile ~config ~obs:(Qobs.Trace.create ())
+      ~metrics:(Qobs.Metrics.create ()) ~strategy:Strategy.Cls_aggregation
+      circuit
+  in
+  (* direct wall-clock comparison over many runs: default-off must stay
+     within noise (<2%) of a build without instrumentation, and since the
+     instrumented path IS this build, we check off vs on instead -- off
+     must not be slower than on beyond noise *)
+  let time_n n f =
+    let t0 = Qobs.Clock.now_ns () in
+    for _ = 1 to n do ignore (f ()) done;
+    (Qobs.Clock.now_ns () -. t0) /. float_of_int n
+  in
+  ignore (time_n 3 compile_off);
+  (* warm-up *)
+  let off = time_n 20 compile_off in
+  let on = time_n 20 compile_on in
+  Printf.printf
+    "  compile (cls+aggregation, Fig. 4 triangle): off %10.0f ns/run | on %10.0f ns/run (on/off %.3fx)\n%!"
+    off on (on /. off);
+  let open Bechamel in
+  let tests =
+    [ Test.make ~name:"with_span-disabled"
+        (Staged.stage (fun () ->
+             Qobs.Trace.with_span Qobs.Trace.disabled "pass" (fun () -> 42)));
+      Test.make ~name:"metrics-tick-ambient-disabled"
+        (Staged.stage (fun () -> Qobs.Metrics.tick "bench.noop"));
+      Test.make ~name:"compile-obs-off" (Staged.stage compile_off);
+      Test.make ~name:"compile-obs-on" (Staged.stage compile_on) ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let stats = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        stats)
+    tests
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel microbenchmarks of the compiler passes                     *)
 
 let bechamel () =
@@ -456,6 +573,8 @@ let experiments =
     ("verify", verify);
     ("fidelity", fidelity);
     ("ablations", ablations);
+    ("pipeline", pipeline);
+    ("obs-overhead", obs_overhead);
     ("bechamel", bechamel) ]
 
 let () =

@@ -3,6 +3,7 @@
    Subcommands:
      compile    compile a QASM file (or named benchmark) under a strategy
      compare    run all strategies and print normalized latencies
+     profile    per-pass wall-time breakdown over a benchmark/strategy matrix
      bench-list list the built-in benchmark instances
      lint       run the Qlint static checkers on a circuit / compilation
      verify     verify sampled aggregated instructions of a compilation
@@ -103,27 +104,87 @@ let print_result r =
       ("merges", string_of_int r.Qcc.Compiler.n_merges);
       ("compile time (s)", Printf.sprintf "%.2f" r.Qcc.Compiler.compile_time) ]
 
+(* -v → Info (per-compile summaries on the "qcc" source), -vv → Debug
+   (adds per-span close timings from "qobs") *)
+let setup_logs verbosity =
+  if verbosity > 0 then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some (if verbosity >= 2 then Logs.Debug else Logs.Info))
+  end
+
+let verbosity_arg =
+  Arg.(value & flag_all
+       & info [ "v"; "verbose" ]
+           ~doc:"Verbosity: once for per-compile info logs, twice for \
+                 per-pass debug timings plus the pass summary and full \
+                 schedule.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the compilation (open \
+                 in about://tracing or Perfetto).")
+
+let metrics_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write pipeline metrics (counters/gauges/histograms) as JSON.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write the machine-readable result summary as JSON.")
+
+let wrote path = Printf.printf "wrote %s\n%!" path
+
 let compile_cmd =
-  let run qasm bench strategy topology width arch verbose =
+  let run qasm bench strategy topology width arch trace_file metrics_file
+      json_file verbosity =
     or_die @@ fun () ->
+    let verbosity = List.length verbosity in
+    setup_logs verbosity;
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let strategy = Qcc.Strategy.of_string strategy in
+    let obs =
+      if trace_file <> None || verbosity >= 2 then Qobs.Trace.create ()
+      else Qobs.Trace.disabled
+    in
+    let metrics =
+      if metrics_file <> None then Qobs.Metrics.create ()
+      else Qobs.Metrics.disabled
+    in
     let r =
-      Qcc.Compiler.compile ~config:(config topology width arch) ~strategy circuit
+      Qcc.Compiler.compile ~config:(config topology width arch) ~obs ~metrics
+        ~strategy circuit
     in
     print_result r;
-    if verbose then
+    Option.iter
+      (fun path ->
+        Qobs.Trace.write_chrome_file path obs;
+        wrote path)
+      trace_file;
+    Option.iter
+      (fun path ->
+        Qobs.Metrics.write_file path metrics;
+        wrote path)
+      metrics_file;
+    Option.iter
+      (fun path ->
+        Qobs.Json.write_file path (Qcc.Report.result_to_json r);
+        wrote path)
+      json_file;
+    if verbosity >= 2 then begin
+      print_string (Qobs.Trace.to_text obs);
       Format.printf "%a@." Qsched.Schedule.pp r.Qcc.Compiler.schedule
-  in
-  let verbose =
-    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
+    end
   in
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit under one strategy.")
     Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
-          $ width_arg $ arch_arg $ verbose)
+          $ width_arg $ arch_arg $ trace_arg $ metrics_arg $ json_arg
+          $ verbosity_arg)
 
 let compare_cmd =
-  let run qasm bench topology width arch =
+  let run qasm bench topology width arch json_file =
     or_die @@ fun () ->
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let results =
@@ -131,10 +192,135 @@ let compare_cmd =
     in
     let name = Option.value ~default:"circuit" bench in
     Qcc.Report.print_speedup_table ~header:"normalized latency (isa = 1.0)"
-      ~rows:[ (name, results) ]
+      ?json:json_file
+      [ (name, results) ]
   in
   Cmd.v (Cmd.info "compare" ~doc:"Compare all strategies on one circuit.")
-    Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg $ arch_arg)
+    Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg
+          $ arch_arg $ json_arg)
+
+(* per-pass wall-time matrix: compile each benchmark under each strategy
+   with tracing on, then read the pass spans back out of result.trace *)
+let profile_cmd =
+  let canonical_passes =
+    [ "lower"; "handopt-pre"; "gdg"; "detect"; "cls"; "place"; "route";
+      "rebuild"; "aggregate"; "handopt-post"; "schedule" ]
+  in
+  let run benches strategies topology width arch =
+    or_die @@ fun () ->
+    let benches = if benches = [] then [ "maxcut-line" ] else benches in
+    let strategies =
+      match strategies with
+      | [] -> Qcc.Strategy.all
+      | names -> List.map Qcc.Strategy.of_string names
+    in
+    let config = config topology width arch in
+    List.iter
+      (fun bname ->
+        let b =
+          try Qapps.Suite.find bname
+          with Not_found ->
+            failwith
+              (Printf.sprintf "unknown benchmark %S (see qcc bench-list)" bname)
+        in
+        let circuit = Qapps.Suite.lowered b in
+        Printf.printf "\n==== %s (%d qubits, %d gates) ====\n" bname
+          (Qgate.Circuit.n_qubits circuit)
+          (Qgate.Circuit.n_gates circuit);
+        let compiled =
+          List.map
+            (fun strategy ->
+              let obs = Qobs.Trace.create () in
+              let metrics = Qobs.Metrics.create () in
+              let r =
+                Qcc.Compiler.compile ~config ~obs ~metrics ~strategy circuit
+              in
+              (strategy, r, metrics))
+            strategies
+        in
+        let shown_passes =
+          List.filter
+            (fun p ->
+              List.exists
+                (fun (s, _, _) -> List.mem p (Qcc.Compiler.passes s))
+                compiled)
+            canonical_passes
+        in
+        let cell fmt = Printf.printf " %12s" fmt in
+        Printf.printf "%-14s" "pass (ms)";
+        List.iter
+          (fun (s, _, _) -> cell (Qcc.Strategy.to_string s))
+          compiled;
+        print_newline ();
+        let span_ms r name =
+          match r.Qcc.Compiler.trace with
+          | None -> None
+          | Some root ->
+            (match Qobs.Span.find_all ~name root with
+             | [] -> None
+             | spans ->
+               Some
+                 (List.fold_left
+                    (fun acc s -> acc +. Qobs.Span.duration_ns s)
+                    0. spans
+                  /. 1e6))
+        in
+        List.iter
+          (fun pass ->
+            Printf.printf "%-14s" pass;
+            List.iter
+              (fun (_, r, _) ->
+                match span_ms r pass with
+                | Some ms -> cell (Printf.sprintf "%.3f" ms)
+                | None -> cell "-")
+              compiled;
+            print_newline ())
+          shown_passes;
+        Printf.printf "%-14s" "total";
+        List.iter
+          (fun (_, r, _) -> cell (Printf.sprintf "%.3f" (Option.value ~default:0. (span_ms r "compile"))))
+          compiled;
+        print_newline ();
+        let metric_row label value =
+          Printf.printf "%-14s" label;
+          List.iter (fun entry -> cell (value entry)) compiled;
+          print_newline ()
+        in
+        metric_row "latency (ns)" (fun (_, r, _) ->
+            Printf.sprintf "%.1f" r.Qcc.Compiler.latency);
+        metric_row "instructions" (fun (_, r, _) ->
+            string_of_int r.Qcc.Compiler.n_instructions);
+        metric_row "swaps" (fun (_, r, _) ->
+            string_of_int r.Qcc.Compiler.n_swaps_inserted);
+        metric_row "merges" (fun (_, r, _) ->
+            string_of_int r.Qcc.Compiler.n_merges);
+        let counter name (_, _, m) =
+          string_of_int (Qobs.Metrics.counter_value m name)
+        in
+        metric_row "commute fast" (counter "commute.fast_path");
+        metric_row "commute dense" (counter "commute.unitary");
+        metric_row "agg attempted" (counter "agg.attempted");
+        metric_row "agg accepted" (counter "agg.accepted");
+        metric_row "agg vetoed" (counter "agg.vetoed_monotonic");
+        Printf.printf "%!")
+      benches
+  in
+  let benches =
+    Arg.(value & opt_all string []
+         & info [ "b"; "benchmark" ]
+             ~doc:"Benchmark to profile (repeatable; default maxcut-line).")
+  in
+  let strategies =
+    Arg.(value & opt_all string []
+         & info [ "s"; "strategy" ]
+             ~doc:"Strategy to profile (repeatable; default all five).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Compile a benchmark/strategy matrix with tracing on and print \
+             the per-pass wall-time breakdown plus headline metrics.")
+    Term.(const run $ benches $ strategies $ topology_arg $ width_arg
+          $ arch_arg)
 
 let bench_list_cmd =
   let run () =
@@ -292,5 +478,5 @@ let () =
   let doc = "optimized compilation of aggregated quantum instructions" in
   let info = Cmd.info "qcc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ compile_cmd; compare_cmd; bench_list_cmd; lint_cmd;
-                      verify_cmd; pulse_cmd; export_cmd ]))
+                    [ compile_cmd; compare_cmd; profile_cmd; bench_list_cmd;
+                      lint_cmd; verify_cmd; pulse_cmd; export_cmd ]))

@@ -3,6 +3,10 @@ module Circuit = Qgate.Circuit
 module Inst = Qgdg.Inst
 module Gdg = Qgdg.Gdg
 
+let log_src = Logs.Src.create "qcc" ~doc:"qcc compilation pipeline"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
 type config = {
   device : Qcontrol.Device.t;
   topology : Qmap.Topology.t option;
@@ -24,7 +28,21 @@ type result = {
   n_merges : int;
   compile_time : float;
   diagnostics : Qlint.Diagnostic.t list;
+  trace : Qobs.Span.t option;
 }
+
+let passes = function
+  | Strategy.Isa -> [ "lower"; "place"; "route"; "gdg"; "schedule" ]
+  | Strategy.Cls ->
+    [ "lower"; "gdg"; "detect"; "cls"; "place"; "route"; "rebuild"; "schedule" ]
+  | Strategy.Aggregation ->
+    [ "lower"; "place"; "route"; "gdg"; "detect"; "aggregate"; "schedule" ]
+  | Strategy.Cls_aggregation ->
+    [ "lower"; "gdg"; "detect"; "cls"; "place"; "route"; "rebuild";
+      "aggregate"; "schedule" ]
+  | Strategy.Cls_hand ->
+    [ "lower"; "handopt-pre"; "gdg"; "cls"; "place"; "route"; "handopt-post";
+      "rebuild"; "schedule" ]
 
 let topology_of config circuit =
   match config.topology with
@@ -38,23 +56,75 @@ let opt_cost config gates =
   Qcontrol.Latency_model.block_time ~width_limit:config.width_limit
     config.device gates
 
+(* ---- observability instrumentation ----
+
+   [obs] collects one span per pass (the seams below mirror the qlint
+   checkpoints); [metrics] is also installed as the ambient registry so
+   the deep passes (Commute, Router, Cls, Aggregator, Latency_model) can
+   tick counters without signature changes. Both default to the null
+   collectors, which short-circuit before allocating anything. *)
+
+type obs_ctx = { obs : Qobs.Trace.t; metrics : Qobs.Metrics.t }
+
+let null_obs = { obs = Qobs.Trace.disabled; metrics = Qobs.Metrics.disabled }
+
+let pass oc name f =
+  if not (Qobs.Trace.enabled oc.obs || Qobs.Metrics.enabled oc.metrics) then
+    f ()
+  else begin
+    let t0 = Qobs.Clock.now_ns () in
+    let finish () =
+      Qobs.Metrics.observe oc.metrics "pass.duration_ms"
+        (Qobs.Clock.elapsed_ns t0 /. 1e6)
+    in
+    match Qobs.Trace.with_span oc.obs name f with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+(* per-pass key figures land as attributes on the enclosing span, and the
+   sizes as gauges in the registry; guarded so the disabled path touches
+   nothing *)
+let note_gdg oc gdg =
+  if Qobs.Trace.enabled oc.obs || Qobs.Metrics.enabled oc.metrics then begin
+    let nodes = Gdg.size gdg in
+    let _, succ = Gdg.neighbor_tables gdg in
+    let edges = Hashtbl.length succ in
+    Qobs.Trace.attr_int oc.obs "nodes" nodes;
+    Qobs.Trace.attr_int oc.obs "edges" edges;
+    Qobs.Metrics.gauge oc.metrics "gdg.nodes" (float_of_int nodes);
+    Qobs.Metrics.gauge oc.metrics "gdg.edges" (float_of_int edges)
+  end
+
+let note_int oc key v =
+  Qobs.Trace.attr_int oc.obs key v;
+  Qobs.Metrics.incr oc.metrics ~by:v ("compile." ^ key)
+
 (* ---- static-check instrumentation (the [~check:true] mode) ----
 
    [ctx] accumulates diagnostics across pipeline boundaries; an
    error-severity diagnostic fails fast with the structured report built
    so far ([Qlint.Report.Check_failed]). [None] disables everything at
-   zero cost. *)
+   zero cost. Diagnostics are prepended (reverse order) and restored to
+   boundary order in one pass at the end — appending here would be
+   quadratic in the number of boundaries. *)
 
 type lint_ctx = Qlint.Diagnostic.t list ref option
+
+let collected_diags acc = List.rev !acc
 
 let checkpoint (ctx : lint_ctx) f =
   match ctx with
   | None -> ()
   | Some acc ->
     let diags = f () in
-    acc := !acc @ diags;
+    acc := List.rev_append diags !acc;
     if List.exists Qlint.Diagnostic.is_error diags then
-      raise (Qlint.Report.Check_failed (Qlint.Report.of_list !acc))
+      raise (Qlint.Report.Check_failed (Qlint.Report.of_list (collected_diags acc)))
 
 let check_circuit ctx ~stage circuit =
   checkpoint ctx (fun () -> Qlint.Check_circuit.run ~stage circuit)
@@ -143,69 +213,103 @@ let gdg_of_physical ~topology insts =
   Gdg.of_insts ~n_qubits:(Qmap.Topology.n_sites topology) insts
 
 (* ISA baseline: program order, per-gate pulses, ASAP *)
-let compile_isa ~config ~ctx circuit =
+let compile_isa ~config ~ctx ~oc circuit =
   let topology = topology_of config circuit in
-  let placement = Qmap.Placement.initial topology circuit in
-  let physical, final = Qmap.Router.route_circuit ~placement ~topology circuit in
+  let placement =
+    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
+  in
+  let physical, final =
+    pass oc "route" (fun () ->
+        Qmap.Router.route_circuit ~placement ~topology circuit)
+  in
   check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
     ~physical;
   let gdg =
-    Gdg.of_circuit
-      ~latency:(fun gates -> serial_cost config.device gates)
-      physical
+    pass oc "gdg" (fun () ->
+        let g =
+          Gdg.of_circuit
+            ~latency:(fun gates -> serial_cost config.device gates)
+            physical
+        in
+        note_gdg oc g;
+        g)
   in
   check_gdg ctx ~stage:"gdg" gdg;
   let swaps =
     Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical
     - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
   in
-  let schedule = Qsched.Asap.schedule gdg in
+  let schedule = pass oc "schedule" (fun () -> Qsched.Asap.schedule gdg) in
   check_final ctx ~config ~topology gdg schedule;
   (schedule, gdg, swaps, 0, placement, final)
 
 (* commutativity detection + CLS, gates still pulsed individually *)
-let compile_cls ~config ~ctx circuit =
+let compile_cls ~config ~ctx ~oc circuit =
   let topology = topology_of config circuit in
   let gdg =
-    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
-      circuit
+    pass oc "gdg" (fun () ->
+        let g =
+          Gdg.of_circuit
+            ~latency:(fun gates -> serial_cost config.device gates)
+            circuit
+        in
+        note_gdg oc g;
+        g)
   in
   let merges =
-    Qgdg.Diagonal.detect_and_contract
-      ~latency:(fun gates -> serial_cost config.device gates)
-      gdg
+    pass oc "detect" (fun () ->
+        let n =
+          Qgdg.Diagonal.detect_and_contract
+            ~latency:(fun gates -> serial_cost config.device gates)
+            gdg
+        in
+        note_int oc "contractions" n;
+        n)
   in
   check_gdg ctx ~stage:"gdg" gdg;
-  let logical_schedule = Qsched.Cls.schedule gdg in
+  let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
   check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
-  let placement = Qmap.Placement.initial topology circuit in
+  let placement =
+    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
+  in
   let linear = Qsched.Schedule.linearize logical_schedule in
   let routed, swaps, final =
-    route_insts ~config ~topology ~placement linear
+    pass oc "route" (fun () ->
+        let routed, swaps, final =
+          route_insts ~config ~topology ~placement linear
+        in
+        note_int oc "swaps" swaps;
+        (routed, swaps, final))
   in
   check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
     ~routed;
   (* CLS gets no custom pulses: expand blocks back to gates so the final
      schedule recovers gate-level overlap; the commutativity gain is
      already baked into the routed order *)
-  let flat =
-    Circuit.make (Qmap.Topology.n_sites topology)
-      (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
-  in
   let physical =
-    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
-      flat
+    pass oc "rebuild" (fun () ->
+        let flat =
+          Circuit.make (Qmap.Topology.n_sites topology)
+            (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+        in
+        Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
+          flat)
   in
-  let schedule = Qsched.Cls.schedule physical in
+  let schedule =
+    pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
+  in
   check_final ctx ~config ~topology physical schedule;
   (schedule, physical, swaps, merges, placement, final)
 
 (* aggregation without commutativity-aware scheduling *)
-let compile_aggregation ~config ~ctx circuit =
+let compile_aggregation ~config ~ctx ~oc circuit =
   let topology = topology_of config circuit in
-  let placement = Qmap.Placement.initial topology circuit in
+  let placement =
+    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
+  in
   let physical_circuit, final =
-    Qmap.Router.route_circuit ~placement ~topology circuit
+    pass oc "route" (fun () ->
+        Qmap.Router.route_circuit ~placement ~topology circuit)
   in
   check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
     ~physical:physical_circuit;
@@ -214,19 +318,34 @@ let compile_aggregation ~config ~ctx circuit =
     - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
   in
   let gdg =
-    Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates)
-      physical_circuit
+    pass oc "gdg" (fun () ->
+        let g =
+          Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates)
+            physical_circuit
+        in
+        note_gdg oc g;
+        g)
   in
   let d_merges =
-    Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
+    pass oc "detect" (fun () ->
+        let n =
+          Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
+        in
+        note_int oc "contractions" n;
+        n)
   in
   check_gdg ctx ~stage:"gdg" gdg;
   let stats =
-    Qagg.Aggregator.run ~width_limit:config.width_limit
-      ~cost:(opt_cost config) gdg
+    pass oc "aggregate" (fun () ->
+        let stats =
+          Qagg.Aggregator.run ~width_limit:config.width_limit
+            ~cost:(opt_cost config) gdg
+        in
+        note_int oc "merges" stats.Qagg.Aggregator.merges;
+        stats)
   in
   check_aggregate ctx ~config gdg;
-  let schedule = Qsched.Asap.schedule gdg in
+  let schedule = pass oc "schedule" (fun () -> Qsched.Asap.schedule gdg) in
   check_final ctx ~config ~topology gdg schedule;
   ( schedule,
     gdg,
@@ -236,31 +355,57 @@ let compile_aggregation ~config ~ctx circuit =
     final )
 
 (* the full pipeline *)
-let compile_cls_aggregation ~config ~ctx circuit =
+let compile_cls_aggregation ~config ~ctx ~oc circuit =
   let topology = topology_of config circuit in
   let gdg =
-    Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates) circuit
+    pass oc "gdg" (fun () ->
+        let g =
+          Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates) circuit
+        in
+        note_gdg oc g;
+        g)
   in
   let d_merges =
-    Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
+    pass oc "detect" (fun () ->
+        let n =
+          Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
+        in
+        note_int oc "contractions" n;
+        n)
   in
   check_gdg ctx ~stage:"gdg" gdg;
-  let logical_schedule = Qsched.Cls.schedule gdg in
+  let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
   check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
-  let placement = Qmap.Placement.initial topology circuit in
+  let placement =
+    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
+  in
   let linear = Qsched.Schedule.linearize logical_schedule in
   let routed, swaps, final =
-    route_insts ~config ~topology ~placement linear
+    pass oc "route" (fun () ->
+        let routed, swaps, final =
+          route_insts ~config ~topology ~placement linear
+        in
+        note_int oc "swaps" swaps;
+        (routed, swaps, final))
   in
   check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
     ~routed;
-  let physical = gdg_of_physical ~topology routed in
+  let physical =
+    pass oc "rebuild" (fun () -> gdg_of_physical ~topology routed)
+  in
   let stats =
-    Qagg.Aggregator.run ~width_limit:config.width_limit
-      ~cost:(opt_cost config) physical
+    pass oc "aggregate" (fun () ->
+        let stats =
+          Qagg.Aggregator.run ~width_limit:config.width_limit
+            ~cost:(opt_cost config) physical
+        in
+        note_int oc "merges" stats.Qagg.Aggregator.merges;
+        stats)
   in
   check_aggregate ctx ~config physical;
-  let schedule = Qsched.Cls.schedule physical in
+  let schedule =
+    pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
+  in
   check_final ctx ~config ~topology physical schedule;
   ( schedule,
     physical,
@@ -270,72 +415,125 @@ let compile_cls_aggregation ~config ~ctx circuit =
     final )
 
 (* CLS + mechanical hand optimization *)
-let compile_cls_hand ~config ~ctx circuit =
+let compile_cls_hand ~config ~ctx ~oc circuit =
   let topology = topology_of config circuit in
-  let hand = Handopt.optimize circuit in
+  let hand = pass oc "handopt-pre" (fun () -> Handopt.optimize circuit) in
   check_circuit ctx ~stage:"handopt" hand;
   let gdg =
-    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
-      hand
+    pass oc "gdg" (fun () ->
+        let g =
+          Gdg.of_circuit
+            ~latency:(fun gates -> serial_cost config.device gates)
+            hand
+        in
+        note_gdg oc g;
+        g)
   in
   check_gdg ctx ~stage:"gdg" gdg;
-  let logical_schedule = Qsched.Cls.schedule gdg in
+  let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
   check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
-  let placement = Qmap.Placement.initial topology hand in
+  let placement =
+    pass oc "place" (fun () -> Qmap.Placement.initial topology hand)
+  in
   let linear = Qsched.Schedule.linearize logical_schedule in
   let routed, swaps, final =
-    route_insts ~config ~topology ~placement linear
+    pass oc "route" (fun () ->
+        let routed, swaps, final =
+          route_insts ~config ~topology ~placement linear
+        in
+        note_int oc "swaps" swaps;
+        (routed, swaps, final))
   in
   check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
     ~routed;
   (* a second peephole pass over the routed stream (swaps enable new
      cancellations), then the final commutativity-aware schedule *)
-  let flat =
-    Circuit.make (Qmap.Topology.n_sites topology)
-      (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+  let hand2 =
+    pass oc "handopt-post" (fun () ->
+        let flat =
+          Circuit.make (Qmap.Topology.n_sites topology)
+            (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+        in
+        Handopt.optimize flat)
   in
-  let hand2 = Handopt.optimize flat in
   check_circuit ctx ~stage:"handopt" hand2;
   let physical =
-    Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
-      hand2
+    pass oc "rebuild" (fun () ->
+        Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
+          hand2)
   in
-  let schedule = Qsched.Cls.schedule physical in
+  let schedule =
+    pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
+  in
   check_final ctx ~config ~topology physical schedule;
   (schedule, physical, swaps, 0, placement, final)
 
-let compile ?(config = default_config) ?(check = false) ~strategy circuit =
-  let t0 = Sys.time () in
-  let ctx = if check then Some (ref []) else None in
-  let circuit = Qgate.Decompose.to_isa circuit in
-  check_circuit ctx ~stage:"lower" circuit;
-  let schedule, gdg, n_swaps_inserted, n_merges, initial_placement,
-      final_placement =
-    match strategy with
-    | Strategy.Isa -> compile_isa ~config ~ctx circuit
-    | Strategy.Cls -> compile_cls ~config ~ctx circuit
-    | Strategy.Aggregation -> compile_aggregation ~config ~ctx circuit
-    | Strategy.Cls_aggregation -> compile_cls_aggregation ~config ~ctx circuit
-    | Strategy.Cls_hand -> compile_cls_hand ~config ~ctx circuit
+let compile ?(config = default_config) ?(check = false)
+    ?(obs = Qobs.Trace.disabled) ?(metrics = Qobs.Metrics.disabled) ~strategy
+    circuit =
+  let oc = if Qobs.Trace.enabled obs || Qobs.Metrics.enabled metrics
+    then { obs; metrics }
+    else null_obs
   in
-  { strategy;
-    schedule;
-    latency = schedule.Qsched.Schedule.makespan;
-    gdg;
-    initial_placement;
-    final_placement;
-    n_instructions = Gdg.size gdg;
-    n_swaps_inserted;
-    n_merges;
-    compile_time = Sys.time () -. t0;
-    diagnostics =
-      (match ctx with
-       | Some acc -> List.stable_sort Qlint.Diagnostic.compare !acc
-       | None -> []) }
+  let body () =
+    let t0 = Qobs.Clock.now_ns () in
+    let ctx = if check then Some (ref []) else None in
+    let schedule, gdg, n_swaps_inserted, n_merges, initial_placement,
+        final_placement =
+      Qobs.Trace.with_span oc.obs "compile" (fun () ->
+          Qobs.Trace.attr_str oc.obs "strategy" (Strategy.to_string strategy);
+          let circuit =
+            pass oc "lower" (fun () -> Qgate.Decompose.to_isa circuit)
+          in
+          if Qobs.Trace.enabled oc.obs || Qobs.Metrics.enabled oc.metrics
+          then begin
+            Qobs.Trace.attr_int oc.obs "qubits" (Circuit.n_qubits circuit);
+            Qobs.Trace.attr_int oc.obs "gates" (Circuit.n_gates circuit);
+            Qobs.Metrics.incr oc.metrics ~by:(Circuit.n_gates circuit)
+              "lower.gates"
+          end;
+          check_circuit ctx ~stage:"lower" circuit;
+          match strategy with
+          | Strategy.Isa -> compile_isa ~config ~ctx ~oc circuit
+          | Strategy.Cls -> compile_cls ~config ~ctx ~oc circuit
+          | Strategy.Aggregation -> compile_aggregation ~config ~ctx ~oc circuit
+          | Strategy.Cls_aggregation ->
+            compile_cls_aggregation ~config ~ctx ~oc circuit
+          | Strategy.Cls_hand -> compile_cls_hand ~config ~ctx ~oc circuit)
+    in
+    let compile_time = Qobs.Clock.elapsed_ns t0 /. 1e9 in
+    let latency = schedule.Qsched.Schedule.makespan in
+    Qobs.Metrics.gauge oc.metrics "compile.latency_ns" latency;
+    Qobs.Metrics.gauge oc.metrics "compile.time_s" compile_time;
+    Log.info (fun m ->
+        m "%s: %d instructions, latency %.1f ns, compiled in %.2f ms"
+          (Strategy.to_string strategy) (Gdg.size gdg) latency
+          (compile_time *. 1e3));
+    { strategy;
+      schedule;
+      latency;
+      gdg;
+      initial_placement;
+      final_placement;
+      n_instructions = Gdg.size gdg;
+      n_swaps_inserted;
+      n_merges;
+      compile_time;
+      diagnostics =
+        (match ctx with
+         | Some acc ->
+           List.stable_sort Qlint.Diagnostic.compare (collected_diags acc)
+         | None -> []);
+      trace = Qobs.Trace.last_span oc.obs }
+  in
+  if Qobs.Metrics.enabled oc.metrics then
+    Qobs.Metrics.with_ambient oc.metrics body
+  else body ()
 
-let compile_all ?config ?check circuit =
+let compile_all ?config ?check ?obs ?metrics circuit =
   List.map
-    (fun strategy -> (strategy, compile ?config ?check ~strategy circuit))
+    (fun strategy ->
+      (strategy, compile ?config ?check ?obs ?metrics ~strategy circuit))
     Strategy.all
 
 let blocks result =

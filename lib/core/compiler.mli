@@ -45,14 +45,25 @@ type result = {
   n_instructions : int;
   n_swaps_inserted : int;
   n_merges : int;  (** diagonal contractions + aggregation merges *)
-  compile_time : float;  (** seconds *)
+  compile_time : float;
+      (** wall-clock seconds on the monotonic clock ({!Qobs.Clock}) —
+          {e not} CPU time *)
   diagnostics : Qlint.Diagnostic.t list;
       (** static-check findings accumulated across pass boundaries; always
           [[]] unless compiled with [~check:true] *)
+  trace : Qobs.Span.t option;
+      (** the root ["compile"] span with one child per pipeline pass (see
+          {!passes}); [None] unless compiled with an enabled [~obs]
+          collector *)
 }
 
+val passes : Strategy.t -> string list
+(** The span names a traced compile emits for the strategy, in pipeline
+    order — each appears exactly once under the root ["compile"] span. *)
+
 val compile :
-  ?config:config -> ?check:bool -> strategy:Strategy.t -> Qgate.Circuit.t ->
+  ?config:config -> ?check:bool -> ?obs:Qobs.Trace.t ->
+  ?metrics:Qobs.Metrics.t -> strategy:Strategy.t -> Qgate.Circuit.t ->
   result
 (** [~check:true] runs the Qlint checker families at every pass boundary
     (lowered circuit, GDG construction, logical CLS schedule, routing,
@@ -60,12 +71,23 @@ val compile :
     {!field:result.diagnostics}; the first boundary that produces an
     error-severity diagnostic aborts compilation by raising
     [Qlint.Report.Check_failed] carrying everything gathered so far.
-    [~check:false] (the default) costs nothing. *)
+    [~check:false] (the default) costs nothing.
+
+    [~obs] (default {!Qobs.Trace.disabled}) wraps every pass in a timed
+    span — the qlint checkpoints run {e between} spans so checking cost
+    never pollutes pass times — and fills {!field:result.trace}.
+    [~metrics] (default {!Qobs.Metrics.disabled}) receives the compiler's
+    own counters/gauges and is installed as the ambient registry
+    ({!Qobs.Metrics.with_ambient}) so the deep passes (commutation
+    checks, routing, CLS, aggregation, latency model) record into it too.
+    Both defaults are null collectors: the disabled path is one branch
+    per seam, no allocation. *)
 
 val compile_all :
-  ?config:config -> ?check:bool -> Qgate.Circuit.t ->
+  ?config:config -> ?check:bool -> ?obs:Qobs.Trace.t ->
+  ?metrics:Qobs.Metrics.t -> Qgate.Circuit.t ->
   (Strategy.t * result) list
-(** All five strategies on one circuit. *)
+(** All five strategies on one circuit (sharing the collectors). *)
 
 val blocks : result -> Qgate.Gate.t list list
 (** Final aggregated instructions as member-gate lists (for

@@ -10,7 +10,46 @@ let geometric_mean values =
 let normalized_latency ~baseline result =
   result.Compiler.latency /. baseline.Compiler.latency
 
-let print_speedup_table ~header ~rows =
+let result_to_json (r : Compiler.result) =
+  Qobs.Json.Obj
+    [ ("strategy", Qobs.Json.Str (Strategy.to_string r.Compiler.strategy));
+      ("latency_ns", Qobs.Json.Float r.Compiler.latency);
+      ("instructions", Qobs.Json.Int r.Compiler.n_instructions);
+      ("swaps_inserted", Qobs.Json.Int r.Compiler.n_swaps_inserted);
+      ("merges", Qobs.Json.Int r.Compiler.n_merges);
+      ("compile_time_s", Qobs.Json.Float r.Compiler.compile_time);
+      ("utilization",
+       Qobs.Json.Float (Qsched.Schedule.utilization r.Compiler.schedule));
+      ("diagnostics", Qobs.Json.Int (List.length r.Compiler.diagnostics)) ]
+
+let speedup_table_to_json ~rows =
+  Qobs.Json.Obj
+    [ ("schema", Qobs.Json.Str "qcc.speedup-table/1");
+      ("baseline", Qobs.Json.Str (Strategy.to_string Strategy.Isa));
+      ("rows",
+       Qobs.Json.List
+         (List.map
+            (fun (name, results) ->
+              let baseline = List.assoc_opt Strategy.Isa results in
+              Qobs.Json.Obj
+                [ ("benchmark", Qobs.Json.Str name);
+                  ("results",
+                   Qobs.Json.List
+                     (List.map
+                        (fun ((_ : Strategy.t), r) ->
+                          let fields = result_to_json r in
+                          match (fields, baseline) with
+                          | Qobs.Json.Obj kvs, Some b ->
+                            Qobs.Json.Obj
+                              (kvs
+                               @ [ ("normalized_latency",
+                                    Qobs.Json.Float
+                                      (normalized_latency ~baseline:b r)) ])
+                          | _, _ -> fields)
+                        results)) ])
+            rows)) ]
+
+let print_speedup_table ~header ?json rows =
   Printf.printf "%s\n" header;
   let strategies = Strategy.all in
   Printf.printf "%-16s" "benchmark";
@@ -48,7 +87,12 @@ let print_speedup_table ~header ~rows =
       | None | Some [] -> Printf.printf " %15s" "-"
       | Some norms -> Printf.printf " %15.3f" (1. /. geometric_mean norms))
     strategies;
-  Printf.printf "\n%!"
+  Printf.printf "\n%!";
+  match json with
+  | None -> ()
+  | Some path ->
+    Qobs.Json.write_file path (speedup_table_to_json ~rows);
+    Printf.printf "wrote %s\n%!" path
 
 let print_kv pairs =
   let width =

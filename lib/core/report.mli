@@ -7,12 +7,24 @@ val geometric_mean : float list -> float
 val normalized_latency : baseline:Compiler.result -> Compiler.result -> float
 (** this latency / baseline latency (the y-axis of Fig. 9). *)
 
+val result_to_json : Compiler.result -> Qobs.Json.t
+(** Headline figures of one compilation (latency, instruction/swap/merge
+    counts, wall compile time, utilization) as a flat JSON object. *)
+
+val speedup_table_to_json :
+  rows:(string * (Strategy.t * Compiler.result) list) list -> Qobs.Json.t
+(** The machine-readable twin of {!print_speedup_table}: per benchmark,
+    every strategy's {!result_to_json} plus [normalized_latency] against
+    the row's ISA baseline (schema [qcc.speedup-table/1]). *)
+
 val print_speedup_table :
   header:string ->
-  rows:(string * (Strategy.t * Compiler.result) list) list ->
+  ?json:string ->
+  (string * (Strategy.t * Compiler.result) list) list ->
   unit
 (** One row per benchmark: normalized latency per strategy (ISA = 1.0)
-    plus a geometric-mean footer, matching Fig. 9's layout. *)
+    plus a geometric-mean footer, matching Fig. 9's layout. [?json]
+    additionally writes {!speedup_table_to_json} to that path. *)
 
 val print_kv : (string * string) list -> unit
 (** Aligned key/value lines. *)

@@ -13,7 +13,8 @@ let of_string = function
   | "isa" -> Isa
   | "cls" -> Cls
   | "aggregation" | "agg" -> Aggregation
-  | "cls+aggregation" | "cls+agg" -> Cls_aggregation
+  | "cls+aggregation" | "cls+agg" | "cls_aggregation" | "cls_agg" ->
+    Cls_aggregation
   | "cls+hand" | "hand" -> Cls_hand
   | s -> invalid_arg (Printf.sprintf "Strategy.of_string: unknown %S" s)
 

@@ -156,6 +156,7 @@ let run ?(width_limit = 10) ?(max_rounds = 8) ?(pessimism = `Model) ~cost g =
       let scored =
         Action.candidates g !groups ~width_limit
         |> List.filter_map (fun (a, b) ->
+               Qobs.Metrics.tick "agg.attempted";
                let ia = Gdg.find g a and ib = Gdg.find g b in
                let predicted = merged_cost a b in
                let bound = merge_bound ~pessimism ia ib ~predicted in
@@ -165,7 +166,10 @@ let run ?(width_limit = 10) ?(max_rounds = 8) ?(pessimism = `Model) ~cost g =
                     lengthen the schedule and enable later wide wins *)
                  if gain >= -1e-6 then Some (gain, a, b, predicted) else None
                end
-               else None)
+               else begin
+                 Qobs.Metrics.tick "agg.vetoed_monotonic";
+                 None
+               end)
         |> List.sort (fun (ga, a1, b1, _) (gb, a2, b2, _) ->
                match compare gb ga with
                | 0 -> compare (a1, b1) (a2, b2)
@@ -188,6 +192,7 @@ let run ?(width_limit = 10) ?(max_rounds = 8) ?(pessimism = `Model) ~cost g =
             match Gdg.merge g ~latency:predicted a b with
             | exception Invalid_argument _ -> ()
             | merged ->
+              Qobs.Metrics.tick "agg.accepted";
               incr merges;
               incr merged_this_round;
               sweep_again := true;
@@ -209,6 +214,7 @@ let run ?(width_limit = 10) ?(max_rounds = 8) ?(pessimism = `Model) ~cost g =
       (Gdg.insts g);
     if !merged_this_round = 0 && not !recosted then continue_outer := false
   done;
+  Qobs.Metrics.tick ~by:!rounds "agg.rounds";
   { merges = !merges;
     rounds = !rounds;
     initial_makespan;

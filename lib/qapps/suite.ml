@@ -76,7 +76,12 @@ let extended =
         application = "QFT";
         purpose = "Quantum Fourier transform (Sec. 6.1's low-commutativity example)";
         paper_qubits = 20;
-        circuit = lazy (Qft.circuit 20) } ]
+        circuit = lazy (Qft.circuit 20) };
+      { name = "qaoa-line-20";
+        application = "QAOA";
+        purpose = "QAOA on a 20-vertex line (maxcut-line under its Fig. 4 name)";
+        paper_qubits = 20;
+        circuit = lazy (Qaoa.circuit (Graphs.line 20)) } ]
 
 let find name = List.find (fun b -> b.name = name) extended
 

@@ -67,6 +67,7 @@ let two_qubit_unitary_time device u =
   end
 
 let rec gate_time device g =
+  Qobs.Metrics.tick "latency_model.gate_queries";
   let kind = g.Gate.kind in
   match Hashtbl.find_opt gate_memo (device, kind) with
   | Some t -> t
@@ -224,6 +225,7 @@ let segment_irreducible device seg =
   | _ -> isa_critical_path device seg
 
 let rec block_time ?(width_limit = 10) device gates =
+  Qobs.Metrics.tick "latency_model.block_queries";
   if gates = [] then invalid_arg "Latency_model.block_time: empty block";
   let support = List.sort_uniq compare (List.concat_map Gate.qubits gates) in
   let k = List.length support in

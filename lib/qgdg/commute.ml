@@ -15,7 +15,16 @@ let is_diagonal_block gs =
     let _, u = Qgate.Unitary.on_support gs in
     Qnum.Cmat.is_diagonal ~eps:1e-9 u
 
+(* observability: every commutation query ticks "commute.checks"; queries
+   resolved structurally (identical gates, disjoint supports, both sides
+   diagonal) tick "commute.fast_path", those needing a dense unitary
+   comparison tick "commute.unitary" — the fast-path ratio is the headline
+   number for the detection cost (no-ops unless a metrics registry is
+   ambient, see Qobs.Metrics) *)
+let fast_path () = Qobs.Metrics.tick "commute.fast_path"
+
 let dense_commute a_gates b_gates =
+  Qobs.Metrics.tick "commute.unitary";
   let support =
     List.sort_uniq compare
       (List.concat_map Gate.qubits a_gates @ List.concat_map Gate.qubits b_gates)
@@ -32,21 +41,40 @@ let dense_commute a_gates b_gates =
   end
 
 let blocks a b =
+  Qobs.Metrics.tick "commute.checks";
   match (a, b) with
-  | [], _ | _, [] -> true
+  | [], _ | _, [] ->
+    fast_path ();
+    true
   | _ ->
     let qa = List.sort_uniq compare (List.concat_map Gate.qubits a) in
     let qb = List.sort_uniq compare (List.concat_map Gate.qubits b) in
     let disjoint = not (List.exists (fun q -> List.mem q qb) qa) in
-    if disjoint then true
-    else if all_diagonal a && all_diagonal b then true
+    if disjoint then begin
+      fast_path ();
+      true
+    end
+    else if all_diagonal a && all_diagonal b then begin
+      fast_path ();
+      true
+    end
     else dense_commute a b
 
 let gates a b =
-  if Gate.equal a b then true
-  else if not (Gate.shares_qubit a b) then true
+  Qobs.Metrics.tick "commute.checks";
+  if Gate.equal a b then begin
+    fast_path ();
+    true
+  end
+  else if not (Gate.shares_qubit a b) then begin
+    fast_path ();
+    true
+  end
   else if Gate.is_diagonal_kind a.Gate.kind && Gate.is_diagonal_kind b.Gate.kind
-  then true
+  then begin
+    fast_path ();
+    true
+  end
   else dense_commute [ a ] [ b ]
 
 let insts a b = blocks a.Inst.gates b.Inst.gates

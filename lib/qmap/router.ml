@@ -2,6 +2,10 @@ let route ~topology ~placement ~support ~remap ~make_swap items =
   let placement = ref placement in
   let out = ref [] in
   let emit x = out := x :: !out in
+  let emit_swap x =
+    Qobs.Metrics.tick "route.swaps";
+    emit x
+  in
   let adjacentize a_site b_site =
     (* walk the occupant of [a_site] along a shortest path towards
        [b_site], emitting SWAPs, until the two are neighbors; returns the
@@ -11,7 +15,7 @@ let route ~topology ~placement ~support ~remap ~make_swap items =
       else begin
         match Topology.path topology a_site b_site with
         | _ :: next :: _ ->
-          emit (make_swap a_site next);
+          emit_swap (make_swap a_site next);
           placement := Placement.apply_swap !placement a_site next;
           go next
         | _ -> raise Not_found
@@ -21,6 +25,7 @@ let route ~topology ~placement ~support ~remap ~make_swap items =
   in
   List.iter
     (fun item ->
+      Qobs.Metrics.tick "route.instructions";
       let logical_support = support item in
       (match logical_support with
        | [] | [ _ ] -> ()

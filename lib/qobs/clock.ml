@@ -1,0 +1,9 @@
+let t0 = Unix.gettimeofday ()
+let last = ref 0.
+
+let now_ns () =
+  let t = (Unix.gettimeofday () -. t0) *. 1e9 in
+  if t > !last then last := t;
+  !last
+
+let elapsed_ns start = now_ns () -. start

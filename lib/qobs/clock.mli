@@ -1,0 +1,16 @@
+(** Monotonic wall clock for span timing.
+
+    The stdlib offers [Sys.time] (CPU seconds — wrong for wall-clock
+    profiling) and [Unix.gettimeofday] (wall seconds, but steppable by
+    NTP). This module derives a {e non-decreasing} wall clock from
+    [Unix.gettimeofday] by clamping: a backwards step freezes the clock
+    until real time catches up, so span durations are never negative and
+    successive readings never go back. Origin is the first use in the
+    process. *)
+
+val now_ns : unit -> float
+(** Nanoseconds since process start; guaranteed non-decreasing across
+    calls. *)
+
+val elapsed_ns : float -> float
+(** [elapsed_ns t0] = [now_ns () -. t0] (>= 0 for any earlier reading). *)

@@ -1,0 +1,124 @@
+type hist_stats = {
+  n : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type metric =
+  | Counter of { mutable count : int }
+  | Gauge of { mutable value : float }
+  | Hist of {
+      mutable n : int;
+      mutable sum : float;
+      mutable min : float;
+      mutable max : float;
+    }
+
+type t = {
+  enabled : bool;
+  table : (string, metric) Hashtbl.t;
+}
+
+let create () = { enabled = true; table = Hashtbl.create 64 }
+let disabled = { enabled = false; table = Hashtbl.create 0 }
+let enabled t = t.enabled
+let reset t = Hashtbl.reset t.table
+
+let incr t ?(by = 1) name =
+  if t.enabled then
+    match Hashtbl.find_opt t.table name with
+    | Some (Counter c) -> c.count <- c.count + by
+    | Some _ -> ()
+    | None -> Hashtbl.replace t.table name (Counter { count = by })
+
+let gauge t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.table name with
+    | Some (Gauge g) -> g.value <- v
+    | Some _ -> ()
+    | None -> Hashtbl.replace t.table name (Gauge { value = v })
+
+let observe t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.table name with
+    | Some (Hist h) ->
+      h.n <- h.n + 1;
+      h.sum <- h.sum +. v;
+      if v < h.min then h.min <- v;
+      if v > h.max then h.max <- v
+    | Some _ -> ()
+    | None -> Hashtbl.replace t.table name (Hist { n = 1; sum = v; min = v; max = v })
+
+let counter_value t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Counter c) -> c.count
+  | Some _ | None -> 0
+
+let gauge_value t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Gauge g) -> Some g.value
+  | Some _ | None -> None
+
+let hist_value t name =
+  match Hashtbl.find_opt t.table name with
+  | Some (Hist h) -> Some { n = h.n; sum = h.sum; min = h.min; max = h.max }
+  | Some _ | None -> None
+
+let names t =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.table [])
+
+let metric_json = function
+  | Counter c -> Json.Int c.count
+  | Gauge g -> Json.Float g.value
+  | Hist h ->
+    Json.Obj
+      [ ("count", Json.Int h.n);
+        ("sum", Json.Float h.sum);
+        ("min", Json.Float h.min);
+        ("max", Json.Float h.max);
+        ("mean", Json.Float (if h.n = 0 then 0. else h.sum /. float_of_int h.n)) ]
+
+let to_json t =
+  Json.Obj
+    (List.map
+       (fun name -> (name, metric_json (Hashtbl.find t.table name)))
+       (names t))
+
+let pp_text ppf t =
+  List.iter
+    (fun name ->
+      let value =
+        match Hashtbl.find t.table name with
+        | Counter c -> string_of_int c.count
+        | Gauge g -> Printf.sprintf "%g" g.value
+        | Hist h ->
+          Printf.sprintf "count=%d sum=%g min=%g max=%g" h.n h.sum h.min h.max
+      in
+      Format.fprintf ppf "%-36s %s@." name value)
+    (names t)
+
+let write_file path t = Json.write_file path (to_json t)
+
+(* ---- ambient registry ---- *)
+
+let ambient_ref = ref disabled
+let ambient () = !ambient_ref
+let set_ambient t = ambient_ref := t
+
+let with_ambient t f =
+  let saved = !ambient_ref in
+  ambient_ref := t;
+  Fun.protect ~finally:(fun () -> ambient_ref := saved) f
+
+let tick ?by name =
+  let t = !ambient_ref in
+  if t.enabled then incr t ?by name
+
+let record name v =
+  let t = !ambient_ref in
+  if t.enabled then observe t name v
+
+let set name v =
+  let t = !ambient_ref in
+  if t.enabled then gauge t name v

@@ -1,0 +1,69 @@
+(** Named counters, gauges and histograms for the compilation pipeline.
+
+    A registry is either enabled or the shared {!disabled} null registry;
+    every recording operation checks the flag before touching (or
+    allocating) anything, so default-off instrumentation costs one branch.
+
+    Deep pipeline passes (commutation checks, routing, CLS, aggregation,
+    the latency model) record through the {e ambient} registry — a
+    process-wide current registry installed by [Compiler.compile] around a
+    traced compilation ({!with_ambient}) — so their call signatures stay
+    clean. The ambient registry defaults to {!disabled}.
+
+    Kinds are fixed by first use of a name: recording a different kind
+    under an existing name is ignored. *)
+
+type t
+
+type hist_stats = {
+  n : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+val create : unit -> t
+val disabled : t
+val enabled : t -> bool
+val reset : t -> unit
+
+val incr : t -> ?by:int -> string -> unit
+(** Counter increment ([by] defaults to 1). *)
+
+val gauge : t -> string -> float -> unit
+(** Gauge: last write wins. *)
+
+val observe : t -> string -> float -> unit
+(** Histogram sample (summary stats: count/sum/min/max). *)
+
+val counter_value : t -> string -> int
+(** 0 when absent or not a counter. *)
+
+val gauge_value : t -> string -> float option
+val hist_value : t -> string -> hist_stats option
+
+val names : t -> string list
+(** Sorted. *)
+
+val to_json : t -> Json.t
+(** One field per metric, sorted by name: counters as ints, gauges as
+    floats, histograms as [{count,sum,min,max,mean}] objects. *)
+
+val pp_text : Format.formatter -> t -> unit
+val write_file : string -> t -> unit
+
+(** {2 Ambient registry} *)
+
+val ambient : unit -> t
+val set_ambient : t -> unit
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install, run, restore (also on exceptions). *)
+
+val tick : ?by:int -> string -> unit
+(** [incr] on the ambient registry. *)
+
+val record : string -> float -> unit
+(** [observe] on the ambient registry. *)
+
+val set : string -> float -> unit
+(** [gauge] on the ambient registry. *)

@@ -1,0 +1,109 @@
+type attr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+type t = {
+  name : string;
+  start_ns : float;
+  mutable stop_ns : float;
+  mutable attrs : (string * attr) list;
+  mutable rev_children : t list;
+}
+
+let make ~name ~start_ns =
+  { name; start_ns; stop_ns = start_ns; attrs = []; rev_children = [] }
+
+let duration_ns s = s.stop_ns -. s.start_ns
+let children s = List.rev s.rev_children
+let add_attr s name v = s.attrs <- (name, v) :: s.attrs
+
+let rec count s =
+  List.fold_left (fun acc c -> acc + count c) 1 s.rev_children
+
+let find_all ~name s =
+  let rec go acc s =
+    let acc = if s.name = name then s :: acc else acc in
+    List.fold_left go acc (children s)
+  in
+  List.rev (go [] s)
+
+(* first write wins after reversal: attrs are stored newest-first, so
+   dedup keeping the first (newest) occurrence, then restore order *)
+let exported_attrs s =
+  let seen = Hashtbl.create 8 in
+  let newest_first =
+    List.filter
+      (fun (k, _) ->
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.replace seen k ();
+          true
+        end)
+      s.attrs
+  in
+  List.rev newest_first
+
+let attr_json = function
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+  | Str s -> Json.Str s
+
+let rec to_json s =
+  Json.Obj
+    [ ("name", Json.Str s.name);
+      ("start_ns", Json.Float s.start_ns);
+      ("dur_ns", Json.Float (duration_ns s));
+      ("attrs",
+       Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) (exported_attrs s)));
+      ("children", Json.List (List.map to_json (children s))) ]
+
+let to_chrome_events ?(pid = 1) ?(tid = 1) s =
+  let rec go acc s =
+    let event =
+      Json.Obj
+        [ ("name", Json.Str s.name);
+          ("cat", Json.Str "compile");
+          ("ph", Json.Str "X");
+          ("ts", Json.Float (s.start_ns /. 1e3));
+          ("dur", Json.Float (duration_ns s /. 1e3));
+          ("pid", Json.Int pid);
+          ("tid", Json.Int tid);
+          ("args",
+           Json.Obj
+             (List.map (fun (k, v) -> (k, attr_json v)) (exported_attrs s))) ]
+    in
+    List.fold_left go (event :: acc) (children s)
+  in
+  List.rev (go [] s)
+
+let pp_text ppf s =
+  let rec go indent s =
+    let attrs =
+      match exported_attrs s with
+      | [] -> ""
+      | kvs ->
+        "  "
+        ^ String.concat " "
+            (List.map
+               (fun (k, v) ->
+                 let value =
+                   match v with
+                   | Int n -> string_of_int n
+                   | Float f -> Printf.sprintf "%g" f
+                   | Bool b -> string_of_bool b
+                   | Str s -> s
+                 in
+                 Printf.sprintf "%s=%s" k value)
+               kvs)
+    in
+    Format.fprintf ppf "%s%-*s %10.3f ms%s@." indent
+      (max 1 (32 - String.length indent))
+      s.name
+      (duration_ns s /. 1e6)
+      attrs;
+    List.iter (go (indent ^ "  ")) (children s)
+  in
+  go "" s

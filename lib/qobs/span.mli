@@ -1,0 +1,50 @@
+(** Timed spans — the nodes of a trace tree.
+
+    A span is a named interval on the monotonic wall clock ({!Clock}) with
+    typed attributes and child spans. Spans are built by {!Trace};
+    exporters here turn a finished span into indented text, a nested JSON
+    object, or flat Chrome [trace_event] entries (openable in
+    [about://tracing] / Perfetto). *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Bool of bool
+  | Str of string
+
+type t = {
+  name : string;
+  start_ns : float;
+  mutable stop_ns : float;
+  mutable attrs : (string * attr) list;  (** reverse insertion order *)
+  mutable rev_children : t list;  (** reverse chronological (internal) *)
+}
+
+val make : name:string -> start_ns:float -> t
+(** An open span ([stop_ns = start_ns], no attrs, no children). *)
+
+val duration_ns : t -> float
+val children : t -> t list
+(** Chronological order. *)
+
+val add_attr : t -> string -> attr -> unit
+(** Later writes to the same key shadow earlier ones on export. *)
+
+val count : t -> int
+(** Number of spans in the tree (including [t]). *)
+
+val find_all : name:string -> t -> t list
+(** All spans with that name, depth-first. *)
+
+val attr_json : attr -> Json.t
+
+val to_json : t -> Json.t
+(** [{name, start_ns, dur_ns, attrs, children}] — start times relative to
+    the process clock origin. *)
+
+val to_chrome_events : ?pid:int -> ?tid:int -> t -> Json.t list
+(** One complete ("ph":"X") event per span, depth-first; [ts]/[dur] in
+    microseconds as the format requires. *)
+
+val pp_text : Format.formatter -> t -> unit
+(** Indented tree: name, duration in ms, attributes as [k=v]. *)

@@ -55,6 +55,7 @@ let schedule g =
         i.Inst.qubits
     in
     if candidates <> [] then begin
+      Qobs.Metrics.tick "cls.matching_rounds";
       (* wide instructions claim greedily; the rest go through matching *)
       let wide, narrow = List.partition (fun i -> Inst.width i > 2) candidates in
       List.iter
@@ -73,6 +74,7 @@ let schedule g =
           narrow
       in
       let chosen = Qgraph.Matching.maximal_edges ~n:n_qubits edges in
+      Qobs.Metrics.tick ~by:(List.length chosen) "cls.matched";
       List.iter (fun e -> select e.Qgraph.Matching.label) chosen
     end;
     if Hashtbl.length scheduled < total then begin
@@ -99,6 +101,7 @@ let schedule g =
         in
         if next = Float.infinity then
           failwith "Cls.schedule: deadlock (malformed dependence graph)";
+        Qobs.Metrics.tick "cls.time_advances";
         time := next
       end
     end

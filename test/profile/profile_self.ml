@@ -1,0 +1,97 @@
+(* profile-self: the observability layer must profile the compiler clean.
+
+   Compiles two small benchmarks with tracing and metrics enabled, writes
+   the Chrome trace_event and metrics JSON files, re-parses both with the
+   qobs JSON parser, and validates their structure: every expected pass
+   span present exactly once, trace events carry the required fields, and
+   the metrics registry holds at least eight distinct series. Runs under
+   `dune runtest`; any regression in the emitted JSON fails the build. *)
+
+module Json = Qobs.Json
+
+let benchmarks = [ "maxcut-line"; "uccsd-n4" ]
+let strategy = Qcc.Strategy.Cls_aggregation
+let failures = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "profile-self FAILED: %s\n" msg)
+    fmt
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  match Json.of_string (String.trim contents) with
+  | Ok doc -> Some doc
+  | Error e ->
+    fail "%s does not parse: %s" path e;
+    None
+
+let check_trace_file label path expected_passes =
+  match parse_file path with
+  | None -> ()
+  | Some doc ->
+    (match Json.member "traceEvents" doc with
+     | Some (Json.List events) ->
+       let complete =
+         List.filter (fun e -> Json.member "ph" e = Some (Json.Str "X")) events
+       in
+       if complete = [] then fail "%s: no complete events" label;
+       List.iter
+         (fun e ->
+           List.iter
+             (fun field ->
+               if Json.member field e = None then
+                 fail "%s: event missing %S" label field)
+             [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ])
+         complete;
+       let count name =
+         List.length
+           (List.filter
+              (fun e -> Json.member "name" e = Some (Json.Str name))
+              complete)
+       in
+       List.iter
+         (fun pass ->
+           let n = count pass in
+           if n <> 1 then fail "%s: pass %S appears %d times" label pass n)
+         ("compile" :: expected_passes)
+     | _ -> fail "%s: traceEvents missing" label)
+
+let check_metrics_file label path =
+  match parse_file path with
+  | None -> ()
+  | Some (Json.Obj fields) ->
+    if List.length fields < 8 then
+      fail "%s: only %d metrics (need >= 8): %s" label (List.length fields)
+        (String.concat ", " (List.map fst fields))
+  | Some _ -> fail "%s: metrics file is not an object" label
+
+let () =
+  List.iter
+    (fun name ->
+      let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
+      let obs = Qobs.Trace.create () in
+      let metrics = Qobs.Metrics.create () in
+      let r = Qcc.Compiler.compile ~obs ~metrics ~strategy circuit in
+      let label =
+        Printf.sprintf "%s / %s" name (Qcc.Strategy.to_string strategy)
+      in
+      let trace_path = Printf.sprintf "profile_self_%s_trace.json" name in
+      let metrics_path = Printf.sprintf "profile_self_%s_metrics.json" name in
+      Qobs.Trace.write_chrome_file trace_path obs;
+      Qobs.Metrics.write_file metrics_path metrics;
+      (match r.Qcc.Compiler.trace with
+       | None -> fail "%s: traced compile returned no trace" label
+       | Some _ -> ());
+      check_trace_file label trace_path (Qcc.Compiler.passes strategy);
+      check_metrics_file label metrics_path;
+      Sys.remove trace_path;
+      Sys.remove metrics_path;
+      if !failures = 0 then Printf.printf "profile-self %-28s ok\n" label)
+    benchmarks;
+  if !failures > 0 then exit 1

@@ -1,0 +1,317 @@
+(* qobs: spans, metrics, JSON round-trips, and the compile-with-trace
+   acceptance criterion (every pass appears exactly once per strategy). *)
+
+module Json = Qobs.Json
+module Span = Qobs.Span
+module Trace = Qobs.Trace
+module Metrics = Qobs.Metrics
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---- clock ---- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Qobs.Clock.now_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Qobs.Clock.now_ns () in
+    checkb "non-decreasing" true (t >= !prev);
+    prev := t
+  done;
+  let t0 = Qobs.Clock.now_ns () in
+  checkb "elapsed non-negative" true (Qobs.Clock.elapsed_ns t0 >= 0.)
+
+(* ---- spans ---- *)
+
+let test_span_nesting () =
+  let tr = Trace.create () in
+  let result =
+    Trace.with_span tr "root" (fun () ->
+        Trace.attr_int tr "gates" 7;
+        Trace.with_span tr "child-a" (fun () -> ());
+        Trace.with_span tr "child-b" (fun () ->
+            Trace.with_span tr "grandchild" (fun () -> ()));
+        17)
+  in
+  checki "body result" 17 result;
+  match Trace.roots tr with
+  | [ root ] ->
+    check Alcotest.string "root name" "root" root.Span.name;
+    checki "span count" 4 (Span.count root);
+    (match Span.children root with
+     | [ a; b ] ->
+       check Alcotest.string "first child" "child-a" a.Span.name;
+       check Alcotest.string "second child" "child-b" b.Span.name;
+       checki "grandchild" 1 (List.length (Span.children b))
+     | cs -> Alcotest.failf "expected 2 children, got %d" (List.length cs));
+    checki "find_all" 1 (List.length (Span.find_all ~name:"grandchild" root));
+    (match List.assoc_opt "gates" root.Span.attrs with
+     | Some (Span.Int 7) -> ()
+     | _ -> Alcotest.fail "attr gates=7 missing")
+  | rs -> Alcotest.failf "expected 1 root, got %d" (List.length rs)
+
+let test_span_timing () =
+  let tr = Trace.create () in
+  ignore
+    (Trace.with_span tr "outer" (fun () ->
+         Trace.with_span tr "inner" (fun () ->
+             (* burn a little time so durations are visibly ordered *)
+             let acc = ref 0. in
+             for k = 1 to 10_000 do
+               acc := !acc +. sqrt (float_of_int k)
+             done;
+             !acc)));
+  match Trace.roots tr with
+  | [ outer ] ->
+    let inner = List.hd (Span.children outer) in
+    checkb "outer stop >= start" true (outer.Span.stop_ns >= outer.Span.start_ns);
+    checkb "inner within outer" true
+      (inner.Span.start_ns >= outer.Span.start_ns
+       && inner.Span.stop_ns <= outer.Span.stop_ns);
+    checkb "outer >= inner duration" true
+      (Span.duration_ns outer >= Span.duration_ns inner)
+  | _ -> Alcotest.fail "expected 1 root"
+
+let test_span_exception_safety () =
+  let tr = Trace.create () in
+  (try
+     Trace.with_span tr "outer" (fun () ->
+         Trace.with_span tr "boom" (fun () -> failwith "expected"))
+   with Failure _ -> ());
+  match Trace.roots tr with
+  | [ outer ] ->
+    checkb "spans closed despite raise" true
+      (List.for_all
+         (fun (s : Span.t) -> s.Span.stop_ns >= s.Span.start_ns)
+         (outer :: Span.children outer));
+    (* collector still usable: the stack unwound *)
+    ignore (Trace.with_span tr "after" (fun () -> ()));
+    checki "new root recorded" 2 (List.length (Trace.roots tr))
+  | _ -> Alcotest.fail "expected 1 root after exception"
+
+(* ---- metrics ---- *)
+
+let test_metrics_arithmetic () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.incr m ~by:4 "c";
+  checki "counter" 5 (Metrics.counter_value m "c");
+  Metrics.gauge m "g" 1.5;
+  Metrics.gauge m "g" 2.5;
+  check Alcotest.(option (float 1e-9)) "gauge last-write-wins" (Some 2.5)
+    (Metrics.gauge_value m "g");
+  Metrics.observe m "h" 1.;
+  Metrics.observe m "h" 3.;
+  Metrics.observe m "h" 2.;
+  (match Metrics.hist_value m "h" with
+   | Some { Metrics.n; sum; min; max } ->
+     checki "hist n" 3 n;
+     check Alcotest.(float 1e-9) "hist sum" 6. sum;
+     check Alcotest.(float 1e-9) "hist min" 1. min;
+     check Alcotest.(float 1e-9) "hist max" 3. max
+   | None -> Alcotest.fail "histogram missing");
+  (* kind fixed by first use: wrong-kind ops are ignored *)
+  Metrics.gauge m "c" 9.;
+  checki "counter survives gauge write" 5 (Metrics.counter_value m "c");
+  check Alcotest.(list string) "names sorted" [ "c"; "g"; "h" ]
+    (Metrics.names m)
+
+let test_disabled_noop () =
+  ignore (Trace.with_span Trace.disabled "x" (fun () -> 5));
+  checki "disabled trace stays empty" 0
+    (List.length (Trace.roots Trace.disabled));
+  checkb "disabled trace flag" false (Trace.enabled Trace.disabled);
+  Metrics.incr Metrics.disabled "c";
+  Metrics.gauge Metrics.disabled "g" 1.;
+  Metrics.observe Metrics.disabled "h" 1.;
+  check Alcotest.(list string) "disabled metrics stay empty" []
+    (Metrics.names Metrics.disabled);
+  checki "disabled counter_value" 0 (Metrics.counter_value Metrics.disabled "c")
+
+let test_ambient () =
+  (* default ambient is the null registry: ticks vanish *)
+  Metrics.tick "ambient.test";
+  checki "default ambient disabled" 0
+    (Metrics.counter_value (Metrics.ambient ()) "ambient.test");
+  let m = Metrics.create () in
+  Metrics.with_ambient m (fun () ->
+      Metrics.tick "ambient.test";
+      Metrics.tick ~by:2 "ambient.test");
+  checki "ticks landed in installed registry" 3
+    (Metrics.counter_value m "ambient.test");
+  (* restored after the scope, also on exceptions *)
+  (try Metrics.with_ambient m (fun () -> failwith "expected")
+   with Failure _ -> ());
+  checkb "ambient restored" true (Metrics.ambient () == Metrics.disabled)
+
+(* ---- JSON ---- *)
+
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Float x, Json.Float y -> x = y
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> k1 = k2 && json_equal v1 v2)
+         xs ys
+  | a, b -> a = b
+
+let test_json_roundtrip () =
+  let samples =
+    [ Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 3.5;
+      Json.Float 0.001;
+      Json.Float 1e22;
+      Json.Str "plain";
+      Json.Str "esc \"quotes\" \\ \n\t and control \001";
+      Json.List [];
+      Json.Obj [];
+      Json.Obj
+        [ ("a", Json.List [ Json.Int 1; Json.Float 2.5; Json.Null ]);
+          ("b", Json.Obj [ ("nested", Json.Bool false) ]) ] ]
+  in
+  List.iter
+    (fun j ->
+      let s = Json.to_string j in
+      match Json.of_string s with
+      | Ok j' ->
+        checkb (Printf.sprintf "round-trip %s" s) true (json_equal j j')
+      | Error e -> Alcotest.failf "parse of %s failed: %s" s e)
+    samples;
+  (* floats always reparse as Float, never Int *)
+  (match Json.of_string (Json.to_string (Json.Float 4.0)) with
+   | Ok (Json.Float 4.0) -> ()
+   | _ -> Alcotest.fail "Float 4.0 must stay a float");
+  (* non-finite floats degrade to null *)
+  check Alcotest.string "nan -> null" "null" (Json.to_string (Json.Float Float.nan));
+  (* parser: escapes and \u *)
+  (match Json.of_string "\"a\\u0041\\n\"" with
+   | Ok (Json.Str "aA\n") -> ()
+   | _ -> Alcotest.fail "\\u escape");
+  (match Json.of_string "{\"k\": [1, 2.5e1, true], \"m\": null}" with
+   | Ok
+       (Json.Obj
+          [ ("k", Json.List [ Json.Int 1; Json.Float 25.; Json.Bool true ]);
+            ("m", Json.Null) ]) -> ()
+   | _ -> Alcotest.fail "mixed document");
+  (match Json.of_string "{\"k\": }" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "malformed input must be rejected")
+
+let test_chrome_export () =
+  let tr = Trace.create () in
+  ignore
+    (Trace.with_span tr "compile" (fun () ->
+         Trace.attr_str tr "strategy" "isa";
+         Trace.with_span tr "lower" (fun () -> ());
+         Trace.with_span tr "schedule" (fun () -> ())));
+  let doc = Trace.to_chrome tr in
+  match Json.of_string (Json.to_string doc) with
+  | Error e -> Alcotest.failf "chrome doc does not reparse: %s" e
+  | Ok parsed ->
+    (match Json.member "traceEvents" parsed with
+     | Some (Json.List events) ->
+       checkb "has events" true (List.length events >= 3);
+       let complete =
+         List.filter
+           (fun e -> Json.member "ph" e = Some (Json.Str "X"))
+           events
+       in
+       checki "one X event per span" 3 (List.length complete);
+       List.iter
+         (fun e ->
+           List.iter
+             (fun field ->
+               checkb
+                 (Printf.sprintf "event has %s" field)
+                 true
+                 (Json.member field e <> None))
+             [ "name"; "cat"; "ts"; "dur"; "pid"; "tid" ])
+         complete
+     | _ -> Alcotest.fail "traceEvents missing")
+
+(* ---- compile-with-trace acceptance ---- *)
+
+let compile_traced strategy circuit =
+  let obs = Trace.create () in
+  let metrics = Metrics.create () in
+  let r = Qcc.Compiler.compile ~obs ~metrics ~strategy circuit in
+  (r, metrics)
+
+let test_trace_passes_once_each () =
+  let circuit =
+    Qgate.Decompose.to_isa (Qapps.Qaoa.triangle_example ())
+  in
+  List.iter
+    (fun strategy ->
+      let r, _ = compile_traced strategy circuit in
+      match r.Qcc.Compiler.trace with
+      | None -> Alcotest.fail "traced compile must return a trace"
+      | Some root ->
+        check Alcotest.string "root span" "compile" root.Span.name;
+        List.iter
+          (fun pass ->
+            checki
+              (Printf.sprintf "%s: pass %s exactly once"
+                 (Qcc.Strategy.to_string strategy) pass)
+              1
+              (List.length (Span.find_all ~name:pass root)))
+          (Qcc.Compiler.passes strategy);
+        (* no stray pass spans: children of the root are exactly the
+           strategy's pass list, in order *)
+        check Alcotest.(list string) "pass order"
+          (Qcc.Compiler.passes strategy)
+          (List.map (fun (s : Span.t) -> s.Span.name) (Span.children root)))
+    Qcc.Strategy.all
+
+let test_compile_metrics_populated () =
+  let circuit =
+    Qapps.Suite.lowered (Qapps.Suite.find "maxcut-line")
+  in
+  let _, metrics =
+    compile_traced Qcc.Strategy.Cls_aggregation circuit
+  in
+  let names = Metrics.names metrics in
+  checkb
+    (Printf.sprintf "at least 8 metrics, got %d: %s" (List.length names)
+       (String.concat ", " names))
+    true
+    (List.length names >= 8);
+  List.iter
+    (fun expected ->
+      checkb (Printf.sprintf "metric %s present" expected) true
+        (List.mem expected names))
+    [ "lower.gates"; "commute.checks"; "cls.matched"; "agg.attempted";
+      "latency_model.gate_queries"; "compile.latency_ns" ]
+
+let test_untraced_compile_has_no_trace () =
+  let circuit =
+    Qgate.Decompose.to_isa (Qapps.Qaoa.triangle_example ())
+  in
+  let r = Qcc.Compiler.compile ~strategy:Qcc.Strategy.Isa circuit in
+  checkb "no trace by default" true (r.Qcc.Compiler.trace = None)
+
+let suites =
+  [ ("qobs.clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
+    ("qobs.span",
+     [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+       Alcotest.test_case "timing" `Quick test_span_timing;
+       Alcotest.test_case "exception-safety" `Quick test_span_exception_safety ]);
+    ("qobs.metrics",
+     [ Alcotest.test_case "arithmetic" `Quick test_metrics_arithmetic;
+       Alcotest.test_case "disabled-noop" `Quick test_disabled_noop;
+       Alcotest.test_case "ambient" `Quick test_ambient ]);
+    ("qobs.json",
+     [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+       Alcotest.test_case "chrome-export" `Quick test_chrome_export ]);
+    ("qobs.compile",
+     [ Alcotest.test_case "passes-once-each" `Quick test_trace_passes_once_each;
+       Alcotest.test_case "metrics-populated" `Quick
+         test_compile_metrics_populated;
+       Alcotest.test_case "untraced-no-trace" `Quick
+         test_untraced_compile_has_no_trace ]) ]

@@ -561,6 +561,34 @@ let bechamel () =
 
 (* ------------------------------------------------------------------ *)
 
+let certify_overhead () =
+  header
+    "Certification overhead: plain compile vs ~certify:true, per strategy";
+  List.iter
+    (fun bench ->
+      let circuit = Qapps.Suite.lowered (Qapps.Suite.find bench) in
+      List.iter
+        (fun strategy ->
+          let t0 = Qobs.Clock.now_ns () in
+          ignore (Compiler.compile ~strategy circuit);
+          let plain = Qobs.Clock.now_ns () -. t0 in
+          let t1 = Qobs.Clock.now_ns () in
+          let r = Compiler.compile ~certify:true ~strategy circuit in
+          let certified = Qobs.Clock.now_ns () -. t1 in
+          let facts =
+            match r.Compiler.certificate with
+            | Some c -> c.Qcert.Certificate.facts
+            | None -> 0
+          in
+          Printf.printf
+            "  %-14s %-16s plain %8.1f ms | certified %8.1f ms (%5.1fx) | %6d facts\n%!"
+            bench
+            (Strategy.to_string strategy)
+            (plain /. 1e6) (certified /. 1e6)
+            (certified /. plain) facts)
+        Strategy.all)
+    [ "maxcut-line"; "ising-n30"; "uccsd-n4" ]
+
 let experiments =
   [ ("table1", table1);
     ("fig4", fig4);
@@ -575,6 +603,7 @@ let experiments =
     ("ablations", ablations);
     ("pipeline", pipeline);
     ("obs-overhead", obs_overhead);
+    ("certify-overhead", certify_overhead);
     ("bechamel", bechamel) ]
 
 let () =

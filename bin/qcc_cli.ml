@@ -6,6 +6,7 @@
      profile    per-pass wall-time breakdown over a benchmark/strategy matrix
      bench-list list the built-in benchmark instances
      lint       run the Qlint static checkers on a circuit / compilation
+     certify    translation-validate every pass boundary of a compilation
      verify     verify sampled aggregated instructions of a compilation
      pulse      GRAPE-synthesize a pulse for a named 1-2 qubit gate *)
 
@@ -386,8 +387,59 @@ let lint_cmd =
     Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
           $ width_arg $ arch_arg $ format)
 
+let certify_cmd =
+  let run qasm bench strategies topology width arch format =
+    or_die @@ fun () ->
+    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+    let strategies =
+      match strategies with
+      | [] -> Qcc.Strategy.all
+      | names -> List.map Qcc.Strategy.of_string names
+    in
+    let cfg = config topology width arch in
+    let certs =
+      List.map
+        (fun strategy ->
+          match
+            Qcc.Compiler.compile ~config:cfg ~certify:true ~strategy circuit
+          with
+          | r -> Option.get r.Qcc.Compiler.certificate
+          | exception Qcert.Certificate.Certification_failed c -> c)
+        strategies
+    in
+    (match format with
+     | "text" ->
+       List.iter (fun c -> Format.printf "%a@." Qcert.Certificate.pp c) certs
+     | "json" ->
+       print_endline
+         (Qobs.Json.to_string
+            (Qobs.Json.Obj
+               [ ("schema", Qobs.Json.Str "qcc.certify/1");
+                 ("results",
+                  Qobs.Json.List (List.map Qcert.Certificate.to_json certs)) ]))
+     | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f));
+    if not (List.for_all Qcert.Certificate.ok certs) then exit 1
+  in
+  let strategies =
+    Arg.(value & opt_all string []
+         & info [ "s"; "strategy" ]
+             ~doc:"Strategy to certify (repeatable; default all five).")
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ] ~doc:"Report format: text (default) or json.")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:"Translation-validate a compilation: prove every pass boundary \
+             (lowering, GDG, contraction, scheduling, routing, aggregation, \
+             end-to-end) and print the per-boundary certificate; exit 1 on \
+             any refuted boundary.")
+    Term.(const run $ qasm_arg $ bench_arg $ strategies $ topology_arg
+          $ width_arg $ arch_arg $ format)
+
 let verify_cmd =
-  let run qasm bench topology width arch samples =
+  let run qasm bench topology width arch samples format =
     or_die @@ fun () ->
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let r =
@@ -399,16 +451,24 @@ let verify_cmd =
       Qsim.Verify.verify_sampled ~samples rng (device_of arch)
         (Qcc.Compiler.blocks r)
     in
-    Format.printf "@[<v>%a@]@." Qsim.Verify.pp_report report
+    (match format with
+     | "text" -> Format.printf "@[<v>%a@]@." Qsim.Verify.pp_report report
+     | "json" ->
+       print_endline (Qobs.Json.to_string (Qsim.Verify.report_to_json report))
+     | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f))
   in
   let samples =
     Arg.(value & opt int 10 & info [ "n"; "samples" ] ~doc:"Blocks to sample.")
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ] ~doc:"Report format: text (default) or json.")
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Verify sampled aggregated instructions (unitary + pulse).")
     Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg $ arch_arg
-          $ samples)
+          $ samples $ format)
 
 let pulse_cmd =
   let run gate duration =
@@ -479,4 +539,5 @@ let () =
   let info = Cmd.info "qcc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ compile_cmd; compare_cmd; profile_cmd; bench_list_cmd;
-                      lint_cmd; verify_cmd; pulse_cmd; export_cmd ]))
+                      lint_cmd; certify_cmd; verify_cmd; pulse_cmd;
+                      export_cmd ]))

@@ -29,6 +29,7 @@ type result = {
   compile_time : float;
   diagnostics : Qlint.Diagnostic.t list;
   trace : Qobs.Span.t option;
+  certificate : Qcert.Certificate.t option;
 }
 
 let passes = function
@@ -126,6 +127,21 @@ let checkpoint (ctx : lint_ctx) f =
     if List.exists Qlint.Diagnostic.is_error diags then
       raise (Qlint.Report.Check_failed (Qlint.Report.of_list (collected_diags acc)))
 
+(* ---- translation validation (the [~certify:true] mode) ----
+
+   [cert_ctx] threads a [Qcert.Pipeline] context through the pipelines;
+   [None] (the default) keeps every seam a single branch. Snapshots of a
+   GDG's instruction list are taken only when certifying, right before
+   the in-place passes (detect, aggregate) that consume them. *)
+
+type cert_ctx = Qcert.Pipeline.ctx option
+
+let certify_at (cctx : cert_ctx) f =
+  match cctx with None -> () | Some c -> f c
+
+let snapshot (cctx : cert_ctx) gdg =
+  match cctx with None -> [] | Some _ -> Gdg.insts gdg
+
 let check_circuit ctx ~stage circuit =
   checkpoint ctx (fun () -> Qlint.Check_circuit.run ~stage circuit)
 
@@ -213,7 +229,7 @@ let gdg_of_physical ~topology insts =
   Gdg.of_insts ~n_qubits:(Qmap.Topology.n_sites topology) insts
 
 (* ISA baseline: program order, per-gate pulses, ASAP *)
-let compile_isa ~config ~ctx ~oc circuit =
+let compile_isa ~config ~ctx ~cctx ~oc circuit =
   let topology = topology_of config circuit in
   let placement =
     pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
@@ -224,6 +240,9 @@ let compile_isa ~config ~ctx ~oc circuit =
   in
   check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
     ~physical;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.route_circuit c ~initial:placement ~final
+        ~logical:circuit ~physical);
   let gdg =
     pass oc "gdg" (fun () ->
         let g =
@@ -235,16 +254,20 @@ let compile_isa ~config ~ctx ~oc circuit =
         g)
   in
   check_gdg ctx ~stage:"gdg" gdg;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:physical ~gdg);
   let swaps =
     Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical
     - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
   in
   let schedule = pass oc "schedule" (fun () -> Qsched.Asap.schedule gdg) in
   check_final ctx ~config ~topology gdg schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg schedule);
   (schedule, gdg, swaps, 0, placement, final)
 
 (* commutativity detection + CLS, gates still pulsed individually *)
-let compile_cls ~config ~ctx ~oc circuit =
+let compile_cls ~config ~ctx ~cctx ~oc circuit =
   let topology = topology_of config circuit in
   let gdg =
     pass oc "gdg" (fun () ->
@@ -256,6 +279,8 @@ let compile_cls ~config ~ctx ~oc circuit =
         note_gdg oc g;
         g)
   in
+  certify_at cctx (fun c -> Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit ~gdg);
+  let before_detect = snapshot cctx gdg in
   let merges =
     pass oc "detect" (fun () ->
         let n =
@@ -267,8 +292,12 @@ let compile_cls ~config ~ctx ~oc circuit =
         n)
   in
   check_gdg ctx ~stage:"gdg" gdg;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.contraction c ~before:before_detect ~gdg);
   let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
   check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"cls" ~gdg logical_schedule);
   let placement =
     pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
   in
@@ -283,6 +312,9 @@ let compile_cls ~config ~ctx ~oc circuit =
   in
   check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
     ~routed;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.route_insts c ~initial:placement ~final ~logical:linear
+        ~routed);
   (* CLS gets no custom pulses: expand blocks back to gates so the final
      schedule recovers gate-level overlap; the commutativity gain is
      already baked into the routed order *)
@@ -295,14 +327,20 @@ let compile_cls ~config ~ctx ~oc circuit =
         Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
           flat)
   in
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.rebuild c
+        ~src:(List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+        ~gdg:physical);
   let schedule =
     pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
   in
   check_final ctx ~config ~topology physical schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:physical schedule);
   (schedule, physical, swaps, merges, placement, final)
 
 (* aggregation without commutativity-aware scheduling *)
-let compile_aggregation ~config ~ctx ~oc circuit =
+let compile_aggregation ~config ~ctx ~cctx ~oc circuit =
   let topology = topology_of config circuit in
   let placement =
     pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
@@ -313,6 +351,9 @@ let compile_aggregation ~config ~ctx ~oc circuit =
   in
   check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
     ~physical:physical_circuit;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.route_circuit c ~initial:placement ~final
+        ~logical:circuit ~physical:physical_circuit);
   let swaps =
     Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical_circuit
     - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
@@ -326,6 +367,9 @@ let compile_aggregation ~config ~ctx ~oc circuit =
         note_gdg oc g;
         g)
   in
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:physical_circuit ~gdg);
+  let before_detect = snapshot cctx gdg in
   let d_merges =
     pass oc "detect" (fun () ->
         let n =
@@ -335,6 +379,9 @@ let compile_aggregation ~config ~ctx ~oc circuit =
         n)
   in
   check_gdg ctx ~stage:"gdg" gdg;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.contraction c ~before:before_detect ~gdg);
+  let before_agg = snapshot cctx gdg in
   let stats =
     pass oc "aggregate" (fun () ->
         let stats =
@@ -345,8 +392,13 @@ let compile_aggregation ~config ~ctx ~oc circuit =
         stats)
   in
   check_aggregate ctx ~config gdg;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.aggregation c ~width_limit:(max config.width_limit 2)
+        ~before:before_agg ~gdg);
   let schedule = pass oc "schedule" (fun () -> Qsched.Asap.schedule gdg) in
   check_final ctx ~config ~topology gdg schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg schedule);
   ( schedule,
     gdg,
     swaps,
@@ -355,7 +407,7 @@ let compile_aggregation ~config ~ctx ~oc circuit =
     final )
 
 (* the full pipeline *)
-let compile_cls_aggregation ~config ~ctx ~oc circuit =
+let compile_cls_aggregation ~config ~ctx ~cctx ~oc circuit =
   let topology = topology_of config circuit in
   let gdg =
     pass oc "gdg" (fun () ->
@@ -365,6 +417,8 @@ let compile_cls_aggregation ~config ~ctx ~oc circuit =
         note_gdg oc g;
         g)
   in
+  certify_at cctx (fun c -> Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit ~gdg);
+  let before_detect = snapshot cctx gdg in
   let d_merges =
     pass oc "detect" (fun () ->
         let n =
@@ -374,8 +428,12 @@ let compile_cls_aggregation ~config ~ctx ~oc circuit =
         n)
   in
   check_gdg ctx ~stage:"gdg" gdg;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.contraction c ~before:before_detect ~gdg);
   let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
   check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"cls" ~gdg logical_schedule);
   let placement =
     pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
   in
@@ -390,9 +448,17 @@ let compile_cls_aggregation ~config ~ctx ~oc circuit =
   in
   check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
     ~routed;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.route_insts c ~initial:placement ~final ~logical:linear
+        ~routed);
   let physical =
     pass oc "rebuild" (fun () -> gdg_of_physical ~topology routed)
   in
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.rebuild c
+        ~src:(List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
+        ~gdg:physical);
+  let before_agg = snapshot cctx physical in
   let stats =
     pass oc "aggregate" (fun () ->
         let stats =
@@ -403,10 +469,15 @@ let compile_cls_aggregation ~config ~ctx ~oc circuit =
         stats)
   in
   check_aggregate ctx ~config physical;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.aggregation c ~width_limit:(max config.width_limit 2)
+        ~before:before_agg ~gdg:physical);
   let schedule =
     pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
   in
   check_final ctx ~config ~topology physical schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:physical schedule);
   ( schedule,
     physical,
     swaps,
@@ -415,10 +486,12 @@ let compile_cls_aggregation ~config ~ctx ~oc circuit =
     final )
 
 (* CLS + mechanical hand optimization *)
-let compile_cls_hand ~config ~ctx ~oc circuit =
+let compile_cls_hand ~config ~ctx ~cctx ~oc circuit =
   let topology = topology_of config circuit in
   let hand = pass oc "handopt-pre" (fun () -> Handopt.optimize circuit) in
   check_circuit ctx ~stage:"handopt" hand;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.handopt c ~name:"handopt-pre" ~src:circuit ~dst:hand);
   let gdg =
     pass oc "gdg" (fun () ->
         let g =
@@ -430,8 +503,12 @@ let compile_cls_hand ~config ~ctx ~oc circuit =
         g)
   in
   check_gdg ctx ~stage:"gdg" gdg;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:hand ~gdg);
   let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
   check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"cls" ~gdg logical_schedule);
   let placement =
     pass oc "place" (fun () -> Qmap.Placement.initial topology hand)
   in
@@ -446,34 +523,47 @@ let compile_cls_hand ~config ~ctx ~oc circuit =
   in
   check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
     ~routed;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.route_insts c ~initial:placement ~final ~logical:linear
+        ~routed);
   (* a second peephole pass over the routed stream (swaps enable new
      cancellations), then the final commutativity-aware schedule *)
-  let hand2 =
-    pass oc "handopt-post" (fun () ->
-        let flat =
-          Circuit.make (Qmap.Topology.n_sites topology)
-            (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
-        in
-        Handopt.optimize flat)
+  let flat =
+    Circuit.make (Qmap.Topology.n_sites topology)
+      (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
   in
+  let hand2 = pass oc "handopt-post" (fun () -> Handopt.optimize flat) in
   check_circuit ctx ~stage:"handopt" hand2;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.handopt c ~name:"handopt-post" ~src:flat ~dst:hand2);
   let physical =
     pass oc "rebuild" (fun () ->
         Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
           hand2)
   in
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.rebuild c ~src:(Circuit.gates hand2) ~gdg:physical);
   let schedule =
     pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
   in
   check_final ctx ~config ~topology physical schedule;
+  certify_at cctx (fun c ->
+      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:physical schedule);
   (schedule, physical, swaps, 0, placement, final)
 
-let compile ?(config = default_config) ?(check = false)
+let compile ?(config = default_config) ?(check = false) ?(certify = false)
     ?(obs = Qobs.Trace.disabled) ?(metrics = Qobs.Metrics.disabled) ~strategy
     circuit =
   let oc = if Qobs.Trace.enabled obs || Qobs.Metrics.enabled metrics
     then { obs; metrics }
     else null_obs
+  in
+  let cctx : cert_ctx =
+    if certify then
+      Some
+        (Qcert.Pipeline.create ~obs:oc.obs
+           ~strategy:(Strategy.to_string strategy) ())
+    else None
   in
   let body () =
     let t0 = Qobs.Clock.now_ns () in
@@ -482,6 +572,7 @@ let compile ?(config = default_config) ?(check = false)
         final_placement =
       Qobs.Trace.with_span oc.obs "compile" (fun () ->
           Qobs.Trace.attr_str oc.obs "strategy" (Strategy.to_string strategy);
+          let source = circuit in
           let circuit =
             pass oc "lower" (fun () -> Qgate.Decompose.to_isa circuit)
           in
@@ -493,13 +584,23 @@ let compile ?(config = default_config) ?(check = false)
               "lower.gates"
           end;
           check_circuit ctx ~stage:"lower" circuit;
-          match strategy with
-          | Strategy.Isa -> compile_isa ~config ~ctx ~oc circuit
-          | Strategy.Cls -> compile_cls ~config ~ctx ~oc circuit
-          | Strategy.Aggregation -> compile_aggregation ~config ~ctx ~oc circuit
-          | Strategy.Cls_aggregation ->
-            compile_cls_aggregation ~config ~ctx ~oc circuit
-          | Strategy.Cls_hand -> compile_cls_hand ~config ~ctx ~oc circuit)
+          certify_at cctx (fun c ->
+              Qcert.Pipeline.lower c ~src:source ~dst:circuit);
+          let result =
+            match strategy with
+            | Strategy.Isa -> compile_isa ~config ~ctx ~cctx ~oc circuit
+            | Strategy.Cls -> compile_cls ~config ~ctx ~cctx ~oc circuit
+            | Strategy.Aggregation ->
+              compile_aggregation ~config ~ctx ~cctx ~oc circuit
+            | Strategy.Cls_aggregation ->
+              compile_cls_aggregation ~config ~ctx ~cctx ~oc circuit
+            | Strategy.Cls_hand -> compile_cls_hand ~config ~ctx ~cctx ~oc circuit
+          in
+          certify_at cctx (fun c ->
+              let sched, gdg, _, _, initial, final = result in
+              Qcert.Pipeline.end_to_end c ~n_sites:(Gdg.n_qubits gdg) ~initial
+                ~final ~logical:circuit sched);
+          result)
     in
     let compile_time = Qobs.Clock.elapsed_ns t0 /. 1e9 in
     let latency = schedule.Qsched.Schedule.makespan in
@@ -524,16 +625,17 @@ let compile ?(config = default_config) ?(check = false)
          | Some acc ->
            List.stable_sort Qlint.Diagnostic.compare (collected_diags acc)
          | None -> []);
-      trace = Qobs.Trace.last_span oc.obs }
+      trace = Qobs.Trace.last_span oc.obs;
+      certificate = Option.map Qcert.Pipeline.finish cctx }
   in
   if Qobs.Metrics.enabled oc.metrics then
     Qobs.Metrics.with_ambient oc.metrics body
   else body ()
 
-let compile_all ?config ?check ?obs ?metrics circuit =
+let compile_all ?config ?check ?certify ?obs ?metrics circuit =
   List.map
     (fun strategy ->
-      (strategy, compile ?config ?check ?obs ?metrics ~strategy circuit))
+      (strategy, compile ?config ?check ?certify ?obs ?metrics ~strategy circuit))
     Strategy.all
 
 let blocks result =

@@ -55,6 +55,9 @@ type result = {
       (** the root ["compile"] span with one child per pipeline pass (see
           {!passes}); [None] unless compiled with an enabled [~obs]
           collector *)
+  certificate : Qcert.Certificate.t option;
+      (** per-boundary translation-validation certificate; [None] unless
+          compiled with [~certify:true] *)
 }
 
 val passes : Strategy.t -> string list
@@ -62,7 +65,7 @@ val passes : Strategy.t -> string list
     order — each appears exactly once under the root ["compile"] span. *)
 
 val compile :
-  ?config:config -> ?check:bool -> ?obs:Qobs.Trace.t ->
+  ?config:config -> ?check:bool -> ?certify:bool -> ?obs:Qobs.Trace.t ->
   ?metrics:Qobs.Metrics.t -> strategy:Strategy.t -> Qgate.Circuit.t ->
   result
 (** [~check:true] runs the Qlint checker families at every pass boundary
@@ -73,18 +76,30 @@ val compile :
     [Qlint.Report.Check_failed] carrying everything gathered so far.
     [~check:false] (the default) costs nothing.
 
+    [~certify:true] additionally runs the Qcert translation validators at
+    every pass boundary (lowering, GDG construction, diagonal
+    contraction, CLS/final scheduling, routing replay, rebuilding,
+    aggregation, and — on registers of at most
+    {!Qcert.Pipeline.end_to_end_limit} sites — a dense end-to-end unitary
+    check). The certificate lands in {!field:result.certificate}; the
+    first refuted boundary aborts compilation by raising
+    [Qcert.Certificate.Certification_failed] with the partial
+    certificate, mirroring the [~check] behavior.
+
     [~obs] (default {!Qobs.Trace.disabled}) wraps every pass in a timed
     span — the qlint checkpoints run {e between} spans so checking cost
-    never pollutes pass times — and fills {!field:result.trace}.
+    never pollutes pass times, and certifiers get their own
+    ["certify-<boundary>"] spans — and fills {!field:result.trace}.
     [~metrics] (default {!Qobs.Metrics.disabled}) receives the compiler's
     own counters/gauges and is installed as the ambient registry
     ({!Qobs.Metrics.with_ambient}) so the deep passes (commutation
-    checks, routing, CLS, aggregation, latency model) record into it too.
-    Both defaults are null collectors: the disabled path is one branch
-    per seam, no allocation. *)
+    checks, routing, CLS, aggregation, latency model) record into it too,
+    as do the certifiers ([qcert.proved] / [qcert.refuted] /
+    [qcert.skipped] / [qcert.facts]). Both defaults are null collectors:
+    the disabled path is one branch per seam, no allocation. *)
 
 val compile_all :
-  ?config:config -> ?check:bool -> ?obs:Qobs.Trace.t ->
+  ?config:config -> ?check:bool -> ?certify:bool -> ?obs:Qobs.Trace.t ->
   ?metrics:Qobs.Metrics.t -> Qgate.Circuit.t ->
   (Strategy.t * result) list
 (** All five strategies on one circuit (sharing the collectors). *)

@@ -1,0 +1,143 @@
+module D = Qlint.Diagnostic
+
+type status = Proved | Refuted | Skipped
+
+let status_to_string = function
+  | Proved -> "proved"
+  | Refuted -> "refuted"
+  | Skipped -> "skipped"
+
+type outcome = {
+  checks : int;
+  skipped : int;
+  method_ : string;
+  diags : D.t list;
+}
+
+let outcome ?(skipped = 0) ?(diags = []) ~method_ checks =
+  { checks; skipped; method_; diags }
+
+let merge_outcomes outcomes =
+  let methods =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun o -> if o.method_ = "" then [] else [ o.method_ ])
+         outcomes)
+  in
+  { checks = List.fold_left (fun a o -> a + o.checks) 0 outcomes;
+    skipped = List.fold_left (fun a o -> a + o.skipped) 0 outcomes;
+    method_ = String.concat "+" methods;
+    diags = List.concat_map (fun o -> o.diags) outcomes }
+
+type boundary = {
+  name : string;
+  claim : string;
+  status : status;
+  bmethod : string;
+  bchecks : int;
+  bskipped : int;
+  diagnostics : D.t list;
+}
+
+type t = {
+  strategy : string;
+  boundaries : boundary list;
+  proved : int;
+  refuted : int;
+  skipped : int;
+  facts : int;
+}
+
+exception Certification_failed of t
+
+let boundary_of_outcome ~name ~claim o =
+  let status =
+    if List.exists D.is_error o.diags then Refuted
+    else if o.checks = 0 && o.skipped > 0 then Skipped
+    else Proved
+  in
+  { name;
+    claim;
+    status;
+    bmethod = o.method_;
+    bchecks = o.checks;
+    bskipped = o.skipped;
+    diagnostics = o.diags }
+
+let make ~strategy boundaries =
+  let count s = List.length (List.filter (fun b -> b.status = s) boundaries) in
+  { strategy;
+    boundaries;
+    proved = count Proved;
+    refuted = count Refuted;
+    skipped = count Skipped;
+    facts = List.fold_left (fun a b -> a + b.bchecks) 0 boundaries }
+
+let ok t = t.refuted = 0
+let diagnostics t = List.concat_map (fun b -> b.diagnostics) t.boundaries
+
+let summary_line t =
+  let skipped_facts =
+    List.fold_left (fun a b -> a + b.bskipped) 0 t.boundaries
+  in
+  Printf.sprintf "%s: %s — %d boundaries, %d facts%s" t.strategy
+    (if ok t then "CERTIFIED" else "REFUTED")
+    (List.length t.boundaries) t.facts
+    (if skipped_facts > 0 then Printf.sprintf " (%d skipped)" skipped_facts
+     else "")
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s@," (summary_line t);
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  %-14s %-8s %-12s %5d facts%s  %s@," b.name
+        (status_to_string b.status)
+        b.bmethod b.bchecks
+        (if b.bskipped > 0 then Printf.sprintf " (%d skipped)" b.bskipped
+         else "")
+        b.claim)
+    t.boundaries;
+  List.iter
+    (fun d -> Format.fprintf ppf "  %a@," D.pp d)
+    (diagnostics t);
+  Format.fprintf ppf "@]"
+
+open Qobs.Json
+
+let diag_to_json (d : D.t) =
+  Obj
+    [ ("code", Str d.D.code);
+      ("severity", Str (D.severity_to_string d.D.severity));
+      ("message", Str d.D.message);
+      ( "stage",
+        match d.D.loc.D.stage with Some s -> Str s | None -> Null );
+      ("insts", List (List.map (fun i -> Int i) d.D.loc.D.insts));
+      ("qubits", List (List.map (fun q -> Int q) d.D.loc.D.qubits)) ]
+
+let boundary_to_json b =
+  Obj
+    [ ("name", Str b.name);
+      ("claim", Str b.claim);
+      ("status", Str (status_to_string b.status));
+      ("method", Str b.bmethod);
+      ("checks", Int b.bchecks);
+      ("skipped", Int b.bskipped);
+      ("diagnostics", List (List.map diag_to_json b.diagnostics)) ]
+
+let to_json t =
+  Obj
+    [ ("schema", Str "qcc.certificate/1");
+      ("strategy", Str t.strategy);
+      ("ok", Bool (ok t));
+      ("proved", Int t.proved);
+      ("refuted", Int t.refuted);
+      ("skipped", Int t.skipped);
+      ("facts", Int t.facts);
+      ("boundaries", List (List.map boundary_to_json t.boundaries)) ]
+
+let () =
+  Printexc.register_printer (function
+    | Certification_failed t ->
+      Some (Printf.sprintf "Qcert.Certificate.Certification_failed (%s)"
+              (summary_line t))
+    | _ -> None)

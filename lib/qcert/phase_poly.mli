@@ -1,0 +1,45 @@
+(** Phase-polynomial abstract domain for CNOT + diagonal circuits.
+
+    Circuits over {CNOT, SWAP, X} and diagonal gates (Z, S, Sdg, T, Tdg,
+    Rz, Phase, CZ, CPhase, Rzz) implement an affine-linear map on basis
+    states together with a phase that is a sum of angles over GF(2)
+    parities of the inputs:
+
+      |x⟩ ↦ e^{iφ(x)} |Ax ⊕ c⟩,  φ(x) = Σ_p θ_p·⟨p, (x,1)⟩
+
+    The state tracks A, c (one affine parity per output qubit) and the
+    table θ. Two such circuits with equal states are equal up to global
+    phase (sound); equality of the affine part is also complete —
+    distinct affine maps give distinct unitaries. Phase-table comparison
+    is exact per parity and sound, but angle sets related by nonlinear
+    GF(2) identities (e.g. π on p, q and p⊕q) can in principle represent
+    the same diagonal — the certifier therefore treats a phase-table
+    mismatch as a refutation only after the dense fallback is out of
+    reach. This is exactly the domain for the CNOT–Rz–CNOT structures
+    {!Qgdg.Diagonal} contracts, at any register width. *)
+
+type t
+
+val identity : int -> t
+val copy : t -> t
+
+val apply_gate : t -> Qgate.Gate.t -> bool
+(** Apply one gate in place; [false] (state unchanged) when the gate is
+    outside the CNOT+diagonal fragment. *)
+
+val of_gates : n_qubits:int -> Qgate.Gate.t list -> t option
+
+val is_linear_identity : t -> bool
+(** The affine part is the identity map — i.e. the circuit is diagonal in
+    the computational basis (its phase table may still be nontrivial). *)
+
+val equal : ?eps:float -> t -> t -> bool
+(** Same affine map and same phase table (angles compared modulo 2π with
+    absolute tolerance [eps], default [1e-7]). *)
+
+val to_matrix : t -> Qnum.Cmat.t
+(** The dense unitary (big-endian qubit order, as {!Qnum.Cmat}); for
+    cross-checking the domain against {!Qgate.Unitary} on small supports.
+    Raises [Invalid_argument] beyond 12 qubits. *)
+
+val pp : Format.formatter -> t -> unit

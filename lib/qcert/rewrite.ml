@@ -1,0 +1,126 @@
+module Gate = Qgate.Gate
+module D = Qlint.Diagnostic
+
+type node = { si : int; dj : int; prev : node option }
+
+(* longest common subsequence of identical gates, Hunt–Szymanski style:
+   per-gate src position lists + a patience array of chain tails, O(r·log)
+   in the number of matching position pairs *)
+let lcs_anchors src dst =
+  let ns = Array.length src and nd = Array.length dst in
+  if ns = 0 || nd = 0 then []
+  else begin
+    let positions = Hashtbl.create 64 in
+    Array.iteri
+      (fun i g ->
+        let l =
+          match Hashtbl.find_opt positions g with Some l -> l | None -> []
+        in
+        (* prepended, so the list is naturally descending *)
+        Hashtbl.replace positions g (i :: l))
+      src;
+    let slots = Array.make (min ns nd) None in
+    let len = ref 0 in
+    Array.iteri
+      (fun j g ->
+        match Hashtbl.find_opt positions g with
+        | None -> ()
+        | Some cands ->
+          (* descending src positions: a smaller candidate of the same j
+             can never chain onto a larger one *)
+          List.iter
+            (fun p ->
+              let lo = ref 0 and hi = ref !len in
+              while !lo < !hi do
+                let mid = (!lo + !hi) / 2 in
+                match slots.(mid) with
+                | Some n when n.si < p -> lo := mid + 1
+                | _ -> hi := mid
+              done;
+              let prev = if !lo = 0 then None else slots.(!lo - 1) in
+              slots.(!lo) <- Some { si = p; dj = j; prev };
+              if !lo = !len then incr len)
+            cands)
+      dst;
+    if !len = 0 then []
+    else begin
+      let rec unwind acc = function
+        | None -> acc
+        | Some n -> unwind ((n.si, n.dj) :: acc) n.prev
+      in
+      unwind [] slots.(!len - 1)
+    end
+  end
+
+let slice arr lo hi = Array.to_list (Array.sub arr lo (hi - lo))
+
+let equivalence ~stage ~src ~dst =
+  if List.equal Gate.equal src dst then
+    Certificate.outcome ~method_:"identical" 1
+  else begin
+    let src_arr = Array.of_list src and dst_arr = Array.of_list dst in
+    let anchors = lcs_anchors src_arr dst_arr in
+    (* split both streams at the anchors: segment k sits strictly between
+       anchor k-1 and anchor k (with the stream ends as sentinels) *)
+    let bounds = ((-1), (-1)) :: anchors in
+    let n_seg = List.length bounds in
+    let segs = Array.make n_seg ([], []) in
+    let fences = Array.make (max 0 (n_seg - 1)) (Gate.id 0) in
+    let rec fill k = function
+      | [] -> ()
+      | (i0, j0) :: rest ->
+        let i1, j1 =
+          match rest with
+          | (i, j) :: _ -> (i, j)
+          | [] -> (Array.length src_arr, Array.length dst_arr)
+        in
+        segs.(k) <- (slice src_arr (i0 + 1) i1, slice dst_arr (j0 + 1) j1);
+        if k < n_seg - 1 then fences.(k) <- src_arr.(i1);
+        fill (k + 1) rest
+    in
+    fill 0 bounds;
+    let checks = ref (List.length anchors)
+    and skipped = ref 0
+    and diags = ref []
+    and methods = ref [] in
+    (* prove segments left to right; an undecided segment swallows the
+       next fence and segment and is retried wider *)
+    let rec prove k (s, d) =
+      if s = [] && d = [] then next k
+      else begin
+        let verdict, meth = Domain.equal_gates s d in
+        match verdict with
+        | Domain.Proved ->
+          incr checks;
+          methods := meth :: !methods;
+          next k
+        | _ when k < n_seg - 1 ->
+          let s2, d2 = segs.(k + 1) in
+          let fence = fences.(k) in
+          prove (k + 1) (s @ (fence :: s2), d @ (fence :: d2))
+        | Domain.Refuted ->
+          diags :=
+            [ D.make ~stage ~qubits:(Domain.support (s @ d)) ~code:"QC010"
+                ~severity:D.Error
+                (Printf.sprintf
+                   "rewritten segment is not equivalent to its source \
+                    (%d -> %d gates, %s)"
+                   (List.length s) (List.length d) meth) ]
+        | Domain.Unknown ->
+          incr skipped;
+          diags :=
+            [ D.make ~stage ~code:"QC001" ~severity:D.Warning
+                (Printf.sprintf
+                   "rewritten segment too wide for every domain \
+                    (%d -> %d gates)"
+                   (List.length s) (List.length d)) ]
+      end
+    and next k = if k < n_seg - 1 then prove (k + 1) segs.(k + 1) in
+    prove 0 segs.(0);
+    let method_ =
+      match List.sort_uniq compare !methods with
+      | [] -> "lcs"
+      | ms -> "lcs+" ^ String.concat "+" ms
+    in
+    Certificate.outcome ~method_ !checks ~skipped:!skipped ~diags:!diags
+  end

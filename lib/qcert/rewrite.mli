@@ -1,0 +1,21 @@
+(** Rewrite certificates for gate-stream optimizers.
+
+    Lowering ([Qgate.Decompose.to_isa]) and peephole optimization
+    ([Qcc.Handopt]) rewrite a gate stream in place while preserving the
+    relative order of untouched gates. The certifier aligns the two
+    streams on a longest common subsequence of identical gates
+    (Hunt–Szymanski matching), splits both streams at the matched
+    anchors, and proves each differing segment equivalent up to global
+    phase with {!Domain.equal_gates}. A segment whose certificate fails
+    is widened by fusing it with the following segment (absorbing the
+    anchor between them into both sides) — rewrites such as
+    Rz-across-a-disjoint-gate merges need the wider window. Segment-wise
+    equivalence composes into equivalence of the whole streams.
+
+    Failures are QC010 (error); a segment no domain can decide — only
+    possible beyond {!Domain.dense_limit} qubits — degrades to a QC001
+    warning (sound, incomplete). *)
+
+val equivalence :
+  stage:string -> src:Qgate.Gate.t list -> dst:Qgate.Gate.t list ->
+  Certificate.outcome

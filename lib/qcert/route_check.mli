@@ -1,0 +1,25 @@
+(** Routing replay certificates.
+
+    The router's contract is syntactic: the routed stream must be the
+    placed image of the logical stream with SWAP instructions
+    interleaved, where each inserted SWAP updates the tracked placement.
+    The certifier replays the routed stream against the logical one,
+    maintaining the placement; acceptance proves the semantic claim
+    U_routed · P_initial = P_final · U_logical by construction (each
+    inserted SWAP is absorbed into the placement permutation — "SWAPs
+    cancel"). Mismatches are QC040; surviving placement or leftover
+    logical instructions at the end are QC041. A program SWAP whose
+    placed image coincides with a router-inserted SWAP is ambiguous; the
+    replay backtracks over such choice points. *)
+
+val insts :
+  stage:string -> initial:Qmap.Placement.t -> final:Qmap.Placement.t ->
+  logical:Qgdg.Inst.t list -> routed:Qgdg.Inst.t list ->
+  Certificate.outcome
+(** Replay an instruction stream (the CLS pipelines' routing boundary). *)
+
+val circuit :
+  stage:string -> initial:Qmap.Placement.t -> final:Qmap.Placement.t ->
+  logical:Qgate.Circuit.t -> physical:Qgate.Circuit.t ->
+  Certificate.outcome
+(** Replay a plain gate stream (the program-order pipelines). *)

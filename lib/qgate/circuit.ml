@@ -80,7 +80,7 @@ let unitary c =
 
 let equal_semantics ?(eps = 1e-9) a b =
   a.n_qubits = b.n_qubits
-  && Qnum.Cmat.equal_up_to_phase ~eps (unitary a) (unitary b)
+  && Unitary.equal_up_to_global_phase ~eps (unitary a) (unitary b)
 
 let pp ppf c =
   Format.fprintf ppf "@[<v>circuit %d qubits, %d gates:@," c.n_qubits

@@ -100,9 +100,13 @@ let of_gate ~n_qubits g =
 
 let of_gates ~n_qubits gates =
   List.fold_left
-    (fun acc g -> Cmat.mul (of_gate ~n_qubits g) acc)
+    (fun acc g ->
+      Cmat.mul_embedded ~n_qubits ~targets:(Gate.qubits g)
+        (of_kind g.Gate.kind) acc)
     (Cmat.identity (1 lsl n_qubits))
     gates
+
+let equal_up_to_global_phase ?eps a b = Cmat.equal_up_to_phase ?eps a b
 
 let on_support gates =
   if gates = [] then invalid_arg "Unitary.on_support: empty gate list";

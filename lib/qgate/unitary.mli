@@ -12,7 +12,17 @@ val of_gate : n_qubits:int -> Gate.t -> Qnum.Cmat.t
 
 val of_gates : n_qubits:int -> Gate.t list -> Qnum.Cmat.t
 (** Product of lifted gates applied in list (time) order: for gate list
-    [g1; g2; ...] the result is ... · U(g2) · U(g1). *)
+    [g1; g2; ...] the result is ... · U(g2) · U(g1). Each gate is applied
+    locally ({!Qnum.Cmat.mul_embedded}), so the cost is 4ⁿ·2^arity per
+    gate, not a full 8ⁿ matrix product. *)
+
+val equal_up_to_global_phase :
+  ?eps:float -> Qnum.Cmat.t -> Qnum.Cmat.t -> bool
+(** [equal_up_to_global_phase u v] holds when [u = exp(iφ)·v] for some
+    global phase φ (entrywise, absolute tolerance [eps], default [1e-9]) —
+    the right notion of operator equality for circuits, since a global
+    phase is unobservable. Use this rather than a fidelity threshold when
+    exact equivalence (not approximation quality) is meant. *)
 
 val on_support : Gate.t list -> int list * Qnum.Cmat.t
 (** [on_support gates] computes the joint unitary of [gates] on the sorted

@@ -102,6 +102,14 @@ val embed : n_qubits:int -> targets:int list -> t -> t
     Raises [Invalid_argument] on duplicate or out-of-range targets or when
     [u]'s dimension is not 2^(length targets). *)
 
+val mul_embedded : n_qubits:int -> targets:int list -> t -> t -> t
+(** [mul_embedded ~n_qubits ~targets u m] is
+    [mul (embed ~n_qubits ~targets u) m] computed without materializing the
+    embedded operator — O(4ⁿ·2^k) for a k-qubit [u] instead of the O(8ⁿ)
+    full product. This is the workhorse for composing gate sequences into
+    block unitaries. Raises like {!embed} on bad targets, plus when [m]
+    does not have 2ⁿ rows. *)
+
 val permute_qubits : int array -> t -> t
 (** [permute_qubits perm u] relabels the qubits of a 2ⁿ×2ⁿ matrix:
     qubit [q] of the input becomes qubit [perm.(q)] of the output. *)

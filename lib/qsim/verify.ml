@@ -53,7 +53,9 @@ let verify_block ?(fidelity_threshold = 0.99) ?(slack = 1.6)
 
 let verify_sampled ?(samples = 10) ?fidelity_threshold ?slack ?max_pulse_width
     rng device blocks =
-  let blocks = Array.of_list blocks in
+  (* empty member lists carry no unitary to check: skip them so the
+     sampler is total on any block list *)
+  let blocks = Array.of_list (List.filter (fun b -> b <> []) blocks) in
   let chosen =
     if Array.length blocks <= samples then Array.to_list blocks
     else
@@ -71,6 +73,26 @@ let verify_sampled ?(samples = 10) ?fidelity_threshold ?slack ?max_pulse_width
     n_passed = List.length (List.filter (fun o -> o.passed) outcomes);
     n_pulse_checked =
       List.length (List.filter (fun o -> o.pulse_fidelity <> None) outcomes) }
+
+let outcome_to_json o =
+  let open Qobs.Json in
+  let opt f = function None -> Null | Some v -> f v in
+  Obj
+    [ ("support", List (List.map (fun q -> Int q) o.support));
+      ("width", Int o.width);
+      ("model_time_ns", Float o.model_time);
+      ("pulse_time_ns", opt (fun t -> Float t) o.pulse_time);
+      ("pulse_fidelity", opt (fun f -> Float f) o.pulse_fidelity);
+      ("passed", Bool o.passed) ]
+
+let report_to_json r =
+  let open Qobs.Json in
+  Obj
+    [ ("schema", Str "qcc.verify/1");
+      ("n_checked", Int r.n_checked);
+      ("n_passed", Int r.n_passed);
+      ("n_pulse_checked", Int r.n_pulse_checked);
+      ("outcomes", List (List.map outcome_to_json r.outcomes)) ]
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -44,6 +44,11 @@ val verify_sampled :
   Qgate.Gate.t list list ->
   report
 (** Sample up to [samples] (default 10, the paper's count) blocks and
-    verify each. *)
+    verify each. Empty member lists are skipped, so the function is total
+    on any block list (including [[]], which yields an all-zero report). *)
+
+val report_to_json : report -> Qobs.Json.t
+(** Schema ["qcc.verify/1"]: counts plus one object per outcome with
+    support, width, model/pulse times and fidelity. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -23,7 +23,28 @@ let qasm_properties =
         && List.for_all2
              (fun a b -> Gate.name a = Gate.name b && Gate.qubits a = Gate.qubits b)
              (Circuit.gates once) gates
-        && Qgate.Qasm.to_string once = Qgate.Qasm.to_string c) ]
+        && Qgate.Qasm.to_string once = Qgate.Qasm.to_string c);
+    (* the same round-trip over the real benchmark suite, cross-checked by
+       the qcert equivalence engine: a certifier refutation here would mean
+       either the printer/parser or the certifier itself is wrong *)
+    case "qasm round-trip on suite circuits, qcert cross-check" (fun () ->
+        List.iter
+          (fun name ->
+            let c = Qapps.Suite.lowered (Qapps.Suite.find name) in
+            let rt = Qgate.Qasm.of_string (Qgate.Qasm.to_string c) in
+            check_int
+              (name ^ " register width") (Circuit.n_qubits c)
+              (Circuit.n_qubits rt);
+            check_bool
+              (name ^ " gate-for-gate equal") true
+              (List.equal Gate.equal (Circuit.gates c) (Circuit.gates rt));
+            let o =
+              Qcert.Rewrite.equivalence ~stage:"qasm" ~src:(Circuit.gates c)
+                ~dst:(Circuit.gates rt)
+            in
+            check_bool (name ^ " certified equivalent") true
+              (o.Qcert.Certificate.diags = [] && o.Qcert.Certificate.checks > 0))
+          [ "maxcut-line"; "ising-n30"; "uccsd-n4" ]) ]
 
 let fenwick_properties =
   [ qcheck ~count:50 "bravyi-kitaev index sets are disjoint and in range"

@@ -31,58 +31,71 @@ let merged_width g a b =
   let ia = Gdg.find g a and ib = Gdg.find g b in
   List.length (List.sort_uniq compare (ia.Inst.qubits @ ib.Inst.qubits))
 
+let positions g =
+  let pos : (int * int, int) Hashtbl.t = Hashtbl.create (4 * Gdg.size g) in
+  for q = 0 to Gdg.n_qubits g - 1 do
+    List.iteri (fun k id -> Hashtbl.replace pos (q, id) k) (Gdg.chain_ids g q)
+  done;
+  pos
+
+(* is_schedulable against caller-maintained chain tables: [pos] maps
+   (qubit, id) to chain position, [succ] maps (id, qubit) to the chain
+   successor. Equivalent to {!is_schedulable} when the tables are current
+   (chain predecessor-of-b-is-a ⟺ chain successor-of-a-is-b), but each
+   check is O(common) table lookups instead of O(chain) walks. *)
+let is_schedulable_tables groups ~pos ~succ (ia : Inst.t) (ib : Inst.t) =
+  let a = ia.Inst.id and b = ib.Inst.id in
+  a <> b
+  &&
+  let common = Inst.common_qubits ia ib in
+  common <> []
+  && List.for_all
+       (fun q ->
+         Hashtbl.find pos (q, a) < Hashtbl.find pos (q, b)
+         && (Comm_group.same_group groups ~qubit:q a b
+             || Hashtbl.find_opt succ (a, q) = Some b))
+       common
+
+let candidates_of g groups ~width_limit ~pos ~succ (ia : Inst.t) =
+  let a = ia.Inst.id in
+  let later_partners =
+    let children =
+      List.filter_map (fun q -> Hashtbl.find_opt succ (a, q)) ia.Inst.qubits
+    in
+    let siblings =
+      List.concat_map
+        (fun q ->
+          match
+            List.find_opt (List.mem a) (Comm_group.groups_on groups q)
+          with
+          | None -> []
+          | Some group ->
+            let pa = Hashtbl.find pos (q, a) in
+            List.filter (fun id -> Hashtbl.find pos (q, id) > pa) group)
+        ia.Inst.qubits
+    in
+    List.sort_uniq compare (children @ siblings)
+  in
+  List.filter_map
+    (fun b ->
+      if b = a then None
+      else
+        let ib = Gdg.find g b in
+        let width =
+          List.length
+            (List.sort_uniq compare (ia.Inst.qubits @ ib.Inst.qubits))
+        in
+        if width <= width_limit && is_schedulable_tables groups ~pos ~succ ia ib
+        then Some (a, b)
+        else None)
+    later_partners
+
 let candidates g groups ~width_limit =
   (* one pass over all chains precomputes positions and successor links so
      per-node work is O(degree), not O(chain length) *)
-  let pos : (int * int, int) Hashtbl.t = Hashtbl.create (4 * Gdg.size g) in
-  for q = 0 to Gdg.n_qubits g - 1 do
-    List.iteri
-      (fun k (i : Inst.t) -> Hashtbl.replace pos (q, i.Inst.id) k)
-      (Gdg.chain g q)
-  done;
+  let pos = positions g in
   let _, succ = Gdg.neighbor_tables g in
-  let schedulable_fast ia ib =
-    let a = ia.Inst.id and b = ib.Inst.id in
-    let common = Inst.common_qubits ia ib in
-    common <> []
-    && List.for_all
-         (fun q ->
-           Hashtbl.find pos (q, a) < Hashtbl.find pos (q, b)
-           && (Comm_group.same_group groups ~qubit:q a b
-               || Hashtbl.find_opt succ (a, q) = Some b))
-         common
-  in
   let acc = ref [] in
-  Gdg.iter_insts g (fun (ia : Inst.t) ->
-      let a = ia.Inst.id in
-      let later_partners =
-        let children =
-          List.filter_map (fun q -> Hashtbl.find_opt succ (a, q)) ia.Inst.qubits
-        in
-        let siblings =
-          List.concat_map
-            (fun q ->
-              match
-                List.find_opt (List.mem a) (Comm_group.groups_on groups q)
-              with
-              | None -> []
-              | Some group ->
-                let pa = Hashtbl.find pos (q, a) in
-                List.filter (fun id -> Hashtbl.find pos (q, id) > pa) group)
-            ia.Inst.qubits
-        in
-        List.sort_uniq compare (children @ siblings)
-      in
-      List.iter
-        (fun b ->
-          if b <> a then begin
-            let ib = Gdg.find g b in
-            let width =
-              List.length
-                (List.sort_uniq compare (ia.Inst.qubits @ ib.Inst.qubits))
-            in
-            if width <= width_limit && schedulable_fast ia ib then
-              acc := (a, b) :: !acc
-          end)
-        later_partners);
+  Gdg.iter_insts g (fun ia ->
+      acc := candidates_of g groups ~width_limit ~pos ~succ ia @ !acc);
   List.sort compare !acc

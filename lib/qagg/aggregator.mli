@@ -37,4 +37,27 @@ val run :
   stats
 (** Aggregates in place. [width_limit] defaults to 10 (the optimal-control
     scalability bound, §2.5); [max_rounds] to 8. [cost] maps a member-gate
-    block to its optimized pulse time. *)
+    block to its optimized pulse time.
+
+    The search is incremental: after each accepted merge the ASAP/ALAP
+    slack tables are re-propagated only through the merged node's affected
+    cone, the chain-position and successor tables are patched for the
+    merged support's chains, and the candidate universe is invalidated
+    only for pairs both of whose endpoints act on those chains — a pair's
+    candidacy reads nothing else, so everything outside that window is
+    provably unchanged. The cycle check inside {!Qgdg.Gdg.merge} runs as a
+    bounded reachability probe using the ASAP starts as ranks. The
+    accepted-merge sequence is identical to {!run_reference}'s. *)
+
+val run_reference :
+  ?width_limit:int ->
+  ?max_rounds:int ->
+  ?pessimism:[ `Serial | `Model ] ->
+  cost:(Qgate.Gate.t list -> float) ->
+  Qgdg.Gdg.t ->
+  stats
+(** The pre-incremental aggregator, retained as an executable
+    specification: full slack recomputation after every merge, full group
+    rebuild and candidate re-enumeration per sweep. Same accepted merges,
+    same final schedule, asymptotically slower — used by the equivalence
+    tests and as the baseline for performance comparisons. *)

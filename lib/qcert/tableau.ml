@@ -1,169 +1,2 @@
-module Gate = Qgate.Gate
-
-(* One row per Pauli generator: the image is (-1)^sign · P(x,z) where
-   P has an X factor on qubit q iff x.(q), a Z factor iff z.(q) (both =
-   Y). Rows 0..n-1 are the images of X_q, rows n..2n-1 of Z_q. *)
-type row = { x : Bitvec.t; z : Bitvec.t; mutable sign : bool }
-
-type t = { n : int; rows : row array }
-
-let angle_eps = 1e-9
-
-let identity n =
-  { n;
-    rows =
-      Array.init (2 * n) (fun k ->
-          let x = Bitvec.create n and z = Bitvec.create n in
-          if k < n then Bitvec.set x k true else Bitvec.set z (k - n) true;
-          { x; z; sign = false }) }
-
-(* primitive Clifford generators the update rules are written for *)
-type prim =
-  | PH of int
-  | PS of int
-  | PSdg of int
-  | PX of int
-  | PY of int
-  | PZ of int
-  | PCnot of int * int
-  | PSwap of int * int
-
-let apply_prim t p =
-  let each f = Array.iter f t.rows in
-  match p with
-  | PH q ->
-    each (fun r ->
-        let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-        if xq && zq then r.sign <- not r.sign;
-        Bitvec.set r.x q zq;
-        Bitvec.set r.z q xq)
-  | PS q ->
-    each (fun r ->
-        let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-        if xq && zq then r.sign <- not r.sign;
-        Bitvec.set r.z q (xq <> zq))
-  | PSdg q ->
-    each (fun r ->
-        let xq = Bitvec.get r.x q and zq = Bitvec.get r.z q in
-        if xq && not zq then r.sign <- not r.sign;
-        Bitvec.set r.z q (xq <> zq))
-  | PX q -> each (fun r -> if Bitvec.get r.z q then r.sign <- not r.sign)
-  | PZ q -> each (fun r -> if Bitvec.get r.x q then r.sign <- not r.sign)
-  | PY q ->
-    each (fun r ->
-        if Bitvec.get r.x q <> Bitvec.get r.z q then r.sign <- not r.sign)
-  | PCnot (c, tq) ->
-    each (fun r ->
-        let xc = Bitvec.get r.x c and zc = Bitvec.get r.z c in
-        let xt = Bitvec.get r.x tq and zt = Bitvec.get r.z tq in
-        if xc && zt && xt = zc then r.sign <- not r.sign;
-        Bitvec.set r.x tq (xt <> xc);
-        Bitvec.set r.z c (zc <> zt))
-  | PSwap (a, b) ->
-    each (fun r ->
-        Bitvec.swap r.x a b;
-        Bitvec.swap r.z a b)
-
-(* [quarter_turns theta] is [Some k], k ∈ 0..3, when theta ≈ k·π/2
-   (mod 2π); the Clifford eligibility test for rotation angles *)
-let quarter_turns theta =
-  let half_pi = Float.pi /. 2. in
-  let k = Float.round (theta /. half_pi) in
-  if Float.abs (theta -. (k *. half_pi)) <= angle_eps then
-    Some (((int_of_float k mod 4) + 4) mod 4)
-  else None
-
-let half_turns theta =
-  let k = Float.round (theta /. Float.pi) in
-  if Float.abs (theta -. (k *. Float.pi)) <= angle_eps then
-    Some (((int_of_float k mod 2) + 2) mod 2)
-  else None
-
-let s_times k q = List.init k (fun _ -> PS q)
-let cz_prims a b = [ PH b; PCnot (a, b); PH b ]
-
-(* Verified Clifford decompositions of the vocabulary (each checked
-   against the dense unitary in test_qcert):
-   - Rz/Phase(k·π/2) ≅ S^k up to global phase
-   - Rx(θ) = H·Rz(θ)·H exactly; Ry(θ) = S·Rx(θ)·S†
-   - CZ = H_b·CNOT·H_b; CPhase(k·π) = CZ^k
-   - iSWAP = SWAP·CZ·(S⊗S)
-   - Rzz(θ) = CNOT·Rz(θ)_t·CNOT exactly; Rxx = (H⊗H)·Rzz·(H⊗H);
-     Ryy = (S⊗S)·Rxx·(S⊗S)†
-   A prim sequence [p1; p2; …] is in circuit-time order: the represented
-   unitary is … · U(p2) · U(p1). *)
-let prims_of_gate (g : Gate.t) =
-  match (g.Gate.kind, g.Gate.qubits) with
-  | Gate.I, _ -> Some []
-  | Gate.X, [ q ] -> Some [ PX q ]
-  | Gate.Y, [ q ] -> Some [ PY q ]
-  | Gate.Z, [ q ] -> Some [ PZ q ]
-  | Gate.H, [ q ] -> Some [ PH q ]
-  | Gate.S, [ q ] -> Some [ PS q ]
-  | Gate.Sdg, [ q ] -> Some [ PSdg q ]
-  | (Gate.Rz theta | Gate.Phase theta), [ q ] ->
-    Option.map (fun k -> s_times k q) (quarter_turns theta)
-  | Gate.Rx theta, [ q ] ->
-    Option.map (fun k -> (PH q :: s_times k q) @ [ PH q ]) (quarter_turns theta)
-  | Gate.Ry theta, [ q ] ->
-    Option.map
-      (fun k -> (PSdg q :: PH q :: s_times k q) @ [ PH q; PS q ])
-      (quarter_turns theta)
-  | Gate.Cnot, [ c; tq ] -> Some [ PCnot (c, tq) ]
-  | Gate.Cz, [ a; b ] -> Some (cz_prims a b)
-  | Gate.Cphase theta, [ a; b ] ->
-    Option.map (fun k -> if k = 1 then cz_prims a b else []) (half_turns theta)
-  | Gate.Swap, [ a; b ] -> Some [ PSwap (a, b) ]
-  | Gate.Iswap, [ a; b ] ->
-    Some ([ PS a; PS b ] @ cz_prims a b @ [ PSwap (a, b) ])
-  | Gate.Rzz theta, [ a; b ] ->
-    Option.map
-      (fun k -> (PCnot (a, b) :: s_times k b) @ [ PCnot (a, b) ])
-      (quarter_turns theta)
-  | Gate.Rxx theta, [ a; b ] ->
-    Option.map
-      (fun k ->
-        [ PH a; PH b; PCnot (a, b) ]
-        @ s_times k b
-        @ [ PCnot (a, b); PH a; PH b ])
-      (quarter_turns theta)
-  | Gate.Ryy theta, [ a; b ] ->
-    Option.map
-      (fun k ->
-        [ PSdg a; PSdg b; PH a; PH b; PCnot (a, b) ]
-        @ s_times k b
-        @ [ PCnot (a, b); PH a; PH b; PS a; PS b ])
-      (quarter_turns theta)
-  | (Gate.T | Gate.Tdg | Gate.Sqrt_iswap | Gate.Ccx), _ -> None
-  | _ -> None
-
-let apply_gate t g =
-  match prims_of_gate g with
-  | None -> false
-  | Some prims ->
-    List.iter (apply_prim t) prims;
-    true
-
-let of_gates ~n_qubits gates =
-  let t = identity n_qubits in
-  if List.for_all (apply_gate t) gates then Some t else None
-
-let equal a b =
-  a.n = b.n
-  && Array.for_all2
-       (fun (r : row) (s : row) ->
-         r.sign = s.sign && Bitvec.equal r.x s.x && Bitvec.equal r.z s.z)
-       a.rows b.rows
-
-let pp ppf t =
-  Format.fprintf ppf "@[<v>";
-  Array.iteri
-    (fun k (r : row) ->
-      let gen = if k < t.n then Printf.sprintf "X%d" k
-        else Printf.sprintf "Z%d" (k - t.n)
-      in
-      Format.fprintf ppf "%s -> %c x:%a z:%a@," gen
-        (if r.sign then '-' else '+')
-        Bitvec.pp r.x Bitvec.pp r.z)
-    t.rows;
-  Format.fprintf ppf "@]"
+(* re-export of {!Qdomain.Tableau}; see bitvec.ml for why *)
+include Qdomain.Tableau

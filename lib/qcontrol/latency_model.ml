@@ -210,24 +210,67 @@ let segments gates =
    instructions optimized to ~0.2-0.3 of their gate-based time *)
 let width_discount k = Float.max 0.25 (1.4 /. float_of_int k)
 
+(* order-preserving relabelling of a block onto 0..k-1, serialized as a
+   content-addressed key: every cost below depends only on the relative
+   qubit pattern, so congruent blocks on different wires share entries.
+   Float parameters are keyed by their exact bit patterns via Marshal. *)
+let block_shape support gates =
+  let local = Hashtbl.create 8 in
+  List.iteri (fun k q -> Hashtbl.replace local q k) support;
+  let shape =
+    List.map
+      (fun g ->
+        (g.Gate.kind, List.map (Hashtbl.find local) (Gate.qubits g)))
+      gates
+  in
+  Marshal.to_string shape []
+
 (* irreducible time of a <=2-qubit segment: the Weyl interaction time of
    its composed unitary (2q) or the geodesic rotation time (1q) — what no
-   pulse optimizer can undercut on that segment's qubits *)
+   pulse optimizer can undercut on that segment's qubits. Memoized by
+   relabelled shape: the Weyl decomposition is by far the most expensive
+   step of a block-cost query, and segment shapes recur constantly. *)
+let segment_memo : (Device.t * string, float) Hashtbl.t = Hashtbl.create 1024
+
 let segment_irreducible device seg =
   let support = List.sort_uniq compare (List.concat_map Gate.qubits seg) in
-  match support with
-  | [ _ ] ->
-    let _, u = Qgate.Unitary.on_support seg in
-    one_qubit_unitary_time device u
-  | [ _; _ ] ->
-    let _, u = Qgate.Unitary.on_support seg in
-    Weyl.interaction_time device (Weyl.coordinates u)
-  | _ -> isa_critical_path device seg
+  let key = (device, block_shape support seg) in
+  match Hashtbl.find_opt segment_memo key with
+  | Some t -> t
+  | None ->
+    let t =
+      match support with
+      | [ _ ] ->
+        let _, u = Qgate.Unitary.on_support seg in
+        one_qubit_unitary_time device u
+      | [ _; _ ] ->
+        let _, u = Qgate.Unitary.on_support seg in
+        Weyl.interaction_time device (Weyl.coordinates u)
+      | _ -> isa_critical_path device seg
+    in
+    Hashtbl.replace segment_memo key t;
+    t
+
+(* memo for whole-block costs, the analogue of gate_memo for aggregates,
+   under the same relabelled {!block_shape} key *)
+let block_memo : (Device.t * int * string, float) Hashtbl.t =
+  Hashtbl.create 256
 
 let rec block_time ?(width_limit = 10) device gates =
   Qobs.Metrics.tick "latency_model.block_queries";
   if gates = [] then invalid_arg "Latency_model.block_time: empty block";
   let support = List.sort_uniq compare (List.concat_map Gate.qubits gates) in
+  let key = (device, width_limit, block_shape support gates) in
+  match Hashtbl.find_opt block_memo key with
+  | Some t ->
+    Qobs.Metrics.tick "latency_model.block_memo_hits";
+    t
+  | None ->
+    let t = block_time_uncached ~width_limit device gates support in
+    Hashtbl.replace block_memo key t;
+    t
+
+and block_time_uncached ~width_limit device gates support =
   let k = List.length support in
   let isa = isa_critical_path device gates in
   if k > width_limit then isa

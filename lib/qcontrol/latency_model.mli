@@ -38,8 +38,11 @@ val block_time : ?width_limit:int -> Device.t -> Qgate.Gate.t list -> float
     time order). Never exceeds {!isa_critical_path}. [width_limit] (default
     10) is the optimal-control scalability bound: blocks wider than the
     limit fall back to the ISA critical path (the compiler never creates
-    them, but the model stays total). Raises [Invalid_argument] on an
-    empty block. *)
+    them, but the model stays total). Results are memoized per device and
+    width limit under the block's relabelled shape (gate kinds, exact
+    parameters, relative qubit pattern), so congruent blocks anywhere on
+    the register cost one lookup after the first query. Raises
+    [Invalid_argument] on an empty block. *)
 
 val segments : Qgate.Gate.t list -> Qgate.Gate.t list list
 (** The locally-optimizable segmentation used by {!block_time}: maximal

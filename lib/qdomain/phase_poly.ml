@@ -1,0 +1,259 @@
+module Gate = Qgate.Gate
+
+(* linear.(q) is the affine parity computed into output qubit q: bits
+   0..n-1 select input qubits, bit n is the affine constant. phases maps
+   a parity vector (constant bit normalized away) to an accumulated
+   angle. global is the input-independent phase, tracked so the state
+   pins the unitary exactly (not just up to global phase) — the
+   commutation oracle needs strict operator equality. *)
+type t = {
+  n : int;
+  mutable linear : Bitvec.t array;
+  phases : (string, Bitvec.t * float) Hashtbl.t;
+  mutable global : float;
+}
+
+let identity n =
+  { n;
+    linear =
+      Array.init n (fun q ->
+          let v = Bitvec.create (n + 1) in
+          Bitvec.set v q true;
+          v);
+    phases = Hashtbl.create 16;
+    global = 0. }
+
+let copy t =
+  { t with
+    linear = Array.map Bitvec.copy t.linear;
+    phases = Hashtbl.copy t.phases }
+
+(* attach angle theta to the parity ⟨p, (x,1)⟩; a set constant bit is
+   folded away via θ·(1 ⊕ ⟨p'⟩) = θ − θ·⟨p'⟩, the constant θ landing in
+   the global phase *)
+let add_phase t theta p =
+  let v = Bitvec.copy p in
+  let theta =
+    if Bitvec.get v t.n then begin
+      Bitvec.set v t.n false;
+      t.global <- t.global +. theta;
+      -.theta
+    end
+    else theta
+  in
+  if not (Bitvec.is_zero v) then begin
+    let key = Bitvec.to_key v in
+    match Hashtbl.find_opt t.phases key with
+    | Some (_, cur) -> Hashtbl.replace t.phases key (v, cur +. theta)
+    | None -> Hashtbl.add t.phases key (v, theta)
+  end
+
+(* CPhase(θ) = diag(1,1,1,e^{iθ}) adds θ·(x_a ∧ x_b)
+   = θ/2·x_a + θ/2·x_b − θ/2·(x_a ⊕ x_b) exactly *)
+let apply_cphase t theta a b =
+  add_phase t (theta /. 2.) t.linear.(a);
+  add_phase t (theta /. 2.) t.linear.(b);
+  let p = Bitvec.copy t.linear.(a) in
+  Bitvec.xor_into ~src:t.linear.(b) p;
+  add_phase t (-.theta /. 2.) p
+
+let apply_gate t (g : Gate.t) =
+  match (g.Gate.kind, g.Gate.qubits) with
+  | Gate.I, _ -> true
+  | Gate.X, [ q ] ->
+    Bitvec.flip t.linear.(q) t.n;
+    true
+  | Gate.Y, [ q ] ->
+    (* Y = i·X·Z: Z's phase on the pre-flip value, then the X flip, and
+       the factor i in the global phase *)
+    add_phase t Float.pi t.linear.(q);
+    Bitvec.flip t.linear.(q) t.n;
+    t.global <- t.global +. (Float.pi /. 2.);
+    true
+  | Gate.Cnot, [ c; tq ] ->
+    Bitvec.xor_into ~src:t.linear.(c) t.linear.(tq);
+    true
+  | Gate.Swap, [ a; b ] ->
+    let tmp = t.linear.(a) in
+    t.linear.(a) <- t.linear.(b);
+    t.linear.(b) <- tmp;
+    true
+  | Gate.Z, [ q ] ->
+    add_phase t Float.pi t.linear.(q);
+    true
+  | Gate.S, [ q ] ->
+    add_phase t (Float.pi /. 2.) t.linear.(q);
+    true
+  | Gate.Sdg, [ q ] ->
+    add_phase t (-.Float.pi /. 2.) t.linear.(q);
+    true
+  | Gate.T, [ q ] ->
+    add_phase t (Float.pi /. 4.) t.linear.(q);
+    true
+  | Gate.Tdg, [ q ] ->
+    add_phase t (-.Float.pi /. 4.) t.linear.(q);
+    true
+  | Gate.Rz theta, [ q ] ->
+    (* Rz(θ) = e^{-iθ/2}·Phase(θ) *)
+    add_phase t theta t.linear.(q);
+    t.global <- t.global -. (theta /. 2.);
+    true
+  | Gate.Phase theta, [ q ] ->
+    add_phase t theta t.linear.(q);
+    true
+  | Gate.Cz, [ a; b ] ->
+    apply_cphase t Float.pi a b;
+    true
+  | Gate.Cphase theta, [ a; b ] ->
+    apply_cphase t theta a b;
+    true
+  | Gate.Rzz theta, [ a; b ] ->
+    (* CNOT·Rz(θ)_b·CNOT: θ lands on the parity x_a ⊕ x_b, with Rz's
+       e^{-iθ/2} in the global phase *)
+    let p = Bitvec.copy t.linear.(a) in
+    Bitvec.xor_into ~src:t.linear.(b) p;
+    add_phase t theta p;
+    t.global <- t.global -. (theta /. 2.);
+    true
+  | _ -> false
+
+let of_gates ~n_qubits gates =
+  let t = identity n_qubits in
+  if List.for_all (apply_gate t) gates then Some t else None
+
+let is_linear_identity t =
+  let ok = ref true in
+  Array.iteri
+    (fun q v ->
+      if !ok then
+        for i = 0 to t.n do
+          if Bitvec.get v i <> (i = q) then ok := false
+        done)
+    t.linear;
+  !ok
+
+(* angle difference folded to (-π, π] *)
+let normalize_angle a =
+  let two_pi = 2. *. Float.pi in
+  let a = Float.rem a two_pi in
+  if a > Float.pi then a -. two_pi
+  else if a <= -.Float.pi then a +. two_pi
+  else a
+
+let equal ?(eps = 1e-7) a b =
+  a.n = b.n
+  && Array.for_all2 Bitvec.equal a.linear b.linear
+  &&
+  let angle tbl key = match Hashtbl.find_opt tbl key with
+    | Some (_, th) -> th
+    | None -> 0.
+  in
+  let ok = ref true in
+  let check key _ =
+    if Float.abs (normalize_angle (angle a.phases key -. angle b.phases key))
+       > eps
+    then ok := false
+  in
+  Hashtbl.iter check a.phases;
+  Hashtbl.iter check b.phases;
+  !ok
+
+(* Strict operator equality (global phase included). The affine parts
+   must coincide (complete: distinct affine maps give distinct
+   unitaries). Equal phase tables and equal global phase prove equality
+   directly; a table mismatch is NOT a refutation — angle sets related by
+   nonlinear GF(2) identities (π on p, q and p⊕q is the identity) can
+   represent the same diagonal — so the residual is decided by
+   enumerating all 2^n inputs, exact up to [eps] per basis state. Beyond
+   [enum_limit] qubits the residual is left undecided ([None]). *)
+let enum_limit = 16
+
+let strict_equal ?(eps = 1e-9) a b =
+  if a.n <> b.n then invalid_arg "Phase_poly.strict_equal: width mismatch";
+  if not (Array.for_all2 Bitvec.equal a.linear b.linear) then Some false
+  else if
+    (* quick path: identical tables and identical global phase mod 2π *)
+    Float.abs (normalize_angle (a.global -. b.global)) <= eps
+    &&
+    let angle tbl key =
+      match Hashtbl.find_opt tbl key with Some (_, th) -> th | None -> 0.
+    in
+    let ok = ref true in
+    let check key _ =
+      if
+        Float.abs
+          (normalize_angle (angle a.phases key -. angle b.phases key))
+        > eps
+      then ok := false
+    in
+    Hashtbl.iter check a.phases;
+    Hashtbl.iter check b.phases;
+    !ok
+  then Some true
+  else if a.n > enum_limit then None
+  else begin
+    (* evaluate the phase difference on every input assignment; qubit q
+       of the assignment x is bit q (any consistent convention works
+       since all of them are enumerated) *)
+    let parity p x =
+      let acc = ref false in
+      for q = 0 to a.n - 1 do
+        if Bitvec.get p q && (x lsr q) land 1 = 1 then acc := not !acc
+      done;
+      !acc
+    in
+    let phi t x =
+      let acc = ref t.global in
+      Hashtbl.iter
+        (fun _ (p, th) -> if parity p x then acc := !acc +. th)
+        t.phases;
+      !acc
+    in
+    let equal = ref true in
+    let x = ref 0 in
+    let dim = 1 lsl a.n in
+    while !equal && !x < dim do
+      if Float.abs (normalize_angle (phi a !x -. phi b !x)) > eps then
+        equal := false;
+      incr x
+    done;
+    Some !equal
+  end
+
+let to_matrix t =
+  if t.n > 12 then invalid_arg "Phase_poly.to_matrix: register too large";
+  let dim = 1 lsl t.n in
+  (* qubit q is bit n-1-q of a basis index (Cmat's big-endian order) *)
+  let bit x q = x lsr (t.n - 1 - q) land 1 = 1 in
+  let parity p x =
+    let acc = ref (Bitvec.get p t.n) in
+    for q = 0 to t.n - 1 do
+      if Bitvec.get p q && bit x q then acc := not !acc
+    done;
+    !acc
+  in
+  let m = Qnum.Cmat.create dim dim in
+  for x = 0 to dim - 1 do
+    let phi = ref t.global in
+    Hashtbl.iter
+      (fun _ (p, th) -> if parity p x then phi := !phi +. th)
+      t.phases;
+    let y = ref 0 in
+    for q = 0 to t.n - 1 do
+      if parity t.linear.(q) x then y := !y lor (1 lsl (t.n - 1 - q))
+    done;
+    Qnum.Cmat.set m !y x (Qnum.Cx.cis !phi)
+  done;
+  m
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun q v -> Format.fprintf ppf "q%d <- %a@," q Bitvec.pp v)
+    t.linear;
+  Hashtbl.iter
+    (fun _ (p, th) -> Format.fprintf ppf "phase %.4f on %a@," th Bitvec.pp p)
+    t.phases;
+  if Float.abs t.global > 0. then
+    Format.fprintf ppf "global %.4f@," t.global;
+  Format.fprintf ppf "@]"

@@ -5,18 +5,21 @@
     states together with a phase that is a sum of angles over GF(2)
     parities of the inputs:
 
-      |x⟩ ↦ e^{iφ(x)} |Ax ⊕ c⟩,  φ(x) = Σ_p θ_p·⟨p, (x,1)⟩
+      |x⟩ ↦ e^{i(g + φ(x))} |Ax ⊕ c⟩,  φ(x) = Σ_p θ_p·⟨p, (x,1)⟩
 
-    The state tracks A, c (one affine parity per output qubit) and the
-    table θ. Two such circuits with equal states are equal up to global
-    phase (sound); equality of the affine part is also complete —
+    The state tracks A, c (one affine parity per output qubit), the
+    table θ, and the input-independent global phase g, so it pins the
+    represented unitary exactly. Two such circuits with equal states are
+    equal operators; equality of the affine part is also complete —
     distinct affine maps give distinct unitaries. Phase-table comparison
     is exact per parity and sound, but angle sets related by nonlinear
     GF(2) identities (e.g. π on p, q and p⊕q) can in principle represent
-    the same diagonal — the certifier therefore treats a phase-table
-    mismatch as a refutation only after the dense fallback is out of
-    reach. This is exactly the domain for the CNOT–Rz–CNOT structures
-    {!Qgdg.Diagonal} contracts, at any register width. *)
+    the same diagonal — {!strict_equal} resolves that residual by
+    enumeration on small registers; {!equal} treats a table mismatch as
+    inequality, which the certifier accepts as a refutation only after
+    the dense fallback is out of reach. This is exactly the domain for
+    the CNOT–Rz–CNOT structures {!Qgdg.Diagonal} contracts, at any
+    register width. *)
 
 type t
 
@@ -35,7 +38,16 @@ val is_linear_identity : t -> bool
 
 val equal : ?eps:float -> t -> t -> bool
 (** Same affine map and same phase table (angles compared modulo 2π with
-    absolute tolerance [eps], default [1e-7]). *)
+    absolute tolerance [eps], default [1e-7]); ignores the global
+    phase. *)
+
+val strict_equal : ?eps:float -> t -> t -> bool option
+(** Exact operator equality, global phase included. [Some false] on an
+    affine mismatch (complete); [Some true] when tables and global phase
+    coincide; otherwise the residual diagonal is decided by enumerating
+    all basis states ([eps] tolerance per state, default [1e-9]) when the
+    register has at most 16 qubits, and left undecided ([None]) beyond
+    that. Raises [Invalid_argument] on a width mismatch. *)
 
 val to_matrix : t -> Qnum.Cmat.t
 (** The dense unitary (big-endian qubit order, as {!Qnum.Cmat}); for

@@ -24,6 +24,13 @@ val equal_up_to_global_phase :
     phase is unobservable. Use this rather than a fidelity threshold when
     exact equivalence (not approximation quality) is meant. *)
 
+val state_of_gates : n_qubits:int -> Gate.t list -> Qnum.Cx.t array
+(** The statevector obtained by applying the gates in list (time) order to
+    |0…0⟩, indexed by the {!Qnum.Cmat} basis convention. Each gate costs
+    2ⁿ·4^arity, so this is far cheaper than {!of_gates} when only one
+    column of the joint unitary is needed (e.g. to separate two operators
+    already known equal up to a global phase). *)
+
 val on_support : Gate.t list -> int list * Qnum.Cmat.t
 (** [on_support gates] computes the joint unitary of [gates] on the sorted
     union of their supports (relabelled locally); returns

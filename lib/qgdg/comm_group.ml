@@ -1,35 +1,56 @@
 type t = {
   per_qubit : int list list array;  (** ordered groups of instruction ids *)
-  index : (int * int, int) Hashtbl.t;  (** (qubit, id) -> group position *)
+  nq : int;
+  mutable index : int array;
+      (** [id * nq + qubit] -> group position, [-1] when the instruction
+          is not on that qubit. A flat array because [same_group] sits on
+          the aggregator's innermost candidate test and every refresh
+          rewrites a whole chain's entries. *)
 }
 
-let groups_of_chain commute g chain =
+let ensure_capacity t id =
+  let cap = Array.length t.index / t.nq in
+  if id >= cap then begin
+    let ncap = max (id + 1) (2 * max 1 cap) in
+    let index = Array.make (ncap * t.nq) (-1) in
+    Array.blit t.index 0 index 0 (cap * t.nq);
+    t.index <- index
+  end
+
+let groups_of_chain commute _g chain =
+  (* the open group is kept as resolved instructions so each membership
+     probe skips the node lookup *)
   let groups = ref [] and current = ref [] in
   let flush () =
     if !current <> [] then begin
-      groups := List.rev !current :: !groups;
+      groups :=
+        List.rev_map (fun (i : Inst.t) -> i.Inst.id) !current :: !groups;
       current := []
     end
   in
   List.iter
     (fun (inst : Inst.t) ->
       let commutes_with_all =
-        List.for_all (fun id -> commute (Gdg.find g id) inst) !current
+        List.for_all (fun prev -> commute prev inst) !current
       in
       if not commutes_with_all then flush ();
-      current := inst.Inst.id :: !current)
+      current := inst :: !current)
     chain;
   flush ();
   List.rev !groups
 
 let set_qubit t q ordered =
   List.iter
-    (fun group -> List.iter (fun id -> Hashtbl.remove t.index (q, id)) group)
+    (fun group -> List.iter (fun id -> t.index.((id * t.nq) + q) <- -1) group)
     t.per_qubit.(q);
   t.per_qubit.(q) <- ordered;
   List.iteri
     (fun pos group ->
-      List.iter (fun id -> Hashtbl.replace t.index (q, id) pos) group)
+      List.iter
+        (fun id ->
+          ensure_capacity t id;
+          t.index.((id * t.nq) + q) <- pos)
+        group)
     ordered
 
 let refresh ?(commute = Commute.insts) t g ~qubits =
@@ -39,24 +60,27 @@ let refresh ?(commute = Commute.insts) t g ~qubits =
 
 let build ?(commute = Commute.insts) g =
   let n = Gdg.n_qubits g in
+  let nq = max 1 n in
   let t =
-    { per_qubit = Array.make (max 1 n) []; index = Hashtbl.create 256 }
+    { per_qubit = Array.make nq [];
+      nq;
+      index = Array.make (max 1 (Gdg.fresh_id g) * nq) (-1) }
   in
   refresh ~commute t g ~qubits:(List.init n (fun q -> q));
   t
 
 let groups_on t q = t.per_qubit.(q)
 
+let lookup t ~qubit id =
+  let k = (id * t.nq) + qubit in
+  if id >= 0 && k < Array.length t.index then t.index.(k) else -1
+
 let group_index t ~qubit id =
-  match Hashtbl.find_opt t.index (qubit, id) with
-  | Some pos -> pos
-  | None -> raise Not_found
+  match lookup t ~qubit id with -1 -> raise Not_found | pos -> pos
 
 let same_group t ~qubit a b =
-  match (Hashtbl.find_opt t.index (qubit, a), Hashtbl.find_opt t.index (qubit, b))
-  with
-  | Some x, Some y -> x = y
-  | _ -> false
+  let x = lookup t ~qubit a in
+  x >= 0 && x = lookup t ~qubit b
 
 let reorderable t a b =
   List.for_all

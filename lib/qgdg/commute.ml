@@ -4,6 +4,12 @@ let max_check_width = 8
 
 let all_diagonal gs = List.for_all (fun g -> Gate.is_diagonal_kind g.Gate.kind) gs
 
+(* order-preserving relabelling of a gate list onto 0..|support|-1 *)
+let relabel_onto support gs =
+  let local = Hashtbl.create 8 in
+  List.iteri (fun k q -> Hashtbl.replace local q k) support;
+  List.map (Gate.map_qubits (fun q -> Hashtbl.find local q)) gs
+
 let is_diagonal_block gs =
   match gs with
   | [] -> true
@@ -12,32 +18,161 @@ let is_diagonal_block gs =
     let support = List.sort_uniq compare (List.concat_map Gate.qubits gs) in
     List.length support <= max_check_width
     &&
-    let _, u = Qgate.Unitary.on_support gs in
-    Qnum.Cmat.is_diagonal ~eps:1e-9 u
+    let n_qubits = List.length support in
+    (* |x⟩ ↦ e^{iφ(x)}|Ax⊕c⟩ is diagonal iff the affine part is the
+       identity, so CNOT+diagonal blocks (CNOT–Rz–CNOT contractions in
+       particular) are decided without a dense unitary *)
+    (match Qdomain.Phase_poly.of_gates ~n_qubits (relabel_onto support gs) with
+    | Some p -> Qdomain.Phase_poly.is_linear_identity p
+    | None ->
+      let _, u = Qgate.Unitary.on_support gs in
+      Qnum.Cmat.is_diagonal ~eps:1e-9 u)
 
 (* observability: every commutation query ticks "commute.checks"; queries
    resolved structurally (identical gates, disjoint supports, both sides
-   diagonal) tick "commute.fast_path", those needing a dense unitary
-   comparison tick "commute.unitary" — the fast-path ratio is the headline
-   number for the detection cost (no-ops unless a metrics registry is
-   ambient, see Qobs.Metrics) *)
+   diagonal) tick "commute.fast_path", as do the algebraic decisions,
+   which additionally tick "commute.phase_poly" or "commute.tableau";
+   joint supports too wide to check tick "commute.oversize"; only queries
+   that actually build dense unitaries tick "commute.unitary" — the
+   fast-path ratio is the headline number for the detection cost (no-ops
+   unless a metrics registry is ambient, see Qobs.Metrics) *)
 let fast_path () = Qobs.Metrics.tick "commute.fast_path"
 
-let dense_commute a_gates b_gates =
+(* Content-addressed cache of block unitaries on their own support. A
+   block is re-checked against many partners, each time on a different
+   joint support; building its unitary once on its own support and
+   reading it through [Cmat.commute_embedded]'s structural embedding
+   reproduces the [Unitary.of_gates]-on-the-joint-support comparison
+   entry for entry. Bounded by total cached entries; cleared wholesale
+   when full. *)
+let unitary_memo : (string, Qnum.Cmat.t) Hashtbl.t = Hashtbl.create 256
+let unitary_memo_cells = ref 0
+let unitary_memo_cell_cap = 4_000_000
+
+let unitary_on_own gates =
+  let own = List.sort_uniq compare (List.concat_map Gate.qubits gates) in
+  let k = List.length own in
+  let local = relabel_onto own gates in
+  let key = Marshal.to_string local [] in
+  let u =
+    match Hashtbl.find_opt unitary_memo key with
+    | Some u -> u
+    | None ->
+      let u = Qgate.Unitary.of_gates ~n_qubits:k local in
+      if !unitary_memo_cells > unitary_memo_cell_cap then begin
+        Hashtbl.reset unitary_memo;
+        unitary_memo_cells := 0
+      end;
+      unitary_memo_cells := !unitary_memo_cells + (1 lsl (2 * k));
+      Hashtbl.replace unitary_memo key u;
+      u
+  in
+  (own, u)
+
+(* the dense comparison on already-relabelled gates, support 0..n-1 *)
+let dense_on ~n_qubits a_gates b_gates =
   Qobs.Metrics.tick "commute.unitary";
+  let targets_a, ua = unitary_on_own a_gates in
+  let targets_b, ub = unitary_on_own b_gates in
+  Qnum.Cmat.commute_embedded ~eps:1e-9 ~n_qubits ~targets_a ua ~targets_b ub
+
+let dense_commute a_gates b_gates =
   let support =
     List.sort_uniq compare
       (List.concat_map Gate.qubits a_gates @ List.concat_map Gate.qubits b_gates)
   in
-  if List.length support > max_check_width then false
+  if List.length support > max_check_width then begin
+    Qobs.Metrics.tick "commute.oversize";
+    false
+  end
+  else
+    dense_on ~n_qubits:(List.length support)
+      (relabel_onto support a_gates)
+      (relabel_onto support b_gates)
+
+(* CNOT+diagonal fragment: the phase polynomials of a·b and b·a pin both
+   operators exactly (global phase included), so strict equality decides
+   commutation with no dense algebra at all *)
+let phase_poly_commute ~n_qubits a b =
+  match
+    ( Qdomain.Phase_poly.of_gates ~n_qubits (a @ b),
+      Qdomain.Phase_poly.of_gates ~n_qubits (b @ a) )
+  with
+  | Some p_ab, Some p_ba ->
+    Qobs.Metrics.tick "commute.phase_poly";
+    Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba
+  | _ -> None
+
+(* Clifford fragment: tableau equality decides equality of a·b and b·a up
+   to global phase; when the tableaus agree the residual global phase is
+   read off one statevector column (|0…0⟩), far cheaper than the 2^n×2^n
+   products. Genuine phase mismatches are multiples of π/4 on amplitudes
+   of modulus ≥ 2^{-n/2}, so the 1e-6 tolerance only absorbs float
+   noise. *)
+let tableau_commute ~n_qubits a b =
+  match
+    ( Qdomain.Tableau.of_gates ~n_qubits (a @ b),
+      Qdomain.Tableau.of_gates ~n_qubits (b @ a) )
+  with
+  | Some t_ab, Some t_ba ->
+    Qobs.Metrics.tick "commute.tableau";
+    if not (Qdomain.Tableau.equal t_ab t_ba) then Some false
+    else begin
+      let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
+      let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
+      let ok = ref true in
+      Array.iteri
+        (fun i z -> if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then ok := false)
+        s_ab;
+      Some !ok
+    end
+  | _ -> None
+
+(* content-addressed memo over relabelled queries: the decision depends
+   only on the two gate lists up to a common qubit relabelling, and
+   repetitive circuits (the same excitation or adder template stamped
+   onto different qubit sets) re-ask structurally identical questions
+   constantly — each distinct shape pays the algebraic/dense check once
+   per process ("commute.memo_hits" counts the reuse) *)
+let decision_memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
+
+(* shared slow path: support width gate, then algebraic domains, then the
+   dense comparison. Callers have already dispatched the structural
+   shortcuts. *)
+let decide a_gates b_gates =
+  let support =
+    List.sort_uniq compare
+      (List.concat_map Gate.qubits a_gates @ List.concat_map Gate.qubits b_gates)
+  in
+  if List.length support > max_check_width then begin
+    Qobs.Metrics.tick "commute.oversize";
+    false
+  end
   else begin
-    let local = Hashtbl.create 8 in
-    List.iteri (fun k q -> Hashtbl.replace local q k) support;
-    let relabel = List.map (Gate.map_qubits (fun q -> Hashtbl.find local q)) in
     let n_qubits = List.length support in
-    let ua = Qgate.Unitary.of_gates ~n_qubits (relabel a_gates) in
-    let ub = Qgate.Unitary.of_gates ~n_qubits (relabel b_gates) in
-    Qnum.Cmat.commute ~eps:1e-9 ua ub
+    let a = relabel_onto support a_gates in
+    let b = relabel_onto support b_gates in
+    let key = Marshal.to_string (a, b) [] in
+    match Hashtbl.find_opt decision_memo key with
+    | Some r ->
+      Qobs.Metrics.tick "commute.memo_hits";
+      fast_path ();
+      r
+    | None ->
+      let r =
+        match phase_poly_commute ~n_qubits a b with
+        | Some r ->
+          fast_path ();
+          r
+        | None -> (
+          match tableau_commute ~n_qubits a b with
+          | Some r ->
+            fast_path ();
+            r
+          | None -> dense_on ~n_qubits a b)
+      in
+      Hashtbl.replace decision_memo key r;
+      r
   end
 
 let blocks a b =
@@ -58,7 +193,7 @@ let blocks a b =
       fast_path ();
       true
     end
-    else dense_commute a b
+    else decide a b
 
 let gates a b =
   Qobs.Metrics.tick "commute.checks";
@@ -75,6 +210,6 @@ let gates a b =
     fast_path ();
     true
   end
-  else dense_commute [ a ] [ b ]
+  else decide [ a ] [ b ]
 
 let insts a b = blocks a.Inst.gates b.Inst.gates

@@ -1,10 +1,14 @@
 (** Commutation checks between gates and instruction blocks.
 
     The paper resolves commutation "by explicitly checking the equality of
-    unitary operators ÂB̂ and B̂Â" (§3.3). This module does exactly that on
-    the joint support, with algebraic fast paths for the common cases of
-    Table 2 (disjoint supports, diagonal×diagonal, identical gates) so the
-    dense check only runs when needed. *)
+    unitary operators ÂB̂ and B̂Â" (§3.3). This module decides exactly that
+    on the joint support, with structural fast paths for the common cases
+    of Table 2 (disjoint supports, diagonal×diagonal, identical gates) and
+    two algebraic fast paths before the dense fallback: a phase-polynomial
+    comparison for CNOT+diagonal blocks and a Pauli-tableau comparison
+    (with a statevector tie-break for the residual global phase) for
+    Clifford blocks. Dense unitaries are only built when the query escapes
+    every one of these. *)
 
 val gates : Qgate.Gate.t -> Qgate.Gate.t -> bool
 (** Do two gates commute as operators? *)
@@ -18,6 +22,11 @@ val insts : Inst.t -> Inst.t -> bool
 
 val max_check_width : int
 (** Support-size cap (8) above which the dense check is not attempted. *)
+
+val dense_commute : Qgate.Gate.t list -> Qgate.Gate.t list -> bool
+(** The reference dense comparison on the joint support (false beyond
+    {!max_check_width}), with no algebraic fast paths — exposed so tests
+    can cross-check the fast paths against it. *)
 
 val is_diagonal_block : Qgate.Gate.t list -> bool
 (** Is the composed unitary diagonal in the computational basis? True

@@ -114,11 +114,15 @@ let chain g q =
   if q < 0 || q >= g.n_qubits then invalid_arg "Gdg.chain: qubit out of range";
   List.map (find g) g.chains.(q)
 
+let chain_ids g q =
+  if q < 0 || q >= g.n_qubits then
+    invalid_arg "Gdg.chain_ids: qubit out of range";
+  g.chains.(q)
+
 let neighbor_on g id ~qubit ~dir =
   if not (mem g id) then raise Not_found;
   let rec walk = function
-    | [] -> None
-    | [ x ] -> if x = id && dir = `Succ then None else None
+    | [] | [ _ ] -> None
     | x :: (y :: _ as rest) ->
       if x = id && dir = `Succ then Some y
       else if y = id && dir = `Pred then Some x
@@ -152,10 +156,91 @@ let copy g =
     chains = Array.copy g.chains;
     next = g.next }
 
-let merge g ~latency a b =
+(* Bounded cycle check after contracting two nodes into [m]. Contracting
+   a DAG can only create cycles through the contracted node, and such a
+   cycle must re-enter [m] through one of its chain predecessors — all old
+   nodes. [rank] is a pre-merge topological potential (ASAP start times):
+   along every post-merge edge between old nodes, rank is non-decreasing
+   (the edge either existed before or shortcuts an old path through a
+   dropped occurrence of a merge endpoint). Every node on a path from a
+   successor of [m] back into [m] therefore has rank at most the largest
+   predecessor rank, so a BFS from [m]'s successors pruned at that bound
+   is sound AND complete — and in the common accepted-merge case visits
+   only the short time-window between the merge endpoints instead of the
+   whole graph. Callers should return [neg_infinity] for unknown ids
+   (never pruned, keeping the check sound). *)
+let cycle_through g ~rank m =
+  let inst = find g m in
+  let preds = ref [] and succs = ref [] in
+  List.iter
+    (fun q ->
+      let rec walk prev = function
+        | [] -> ()
+        | x :: rest ->
+          if x = m then begin
+            (match prev with Some p -> preds := p :: !preds | None -> ());
+            match rest with y :: _ -> succs := y :: !succs | [] -> ()
+          end
+          else walk (Some x) rest
+      in
+      walk None g.chains.(q))
+    inst.Inst.qubits;
+  match !preds with
+  | [] -> false
+  | ps ->
+    let bound = List.fold_left (fun acc p -> Float.max acc (rank p)) neg_infinity ps in
+    (* lazy per-qubit successor index: only chains the BFS actually
+       crosses get walked *)
+    let next_tbl : (int, (int, int) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+    let next_on q id =
+      let tbl =
+        match Hashtbl.find_opt next_tbl q with
+        | Some t -> t
+        | None ->
+          let t = Hashtbl.create 16 in
+          let rec idx = function
+            | x :: (y :: _ as rest) ->
+              Hashtbl.replace t x y;
+              idx rest
+            | _ -> ()
+          in
+          idx g.chains.(q);
+          Hashtbl.replace next_tbl q t;
+          t
+      in
+      Hashtbl.find_opt tbl id
+    in
+    let visited = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    List.iter
+      (fun s ->
+        if rank s <= bound && not (Hashtbl.mem visited s) then begin
+          Hashtbl.replace visited s ();
+          Queue.add s queue
+        end)
+      !succs;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let x = Queue.pop queue in
+      List.iter
+        (fun q ->
+          match next_on q x with
+          | None -> ()
+          | Some y ->
+            if y = m then found := true
+            else if (not (Hashtbl.mem visited y)) && rank y <= bound then begin
+              Hashtbl.replace visited y ();
+              Queue.add y queue
+            end)
+        (find g x).Inst.qubits
+    done;
+    !found
+
+let merge ?rank g ~latency a b =
   if a = b then invalid_arg "Gdg.merge: cannot merge a node with itself";
   let ia = find g a and ib = find g b in
   let saved_chains = Array.copy g.chains in
+  let saved_next = g.next in
   let merged = Inst.merge ~id:(fresh_id g) ~latency ia ib in
   let replace chain =
     (* put the merged node at the first occurrence of either id, drop the
@@ -174,14 +259,19 @@ let merge g ~latency a b =
   Hashtbl.remove g.nodes a;
   Hashtbl.remove g.nodes b;
   Hashtbl.replace g.nodes merged.Inst.id merged;
-  (try ignore (topo_ids g)
-   with Failure _ ->
-     (* rollback *)
-     Array.blit saved_chains 0 g.chains 0 Array.(length saved_chains);
-     Hashtbl.remove g.nodes merged.Inst.id;
-     Hashtbl.replace g.nodes a ia;
-     Hashtbl.replace g.nodes b ib;
-     invalid_arg "Gdg.merge: merge would create a dependence cycle");
+  let cyclic =
+    match rank with
+    | Some rank -> cycle_through g ~rank merged.Inst.id
+    | None -> (match kahn g with _, [] -> false | _ -> true)
+  in
+  if cyclic then begin
+    Array.blit saved_chains 0 g.chains 0 Array.(length saved_chains);
+    Hashtbl.remove g.nodes merged.Inst.id;
+    Hashtbl.replace g.nodes a ia;
+    Hashtbl.replace g.nodes b ib;
+    g.next <- saved_next;
+    invalid_arg "Gdg.merge: merge would create a dependence cycle"
+  end;
   merged
 
 let asap g =

@@ -35,6 +35,10 @@ val fresh_id : t -> int
 val chain : t -> int -> Inst.t list
 (** The instruction chain on a qubit, in order. *)
 
+val chain_ids : t -> int -> int list
+(** The chain of qubit [q] as raw instruction ids, without resolving each
+    node — O(1), for callers that maintain their own per-chain indexes. *)
+
 val pred_on : t -> int -> qubit:int -> Inst.t option
 (** Immediate predecessor of a node on one of its qubits. *)
 
@@ -51,13 +55,20 @@ val parents : t -> int -> Inst.t list
 
 val children : t -> int -> Inst.t list
 
-val merge : t -> latency:float -> int -> int -> Inst.t
+val merge : ?rank:(int -> float) -> t -> latency:float -> int -> int -> Inst.t
 (** [merge g ~latency a b] replaces nodes [a] and [b] by one block whose
     members are [a]'s followed by [b]'s, positioned at the earlier of the
     two on every shared qubit chain. The caller must have checked the
     action is schedulable ([Qagg.Action]); this function only re-checks
     that the result is acyclic and raises [Invalid_argument] otherwise
-    (leaving the graph unchanged). *)
+    (leaving the graph unchanged, fresh-id counter included). Without
+    [rank], acyclicity is established by a full topological pass. With
+    [rank] — a pre-merge ASAP start time per node id, [neg_infinity] when
+    unknown — the check is a bounded reachability probe around the merged
+    node: contraction can only create cycles through it, and any returning
+    path stays below the largest predecessor rank, so only the time-window
+    between the endpoints is explored. Both variants accept and reject
+    identical merges; [rank] is purely a cost optimization. *)
 
 val set_latency : t -> int -> float -> unit
 

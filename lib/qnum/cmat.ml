@@ -232,7 +232,47 @@ let is_diagonal ?(eps = 1e-9) m =
   done;
   !ok
 
-let commute ?(eps = 1e-9) a b = max_abs_diff (mul a b) (mul b a) <= eps
+let commute ?(eps = 1e-9) a b =
+  if a.r <> a.c || b.r <> b.c || a.r <> b.r then
+    invalid_arg "Cmat.commute: dimension mismatch";
+  (* entry-by-entry comparison of a·b and b·a with early exit: each entry
+     of the products is one row·column product, and a non-commuting pair
+     reveals a violating entry almost immediately, so the quadratic scan
+     rarely pays the full cubic cost. The accumulation order matches
+     {!mul} term for term, so the decision is identical to comparing the
+     fully materialized products. *)
+  let n = a.r in
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < n do
+    let jc = !j in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let off = !i * n in
+      let xr = ref 0. and xi = ref 0. in
+      let yr = ref 0. and yi = ref 0. in
+      for k = 0 to n - 1 do
+        let ar = a.re.(off + k) and ai = a.im.(off + k) in
+        if ar <> 0. || ai <> 0. then begin
+          let br = b.re.((k * n) + jc) and bi = b.im.((k * n) + jc) in
+          xr := !xr +. (ar *. br) -. (ai *. bi);
+          xi := !xi +. (ar *. bi) +. (ai *. br)
+        end
+      done;
+      for k = 0 to n - 1 do
+        let br = b.re.(off + k) and bi = b.im.(off + k) in
+        if br <> 0. || bi <> 0. then begin
+          let ar = a.re.((k * n) + jc) and ai = a.im.((k * n) + jc) in
+          yr := !yr +. (br *. ar) -. (bi *. ai);
+          yi := !yi +. (br *. ai) +. (bi *. ar)
+        end
+      done;
+      if Float.hypot (!xr -. !yr) (!xi -. !yi) > eps then ok := false;
+      incr i
+    done;
+    incr j
+  done;
+  !ok
 
 let det m =
   if m.r <> m.c then invalid_arg "Cmat.det: not square";
@@ -378,6 +418,93 @@ let mul_embedded ~n_qubits ~targets u m =
     done
   done;
   out
+
+(* local index of a full basis index under [targets] (listed order, first
+   target = most significant local bit, matching {!embed_frame}),
+   tabulated for all 2^n indices *)
+let local_index_table ~n_qubits ~targets =
+  let k = List.length targets in
+  let tb = Array.of_list (List.map (bit_of_qubit n_qubits) targets) in
+  Array.init (1 lsl n_qubits) (fun idx ->
+      let l = ref 0 in
+      Array.iteri
+        (fun pos b ->
+          if (idx lsr b) land 1 = 1 then l := !l lor (1 lsl (k - 1 - pos)))
+        tb;
+      !l)
+
+let commute_embedded ?(eps = 1e-9) ~n_qubits ~targets_a ua ~targets_b ub =
+  (* Decides [commute (embed ua) (embed ub)] straight from the own-support
+     matrices. An embedded entry a[i,k] is structurally zero unless i and
+     k agree outside the target bits, so each row·column product of the
+     two orderings has 2^|targets| candidate terms, not 2^n — cost
+     4ⁿ·(2^ka + 2^kb) instead of 8ⁿ. The candidate k's are enumerated in
+     ascending order and value-zero entries skipped exactly as in
+     {!commute}, so the surviving terms accumulate in the same order with
+     the same values and the decision is identical to embedding first
+     (structurally-skipped terms are exact zeros, which only affect the
+     sign of a zero accumulator — invisible to the comparison). *)
+  let frame targets (u : t) =
+    let k, _, _ = embed_frame ~name:"commute_embedded" ~n_qubits ~targets u in
+    let bits = List.map (bit_of_qubit n_qubits) targets in
+    let mask = List.fold_left (fun m b -> m lor (1 lsl b)) 0 bits in
+    let sorted = List.sort compare bits in
+    (* spreading counter bit t to the t-th lowest target bit is monotone,
+       so c ↦ base lor spread.(c) walks the structural k's in ascending
+       order *)
+    let spread =
+      Array.init (1 lsl k) (fun c ->
+          let r = ref 0 in
+          List.iteri
+            (fun t b -> if (c lsr t) land 1 = 1 then r := !r lor (1 lsl b))
+            sorted;
+          !r)
+    in
+    (mask, spread, local_index_table ~n_qubits ~targets)
+  in
+  let mask_a, spread_a, loc_a = frame targets_a ua in
+  let mask_b, spread_b, loc_b = frame targets_b ub in
+  let n = 1 lsl n_qubits in
+  let da = ua.c and db = ub.c in
+  let ok = ref true in
+  let j = ref 0 in
+  while !ok && !j < n do
+    let jc = !j in
+    let i = ref 0 in
+    while !ok && !i < n do
+      let ii = !i in
+      let xr = ref 0. and xi = ref 0. in
+      let yr = ref 0. and yi = ref 0. in
+      let base_a = ii land lnot mask_a in
+      let ra = loc_a.(ii) * da in
+      for c = 0 to Array.length spread_a - 1 do
+        let k = base_a lor spread_a.(c) in
+        let ar = ua.re.(ra + loc_a.(k)) and ai = ua.im.(ra + loc_a.(k)) in
+        if (ar <> 0. || ai <> 0.) && (k lxor jc) land lnot mask_b = 0 then begin
+          let o = (loc_b.(k) * db) + loc_b.(jc) in
+          let br = ub.re.(o) and bi = ub.im.(o) in
+          xr := !xr +. (ar *. br) -. (ai *. bi);
+          xi := !xi +. (ar *. bi) +. (ai *. br)
+        end
+      done;
+      let base_b = ii land lnot mask_b in
+      let rb = loc_b.(ii) * db in
+      for c = 0 to Array.length spread_b - 1 do
+        let k = base_b lor spread_b.(c) in
+        let br = ub.re.(rb + loc_b.(k)) and bi = ub.im.(rb + loc_b.(k)) in
+        if (br <> 0. || bi <> 0.) && (k lxor jc) land lnot mask_a = 0 then begin
+          let o = (loc_a.(k) * da) + loc_a.(jc) in
+          let ar = ua.re.(o) and ai = ua.im.(o) in
+          yr := !yr +. (br *. ar) -. (bi *. ai);
+          yi := !yi +. (br *. ai) +. (bi *. ar)
+        end
+      done;
+      if Float.hypot (!xr -. !yr) (!xi -. !yi) > eps then ok := false;
+      incr i
+    done;
+    incr j
+  done;
+  !ok
 
 let permute_qubits perm u =
   let n =

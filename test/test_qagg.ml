@@ -130,7 +130,51 @@ let aggregator_cases =
           (Qgdg.Diagonal.detect_and_contract ~latency:cost g);
         ignore (Aggregator.run ~cost g);
         Gdg.validate g;
-        semantics_preserved circuit g) ]
+        semantics_preserved circuit g);
+    (* the incremental aggregator (maintained slack, windowed candidate
+       universe, memoized caches) against the retained full-recompute
+       reference: same accepted-merge count and final makespan, on the
+       same starting graph *)
+    qcheck ~count:10 "incremental aggregator matches the reference"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let gates = random_unitary_gates rng 4 12 in
+        let circuit = Circuit.make 4 gates in
+        let g = Gdg.of_circuit ~latency:cost circuit in
+        let r = Gdg.copy g in
+        let inc = Aggregator.run ~cost g in
+        let ref_ = Aggregator.run_reference ~cost r in
+        Gdg.validate g;
+        inc.Aggregator.merges = ref_.Aggregator.merges
+        && Float.abs
+             (inc.Aggregator.final_makespan -. ref_.Aggregator.final_makespan)
+           <= 1e-9
+        && semantics_preserved circuit g);
+    qcheck ~count:10 "incremental matches reference on commutative circuits"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 4 in
+        let gates =
+          List.concat
+            (List.init 6 (fun _ ->
+                 let a = Qgraph.Rand.int rng n in
+                 let b = (a + 1 + Qgraph.Rand.int rng (n - 1)) mod n in
+                 zz (Qgraph.Rand.float rng 3.) (min a b) (max a b)))
+        in
+        let circuit = Circuit.make n gates in
+        let g = Gdg.of_circuit ~latency:cost circuit in
+        ignore (Qgdg.Diagonal.detect_and_contract ~latency:cost g);
+        let r = Gdg.copy g in
+        let inc = Aggregator.run ~cost g in
+        let ref_ = Aggregator.run_reference ~cost r in
+        Gdg.validate g;
+        inc.Aggregator.merges = ref_.Aggregator.merges
+        && Float.abs
+             (inc.Aggregator.final_makespan -. ref_.Aggregator.final_makespan)
+           <= 1e-9
+        && semantics_preserved circuit g) ]
 
 let suites =
   [ ("qagg.action", action_cases); ("qagg.aggregator", aggregator_cases) ]

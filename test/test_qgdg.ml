@@ -10,6 +10,28 @@ let sum_latency gates = float_of_int (List.length gates)
 
 let zz a b = [ Gate.cnot a b; Gate.rz 5.67 b; Gate.cnot a b ]
 
+(* generators for the algebraic commutation fast paths: Clifford blocks
+   exercise the tableau route, CNOT+Rz blocks the phase-polynomial route *)
+let random_clifford_gates rng n depth =
+  List.init depth (fun _ ->
+      let q = Qgraph.Rand.int rng n in
+      let other () = (q + 1 + Qgraph.Rand.int rng (n - 1)) mod n in
+      match Qgraph.Rand.int rng 8 with
+      | 0 -> Gate.h q
+      | 1 -> Gate.s q
+      | 2 -> Gate.sdg q
+      | 3 -> Gate.x q
+      | 4 -> Gate.z q
+      | 5 -> Gate.cnot q (other ())
+      | 6 -> Gate.cz q (other ())
+      | _ -> Gate.swap q (other ()))
+
+let random_cnot_rz_gates rng n depth =
+  List.init depth (fun _ ->
+      let q = Qgraph.Rand.int rng n in
+      if Qgraph.Rand.bool rng then Gate.rz (Qgraph.Rand.float rng 6.28) q
+      else Gate.cnot q ((q + 1 + Qgraph.Rand.int rng (n - 1)) mod n))
+
 let qaoa_triangle () =
   Gdg.of_circuit ~latency:unit_latency (Qapps.Qaoa.triangle_example ())
 
@@ -77,7 +99,30 @@ let commute_cases =
           let ua = Qgate.Unitary.of_gates ~n_qubits:n [ Gate.map_qubits f a ] in
           let ub = Qgate.Unitary.of_gates ~n_qubits:n [ Gate.map_qubits f b ] in
           Commute.gates a b = Qnum.Cmat.commute ~eps:1e-9 ua ub
-        | _ -> true) ]
+        | _ -> true);
+    (* the dispatching oracle (tableau / phase-polynomial fast paths plus
+       the embedded dense fallback) against the one-shot dense check, on
+       blocks whose joint support stays within the 8-qubit check width *)
+    qcheck ~count:25 "blocks agrees with dense on random Clifford blocks"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 2 + Qgraph.Rand.int rng 7 in
+        let a = random_clifford_gates rng n 5 in
+        let b = random_clifford_gates rng n 5 in
+        Commute.blocks a b = Commute.dense_commute a b);
+    qcheck ~count:25 "blocks agrees with dense on CNOT+Rz blocks"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 2 + Qgraph.Rand.int rng 7 in
+        let a = random_cnot_rz_gates rng n 6 in
+        let b = random_cnot_rz_gates rng n 6 in
+        Commute.blocks a b = Commute.dense_commute a b);
+    case "blocks: anti-commuting Paulis rejected" (fun () ->
+        check_bool "x vs z" false (Commute.blocks [ Gate.x 0 ] [ Gate.z 0 ]);
+        check_bool "x vs y" false (Commute.blocks [ Gate.x 0 ] [ Gate.y 0 ]);
+        check_bool "h vs h" true (Commute.blocks [ Gate.h 0 ] [ Gate.h 0 ])) ]
 
 let gdg_cases =
   [ case "of_circuit sizes" (fun () ->

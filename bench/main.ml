@@ -408,11 +408,15 @@ let pipeline () =
       (fun name ->
         let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
         Printf.printf "  profiling %s...\n%!" name;
+        (* one stage cache per circuit, as compile_all would use: the
+           pipeline.cache.{hit,miss} counters land in each entry's
+           metrics *)
+        let cache = Qcc.Pipeline.Cache.create () in
         List.map
           (fun strategy ->
             let obs = Qobs.Trace.create () in
             let metrics = Qobs.Metrics.create () in
-            let r = Compiler.compile ~obs ~metrics ~strategy circuit in
+            let r = Compiler.compile ~obs ~metrics ~cache ~strategy circuit in
             let passes =
               match r.Compiler.trace with
               | None -> []
@@ -449,6 +453,56 @@ let pipeline () =
   Qobs.Json.write_file "BENCH_pipeline.json" doc;
   Printf.printf "  wrote BENCH_pipeline.json (%d entries)\n%!"
     (List.length entries)
+
+(* fast CI guard: the shared-prefix cache must actually share (hits for
+   every strategy past the first) and must not change results *)
+let pipeline_smoke () =
+  header "Pipeline smoke: stage-cache sharing on two benchmarks";
+  let failed = ref false in
+  List.iter
+    (fun name ->
+      let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
+      (* warm-up so the shared/isolated timings compare like for like *)
+      ignore (Compiler.compile ~strategy:Strategy.Cls_aggregation circuit);
+      let cache = Qcc.Pipeline.Cache.create () in
+      let t0 = Qobs.Clock.now_ns () in
+      let shared = Compiler.compile_all ~cache circuit in
+      let shared_ms = (Qobs.Clock.now_ns () -. t0) /. 1e6 in
+      let hits = Qcc.Pipeline.Cache.hits cache in
+      let t1 = Qobs.Clock.now_ns () in
+      let isolated =
+        List.map
+          (fun (s, _) -> (s, Compiler.compile ~strategy:s circuit))
+          shared
+      in
+      let isolated_ms = (Qobs.Clock.now_ns () -. t1) /. 1e6 in
+      (* a fully warm chain (every pass hits) must be near-free *)
+      let t2 = Qobs.Clock.now_ns () in
+      ignore
+        (Compiler.compile ~cache ~strategy:Strategy.Cls_aggregation circuit);
+      let warm_ms = (Qobs.Clock.now_ns () -. t2) /. 1e6 in
+      let mismatches =
+        List.filter
+          (fun ((_, (a : Compiler.result)), (_, (b : Compiler.result))) ->
+            a.Compiler.latency <> b.Compiler.latency
+            || a.Compiler.n_merges <> b.Compiler.n_merges
+            || a.Compiler.n_instructions <> b.Compiler.n_instructions)
+          (List.combine shared isolated)
+      in
+      Printf.printf
+        "  %-14s cache hits %3d | shared %8.1f ms | isolated %8.1f ms | warm recompile %6.2f ms | mismatches %d\n%!"
+        name hits shared_ms isolated_ms warm_ms (List.length mismatches);
+      if hits = 0 then begin
+        Printf.eprintf "  FAIL %s: stage cache recorded no hits\n%!" name;
+        failed := true
+      end;
+      if mismatches <> [] then begin
+        Printf.eprintf "  FAIL %s: cached results diverge from uncached\n%!"
+          name;
+        failed := true
+      end)
+    [ "maxcut-line"; "uccsd-n4" ];
+  if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Observability overhead: the default-off path must be free           *)
@@ -602,6 +656,7 @@ let experiments =
     ("fidelity", fidelity);
     ("ablations", ablations);
     ("pipeline", pipeline);
+    ("pipeline-smoke", pipeline_smoke);
     ("obs-overhead", obs_overhead);
     ("certify-overhead", certify_overhead);
     ("bechamel", bechamel) ]

@@ -63,10 +63,14 @@ let bench_arg =
   Arg.(value & opt (some string) None
        & info [ "b"; "benchmark" ] ~doc:"Built-in benchmark name (see bench-list).")
 
+(* the strategy list is derived from the registry, so a new strategy
+   shows up in --help and error messages without touching the CLI *)
+let strategy_doc =
+  Printf.sprintf "Strategy: %s." (String.concat " | " Qcc.Strategy.names)
+
 let strategy_arg =
   Arg.(value & opt string "cls+aggregation"
-       & info [ "s"; "strategy" ]
-           ~doc:"Strategy: isa | cls | aggregation | cls+aggregation | cls+hand.")
+       & info [ "s"; "strategy" ] ~doc:strategy_doc)
 
 let topology_arg =
   Arg.(value & opt (some string) None
@@ -185,28 +189,41 @@ let compile_cmd =
           $ verbosity_arg)
 
 let compare_cmd =
-  let run qasm bench topology width arch json_file =
+  let run qasm benches topology width arch json_file =
     or_die @@ fun () ->
-    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
-    let results =
-      Qcc.Compiler.compile_all ~config:(config topology width arch) circuit
+    let cfg = config topology width arch in
+    let rows =
+      match (qasm, benches) with
+      | Some _, _ :: _ ->
+        failwith "give either a QASM file or benchmarks, not both"
+      | None, (_ :: _ as benches) ->
+        List.map
+          (fun name ->
+            let circuit = load_circuit ~qasm_file:None ~benchmark:(Some name) in
+            (name, Qcc.Compiler.compile_all ~config:cfg circuit))
+          benches
+      | _ ->
+        [ ( "circuit",
+            Qcc.Compiler.compile_all ~config:cfg
+              (load_circuit ~qasm_file:qasm ~benchmark:None) ) ]
     in
-    let name = Option.value ~default:"circuit" bench in
     Qcc.Report.print_speedup_table ~header:"normalized latency (isa = 1.0)"
-      ?json:json_file
-      [ (name, results) ]
+      ?json:json_file rows
   in
-  Cmd.v (Cmd.info "compare" ~doc:"Compare all strategies on one circuit.")
-    Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg
+  let benches =
+    Arg.(value & opt_all string []
+         & info [ "b"; "benchmark" ]
+             ~doc:"Built-in benchmark name (repeatable; see bench-list).")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare all strategies on one or more circuits.")
+    Term.(const run $ qasm_arg $ benches $ topology_arg $ width_arg
           $ arch_arg $ json_arg)
 
 (* per-pass wall-time matrix: compile each benchmark under each strategy
    with tracing on, then read the pass spans back out of result.trace *)
 let profile_cmd =
-  let canonical_passes =
-    [ "lower"; "handopt-pre"; "gdg"; "detect"; "cls"; "place"; "route";
-      "rebuild"; "aggregate"; "handopt-post"; "schedule" ]
-  in
+  let canonical_passes = Qcc.Compiler.canonical_passes () in
   let run benches strategies topology width arch =
     or_die @@ fun () ->
     let benches = if benches = [] then [ "maxcut-line" ] else benches in
@@ -363,6 +380,12 @@ let lint_cmd =
     else begin
       let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
       let strategy = Qcc.Strategy.of_string strategy in
+      (* static composition check of the pass sequence itself, before
+         running it *)
+      let pipeline_diags =
+        Qlint.Check_pipeline.run ~stage:"pipeline"
+          (Qcc.Compiler.describe_passes strategy)
+      in
       let compiled =
         match
           Qcc.Compiler.compile ~config:(config topology width arch)
@@ -372,7 +395,7 @@ let lint_cmd =
         | exception Qlint.Report.Check_failed rep ->
           Qlint.Report.diagnostics rep
       in
-      render (Qlint.Report.of_list (input_diags @ compiled))
+      render (Qlint.Report.of_list (input_diags @ pipeline_diags @ compiled))
     end
   in
   let format =

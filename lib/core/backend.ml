@@ -1,0 +1,29 @@
+type t = {
+  device : Qcontrol.Device.t;
+  topology : Qmap.Topology.t option;
+  width_limit : int;
+}
+
+let default =
+  { device = Qcontrol.Device.default; topology = None; width_limit = 10 }
+
+let make ?(device = Qcontrol.Device.default) ?topology ?(width_limit = 10) () =
+  { device; topology; width_limit }
+
+let topology_for t circuit =
+  match t.topology with
+  | Some tp -> tp
+  | None -> Qmap.Topology.grid_for (Qgate.Circuit.n_qubits circuit)
+
+let gate_cost t g = Qcontrol.Latency_model.gate_time t.device g
+
+let serial_cost t gates =
+  Qcontrol.Latency_model.isa_critical_path t.device gates
+
+let block_cost t gates =
+  Qcontrol.Latency_model.block_time ~width_limit:t.width_limit t.device gates
+
+(* Device, topology and the width limit are plain data (variants, floats
+   and ints — no closures), so a Marshal image digests them faithfully. *)
+let fingerprint t =
+  Digest.string (Marshal.to_string (t.device, t.topology, t.width_limit) [])

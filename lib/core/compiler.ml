@@ -1,20 +1,19 @@
-module Gate = Qgate.Gate
-module Circuit = Qgate.Circuit
-module Inst = Qgdg.Inst
 module Gdg = Qgdg.Gdg
+module Inst = Qgdg.Inst
 
 let log_src = Logs.Src.create "qcc" ~doc:"qcc compilation pipeline"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type config = {
+(* re-export so existing [{ default_config with topology = ... }] call
+   sites keep working; the pipeline itself consumes the Backend value *)
+type config = Backend.t = {
   device : Qcontrol.Device.t;
   topology : Qmap.Topology.t option;
   width_limit : int;
 }
 
-let default_config =
-  { device = Qcontrol.Device.default; topology = None; width_limit = 10 }
+let default_config = Backend.default
 
 type result = {
   strategy : Strategy.t;
@@ -32,610 +31,112 @@ type result = {
   certificate : Qcert.Certificate.t option;
 }
 
-let passes = function
-  | Strategy.Isa -> [ "lower"; "place"; "route"; "gdg"; "schedule" ]
-  | Strategy.Cls ->
-    [ "lower"; "gdg"; "detect"; "cls"; "place"; "route"; "rebuild"; "schedule" ]
-  | Strategy.Aggregation ->
-    [ "lower"; "place"; "route"; "gdg"; "detect"; "aggregate"; "schedule" ]
-  | Strategy.Cls_aggregation ->
-    [ "lower"; "gdg"; "detect"; "cls"; "place"; "route"; "rebuild";
-      "aggregate"; "schedule" ]
-  | Strategy.Cls_hand ->
-    [ "lower"; "handopt-pre"; "gdg"; "cls"; "place"; "route"; "handopt-post";
-      "rebuild"; "schedule" ]
+let passes strategy = List.map Pass.name (Strategy.passes strategy)
 
-let topology_of config circuit =
-  match config.topology with
-  | Some t -> t
-  | None -> Qmap.Topology.grid_for (Circuit.n_qubits circuit)
+let describe_passes strategy = List.map Pass.describe (Strategy.passes strategy)
 
-let gate_cost device g = Qcontrol.Latency_model.gate_time device g
-let serial_cost device gates = Qcontrol.Latency_model.isa_critical_path device gates
-
-let opt_cost config gates =
-  Qcontrol.Latency_model.block_time ~width_limit:config.width_limit
-    config.device gates
-
-(* ---- observability instrumentation ----
-
-   [obs] collects one span per pass (the seams below mirror the qlint
-   checkpoints); [metrics] is also installed as the ambient registry so
-   the deep passes (Commute, Router, Cls, Aggregator, Latency_model) can
-   tick counters without signature changes. Both default to the null
-   collectors, which short-circuit before allocating anything. *)
-
-type obs_ctx = { obs : Qobs.Trace.t; metrics : Qobs.Metrics.t }
-
-let null_obs = { obs = Qobs.Trace.disabled; metrics = Qobs.Metrics.disabled }
-
-let pass oc name f =
-  if not (Qobs.Trace.enabled oc.obs || Qobs.Metrics.enabled oc.metrics) then
-    f ()
-  else begin
-    let t0 = Qobs.Clock.now_ns () in
-    let finish () =
-      Qobs.Metrics.observe oc.metrics "pass.duration_ms"
-        (Qobs.Clock.elapsed_ns t0 /. 1e6)
-    in
-    match Qobs.Trace.with_span oc.obs name f with
-    | v ->
-      finish ();
-      v
-    | exception e ->
-      finish ();
-      raise e
-  end
-
-(* per-pass key figures land as attributes on the enclosing span, and the
-   sizes as gauges in the registry; guarded so the disabled path touches
-   nothing *)
-let note_gdg oc gdg =
-  if Qobs.Trace.enabled oc.obs || Qobs.Metrics.enabled oc.metrics then begin
-    let nodes = Gdg.size gdg in
-    let _, succ = Gdg.neighbor_tables gdg in
-    let edges = Hashtbl.length succ in
-    Qobs.Trace.attr_int oc.obs "nodes" nodes;
-    Qobs.Trace.attr_int oc.obs "edges" edges;
-    Qobs.Metrics.gauge oc.metrics "gdg.nodes" (float_of_int nodes);
-    Qobs.Metrics.gauge oc.metrics "gdg.edges" (float_of_int edges)
-  end
-
-let note_int oc key v =
-  Qobs.Trace.attr_int oc.obs key v;
-  Qobs.Metrics.incr oc.metrics ~by:v ("compile." ^ key)
-
-(* ---- static-check instrumentation (the [~check:true] mode) ----
-
-   [ctx] accumulates diagnostics across pipeline boundaries; an
-   error-severity diagnostic fails fast with the structured report built
-   so far ([Qlint.Report.Check_failed]). [None] disables everything at
-   zero cost. Diagnostics are prepended (reverse order) and restored to
-   boundary order in one pass at the end — appending here would be
-   quadratic in the number of boundaries. *)
-
-type lint_ctx = Qlint.Diagnostic.t list ref option
-
-let collected_diags acc = List.rev !acc
-
-let checkpoint (ctx : lint_ctx) f =
-  match ctx with
-  | None -> ()
-  | Some acc ->
-    let diags = f () in
-    acc := List.rev_append diags !acc;
-    if List.exists Qlint.Diagnostic.is_error diags then
-      raise (Qlint.Report.Check_failed (Qlint.Report.of_list (collected_diags acc)))
-
-(* ---- translation validation (the [~certify:true] mode) ----
-
-   [cert_ctx] threads a [Qcert.Pipeline] context through the pipelines;
-   [None] (the default) keeps every seam a single branch. Snapshots of a
-   GDG's instruction list are taken only when certifying, right before
-   the in-place passes (detect, aggregate) that consume them. *)
-
-type cert_ctx = Qcert.Pipeline.ctx option
-
-let certify_at (cctx : cert_ctx) f =
-  match cctx with None -> () | Some c -> f c
-
-let snapshot (cctx : cert_ctx) gdg =
-  match cctx with None -> [] | Some _ -> Gdg.insts gdg
-
-let check_circuit ctx ~stage circuit =
-  checkpoint ctx (fun () -> Qlint.Check_circuit.run ~stage circuit)
-
-let check_gdg ctx ~stage gdg =
-  checkpoint ctx (fun () -> Qlint.Check_gdg.run ~stage gdg)
-
-let check_logical_schedule ctx ~stage gdg schedule =
-  checkpoint ctx (fun () ->
-      let groups = Qgdg.Comm_group.build gdg in
-      Qlint.Check_schedule.run ~stage ~original:gdg
-        ~reorderable:(Qgdg.Comm_group.reorderable groups)
-        schedule)
-
-(* the routing boundary for instruction streams: placement consistency,
-   site adjacency, and a full replay of the router's contract *)
-let check_routed_insts ctx ~topology ~initial ~final ~logical ~routed =
-  checkpoint ctx (fun () ->
-      let gates insts =
-        List.concat_map (fun (i : Inst.t) -> i.Inst.gates) insts
+(* Canonical pass order across all strategies, derived from the
+   registry: merge each strategy's list into the accumulated order,
+   inserting new passes right after their predecessor. Longest pipelines
+   anchor the order (hence the fold over [List.rev all]), so the result
+   reads in pipeline order — and new passes appear automatically. *)
+let canonical_passes () =
+  let insert_after prev name acc =
+    match prev with
+    | None -> name :: acc
+    | Some p ->
+      let rec go = function
+        | [] -> [ name ]
+        | x :: rest when x = p -> x :: name :: rest
+        | x :: rest -> x :: go rest
       in
-      Qlint.Check_mapping.run ~stage:"route" ~topology ~initial ~final routed
-      @ Qlint.Check_mapping.check_routing ~stage:"route" ~topology ~initial
-          ~final ~logical:(gates logical) ~physical:(gates routed) ())
-
-(* same boundary when the router ran over a plain gate stream *)
-let check_routed_circuit ctx ~topology ~initial ~final ~logical ~physical =
-  checkpoint ctx (fun () ->
-      Qlint.Check_mapping.check_placement ~stage:"route"
-        ~label:"initial placement" ~topology initial
-      @ Qlint.Check_mapping.check_placement ~stage:"route"
-          ~label:"final placement" ~topology final
-      @ Qlint.Check_mapping.check_adjacency_circuit ~stage:"route" ~topology
-          physical
-      @ Qlint.Check_mapping.check_routing ~stage:"route" ~topology ~initial
-          ~final ~logical:(Circuit.gates logical)
-          ~physical:(Circuit.gates physical) ())
-
-let check_aggregate ctx ~config gdg =
-  checkpoint ctx (fun () ->
-      (* diagonal detection may build 2-qubit blocks below any limit *)
-      Qlint.Check_agg.run ~stage:"aggregate"
-        ~width_limit:(max config.width_limit 2) gdg
-      @ Qlint.Check_gdg.run ~stage:"aggregate" gdg)
-
-(* the last boundary re-checks everything the earlier passes could have
-   invalidated: graph structure, block policy, site adjacency and the
-   final schedule's legality modulo declared commutations *)
-let check_final ctx ~config ~topology gdg schedule =
-  checkpoint ctx (fun () ->
-      let groups = Qgdg.Comm_group.build gdg in
-      Qlint.Check_gdg.run ~stage:"schedule" gdg
-      @ Qlint.Check_agg.run ~stage:"schedule"
-          ~width_limit:(max config.width_limit 2) gdg
-      @ Qlint.Check_mapping.check_adjacency ~stage:"schedule" ~topology
-          (Gdg.insts gdg)
-      @ Qlint.Check_schedule.run ~stage:"schedule" ~original:gdg
-          ~reorderable:(Qgdg.Comm_group.reorderable groups)
-          schedule)
-
-(* relabel instructions to fresh consecutive ids (after routing mixes
-   logical instructions with inserted swaps) *)
-let renumber insts =
-  List.mapi
-    (fun id (i : Inst.t) ->
-      Inst.make ~id ~latency:i.Inst.latency i.Inst.gates)
-    insts
-
-let route_insts ~config ~topology ~placement insts =
-  let swap_latency = gate_cost config.device (Gate.swap 0 1) in
-  let swap_counter = ref 0 in
-  let routed, final =
-    Qmap.Router.route ~topology ~placement
-      ~support:(fun (i : Inst.t) -> i.Inst.qubits)
-      ~remap:(fun f (i : Inst.t) ->
-        Inst.make ~id:i.Inst.id ~latency:i.Inst.latency
-          (List.map (Gate.map_qubits f) i.Inst.gates))
-      ~make_swap:(fun a b ->
-        incr swap_counter;
-        Inst.make ~id:(-1) ~latency:swap_latency [ Gate.swap a b ])
-      insts
+      go acc
   in
-  (renumber routed, !swap_counter, final)
-
-let gdg_of_physical ~topology insts =
-  Gdg.of_insts ~n_qubits:(Qmap.Topology.n_sites topology) insts
-
-(* ISA baseline: program order, per-gate pulses, ASAP *)
-let compile_isa ~config ~ctx ~cctx ~oc circuit =
-  let topology = topology_of config circuit in
-  let placement =
-    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
-  in
-  let physical, final =
-    pass oc "route" (fun () ->
-        Qmap.Router.route_circuit ~placement ~topology circuit)
-  in
-  check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
-    ~physical;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.route_circuit c ~initial:placement ~final
-        ~logical:circuit ~physical);
-  let gdg =
-    pass oc "gdg" (fun () ->
-        let g =
-          Gdg.of_circuit
-            ~latency:(fun gates -> serial_cost config.device gates)
-            physical
+  let merge acc names =
+    let rec go prev acc = function
+      | [] -> acc
+      | name :: rest ->
+        let acc =
+          if List.mem name acc then acc else insert_after prev name acc
         in
-        note_gdg oc g;
-        g)
+        go (Some name) acc rest
+    in
+    go None acc names
   in
-  check_gdg ctx ~stage:"gdg" gdg;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:physical ~gdg);
-  let swaps =
-    Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical
-    - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
-  in
-  let schedule = pass oc "schedule" (fun () -> Qsched.Asap.schedule gdg) in
-  check_final ctx ~config ~topology gdg schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg schedule);
-  (schedule, gdg, swaps, 0, placement, final)
-
-(* commutativity detection + CLS, gates still pulsed individually *)
-let compile_cls ~config ~ctx ~cctx ~oc circuit =
-  let topology = topology_of config circuit in
-  let gdg =
-    pass oc "gdg" (fun () ->
-        let g =
-          Gdg.of_circuit
-            ~latency:(fun gates -> serial_cost config.device gates)
-            circuit
-        in
-        note_gdg oc g;
-        g)
-  in
-  certify_at cctx (fun c -> Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit ~gdg);
-  let before_detect = snapshot cctx gdg in
-  let merges =
-    pass oc "detect" (fun () ->
-        let n =
-          Qgdg.Diagonal.detect_and_contract
-            ~latency:(fun gates -> serial_cost config.device gates)
-            gdg
-        in
-        note_int oc "contractions" n;
-        n)
-  in
-  check_gdg ctx ~stage:"gdg" gdg;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.contraction c ~before:before_detect ~gdg);
-  let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
-  check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"cls" ~gdg logical_schedule);
-  let placement =
-    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
-  in
-  let linear = Qsched.Schedule.linearize logical_schedule in
-  let routed, swaps, final =
-    pass oc "route" (fun () ->
-        let routed, swaps, final =
-          route_insts ~config ~topology ~placement linear
-        in
-        note_int oc "swaps" swaps;
-        (routed, swaps, final))
-  in
-  check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
-    ~routed;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.route_insts c ~initial:placement ~final ~logical:linear
-        ~routed);
-  (* CLS gets no custom pulses: expand blocks back to gates so the final
-     schedule recovers gate-level overlap; the commutativity gain is
-     already baked into the routed order *)
-  let physical =
-    pass oc "rebuild" (fun () ->
-        let flat =
-          Circuit.make (Qmap.Topology.n_sites topology)
-            (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
-        in
-        Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
-          flat)
-  in
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.rebuild c
-        ~src:(List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
-        ~gdg:physical);
-  let schedule =
-    pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
-  in
-  check_final ctx ~config ~topology physical schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:physical schedule);
-  (schedule, physical, swaps, merges, placement, final)
-
-(* aggregation without commutativity-aware scheduling *)
-let compile_aggregation ~config ~ctx ~cctx ~oc circuit =
-  let topology = topology_of config circuit in
-  let placement =
-    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
-  in
-  let physical_circuit, final =
-    pass oc "route" (fun () ->
-        Qmap.Router.route_circuit ~placement ~topology circuit)
-  in
-  check_routed_circuit ctx ~topology ~initial:placement ~final ~logical:circuit
-    ~physical:physical_circuit;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.route_circuit c ~initial:placement ~final
-        ~logical:circuit ~physical:physical_circuit);
-  let swaps =
-    Circuit.count (fun g -> g.Gate.kind = Gate.Swap) physical_circuit
-    - Circuit.count (fun g -> g.Gate.kind = Gate.Swap) circuit
-  in
-  let gdg =
-    pass oc "gdg" (fun () ->
-        let g =
-          Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates)
-            physical_circuit
-        in
-        note_gdg oc g;
-        g)
-  in
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:physical_circuit ~gdg);
-  let before_detect = snapshot cctx gdg in
-  let d_merges =
-    pass oc "detect" (fun () ->
-        let n =
-          Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
-        in
-        note_int oc "contractions" n;
-        n)
-  in
-  check_gdg ctx ~stage:"gdg" gdg;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.contraction c ~before:before_detect ~gdg);
-  let before_agg = snapshot cctx gdg in
-  let stats =
-    pass oc "aggregate" (fun () ->
-        let stats =
-          Qagg.Aggregator.run ~width_limit:config.width_limit
-            ~cost:(opt_cost config) gdg
-        in
-        note_int oc "merges" stats.Qagg.Aggregator.merges;
-        stats)
-  in
-  check_aggregate ctx ~config gdg;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.aggregation c ~width_limit:(max config.width_limit 2)
-        ~before:before_agg ~gdg);
-  let schedule = pass oc "schedule" (fun () -> Qsched.Asap.schedule gdg) in
-  check_final ctx ~config ~topology gdg schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg schedule);
-  ( schedule,
-    gdg,
-    swaps,
-    d_merges + stats.Qagg.Aggregator.merges,
-    placement,
-    final )
-
-(* the full pipeline *)
-let compile_cls_aggregation ~config ~ctx ~cctx ~oc circuit =
-  let topology = topology_of config circuit in
-  let gdg =
-    pass oc "gdg" (fun () ->
-        let g =
-          Gdg.of_circuit ~latency:(fun gates -> opt_cost config gates) circuit
-        in
-        note_gdg oc g;
-        g)
-  in
-  certify_at cctx (fun c -> Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit ~gdg);
-  let before_detect = snapshot cctx gdg in
-  let d_merges =
-    pass oc "detect" (fun () ->
-        let n =
-          Qgdg.Diagonal.detect_and_contract ~latency:(opt_cost config) gdg
-        in
-        note_int oc "contractions" n;
-        n)
-  in
-  check_gdg ctx ~stage:"gdg" gdg;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.contraction c ~before:before_detect ~gdg);
-  let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
-  check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"cls" ~gdg logical_schedule);
-  let placement =
-    pass oc "place" (fun () -> Qmap.Placement.initial topology circuit)
-  in
-  let linear = Qsched.Schedule.linearize logical_schedule in
-  let routed, swaps, final =
-    pass oc "route" (fun () ->
-        let routed, swaps, final =
-          route_insts ~config ~topology ~placement linear
-        in
-        note_int oc "swaps" swaps;
-        (routed, swaps, final))
-  in
-  check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
-    ~routed;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.route_insts c ~initial:placement ~final ~logical:linear
-        ~routed);
-  let physical =
-    pass oc "rebuild" (fun () -> gdg_of_physical ~topology routed)
-  in
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.rebuild c
-        ~src:(List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
-        ~gdg:physical);
-  let before_agg = snapshot cctx physical in
-  let stats =
-    pass oc "aggregate" (fun () ->
-        let stats =
-          Qagg.Aggregator.run ~width_limit:config.width_limit
-            ~cost:(opt_cost config) physical
-        in
-        note_int oc "merges" stats.Qagg.Aggregator.merges;
-        stats)
-  in
-  check_aggregate ctx ~config physical;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.aggregation c ~width_limit:(max config.width_limit 2)
-        ~before:before_agg ~gdg:physical);
-  let schedule =
-    pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
-  in
-  check_final ctx ~config ~topology physical schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:physical schedule);
-  ( schedule,
-    physical,
-    swaps,
-    d_merges + stats.Qagg.Aggregator.merges,
-    placement,
-    final )
-
-(* CLS + mechanical hand optimization *)
-let compile_cls_hand ~config ~ctx ~cctx ~oc circuit =
-  let topology = topology_of config circuit in
-  let hand = pass oc "handopt-pre" (fun () -> Handopt.optimize circuit) in
-  check_circuit ctx ~stage:"handopt" hand;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.handopt c ~name:"handopt-pre" ~src:circuit ~dst:hand);
-  let gdg =
-    pass oc "gdg" (fun () ->
-        let g =
-          Gdg.of_circuit
-            ~latency:(fun gates -> serial_cost config.device gates)
-            hand
-        in
-        note_gdg oc g;
-        g)
-  in
-  check_gdg ctx ~stage:"gdg" gdg;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:hand ~gdg);
-  let logical_schedule = pass oc "cls" (fun () -> Qsched.Cls.schedule gdg) in
-  check_logical_schedule ctx ~stage:"cls" gdg logical_schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"cls" ~gdg logical_schedule);
-  let placement =
-    pass oc "place" (fun () -> Qmap.Placement.initial topology hand)
-  in
-  let linear = Qsched.Schedule.linearize logical_schedule in
-  let routed, swaps, final =
-    pass oc "route" (fun () ->
-        let routed, swaps, final =
-          route_insts ~config ~topology ~placement linear
-        in
-        note_int oc "swaps" swaps;
-        (routed, swaps, final))
-  in
-  check_routed_insts ctx ~topology ~initial:placement ~final ~logical:linear
-    ~routed;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.route_insts c ~initial:placement ~final ~logical:linear
-        ~routed);
-  (* a second peephole pass over the routed stream (swaps enable new
-     cancellations), then the final commutativity-aware schedule *)
-  let flat =
-    Circuit.make (Qmap.Topology.n_sites topology)
-      (List.concat_map (fun (i : Inst.t) -> i.Inst.gates) routed)
-  in
-  let hand2 = pass oc "handopt-post" (fun () -> Handopt.optimize flat) in
-  check_circuit ctx ~stage:"handopt" hand2;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.handopt c ~name:"handopt-post" ~src:flat ~dst:hand2);
-  let physical =
-    pass oc "rebuild" (fun () ->
-        Gdg.of_circuit ~latency:(fun gates -> serial_cost config.device gates)
-          hand2)
-  in
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.rebuild c ~src:(Circuit.gates hand2) ~gdg:physical);
-  let schedule =
-    pass oc "schedule" (fun () -> Qsched.Cls.schedule physical)
-  in
-  check_final ctx ~config ~topology physical schedule;
-  certify_at cctx (fun c ->
-      Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:physical schedule);
-  (schedule, physical, swaps, 0, placement, final)
+  List.fold_left
+    (fun acc strategy -> merge acc (passes strategy))
+    [] (List.rev Strategy.all)
 
 let compile ?(config = default_config) ?(check = false) ?(certify = false)
-    ?(obs = Qobs.Trace.disabled) ?(metrics = Qobs.Metrics.disabled) ~strategy
-    circuit =
-  let oc = if Qobs.Trace.enabled obs || Qobs.Metrics.enabled metrics
-    then { obs; metrics }
-    else null_obs
-  in
-  let cctx : cert_ctx =
+    ?(obs = Qobs.Trace.disabled) ?(metrics = Qobs.Metrics.disabled) ?cache
+    ~strategy circuit =
+  let cert =
     if certify then
       Some
-        (Qcert.Pipeline.create ~obs:oc.obs
-           ~strategy:(Strategy.to_string strategy) ())
+        (Qcert.Pipeline.create ~obs ~strategy:(Strategy.to_string strategy) ())
     else None
   in
   let body () =
     let t0 = Qobs.Clock.now_ns () in
-    let ctx = if check then Some (ref []) else None in
-    let schedule, gdg, n_swaps_inserted, n_merges, initial_placement,
-        final_placement =
-      Qobs.Trace.with_span oc.obs "compile" (fun () ->
-          Qobs.Trace.attr_str oc.obs "strategy" (Strategy.to_string strategy);
-          let source = circuit in
-          let circuit =
-            pass oc "lower" (fun () -> Qgate.Decompose.to_isa circuit)
+    let lint = if check then Some (ref []) else None in
+    let ctx = { Pass.backend = config; obs; metrics; lint; cert } in
+    let costed =
+      Qobs.Trace.with_span obs "compile" (fun () ->
+          Qobs.Trace.attr_str obs "strategy" (Strategy.to_string strategy);
+          let costed =
+            Pipeline.run ~ctx ?cache (Strategy.passes strategy) circuit
           in
-          if Qobs.Trace.enabled oc.obs || Qobs.Metrics.enabled oc.metrics
-          then begin
-            Qobs.Trace.attr_int oc.obs "qubits" (Circuit.n_qubits circuit);
-            Qobs.Trace.attr_int oc.obs "gates" (Circuit.n_gates circuit);
-            Qobs.Metrics.incr oc.metrics ~by:(Circuit.n_gates circuit)
-              "lower.gates"
-          end;
-          check_circuit ctx ~stage:"lower" circuit;
-          certify_at cctx (fun c ->
-              Qcert.Pipeline.lower c ~src:source ~dst:circuit);
-          let result =
-            match strategy with
-            | Strategy.Isa -> compile_isa ~config ~ctx ~cctx ~oc circuit
-            | Strategy.Cls -> compile_cls ~config ~ctx ~cctx ~oc circuit
-            | Strategy.Aggregation ->
-              compile_aggregation ~config ~ctx ~cctx ~oc circuit
-            | Strategy.Cls_aggregation ->
-              compile_cls_aggregation ~config ~ctx ~cctx ~oc circuit
-            | Strategy.Cls_hand -> compile_cls_hand ~config ~ctx ~cctx ~oc circuit
-          in
-          certify_at cctx (fun c ->
-              let sched, gdg, _, _, initial, final = result in
-              Qcert.Pipeline.end_to_end c ~n_sites:(Gdg.n_qubits gdg) ~initial
-                ~final ~logical:circuit sched);
-          result)
+          (match cert with
+           | Some c ->
+             Qcert.Pipeline.end_to_end c
+               ~n_sites:(Gdg.n_qubits costed.Ir.gdg)
+               ~initial:costed.Ir.route.Ir.initial
+               ~final:costed.Ir.route.Ir.final ~logical:costed.Ir.l.Ir.base
+               costed.Ir.schedule
+           | None -> ());
+          costed)
     in
     let compile_time = Qobs.Clock.elapsed_ns t0 /. 1e9 in
-    let latency = schedule.Qsched.Schedule.makespan in
-    Qobs.Metrics.gauge oc.metrics "compile.latency_ns" latency;
-    Qobs.Metrics.gauge oc.metrics "compile.time_s" compile_time;
+    let latency = costed.Ir.latency in
+    Qobs.Metrics.gauge metrics "compile.latency_ns" latency;
+    Qobs.Metrics.gauge metrics "compile.time_s" compile_time;
     Log.info (fun m ->
         m "%s: %d instructions, latency %.1f ns, compiled in %.2f ms"
-          (Strategy.to_string strategy) (Gdg.size gdg) latency
-          (compile_time *. 1e3));
+          (Strategy.to_string strategy)
+          (Gdg.size costed.Ir.gdg)
+          latency (compile_time *. 1e3));
     { strategy;
-      schedule;
+      schedule = costed.Ir.schedule;
       latency;
-      gdg;
-      initial_placement;
-      final_placement;
-      n_instructions = Gdg.size gdg;
-      n_swaps_inserted;
-      n_merges;
+      gdg = costed.Ir.gdg;
+      initial_placement = costed.Ir.route.Ir.initial;
+      final_placement = costed.Ir.route.Ir.final;
+      n_instructions = Gdg.size costed.Ir.gdg;
+      n_swaps_inserted = costed.Ir.route.Ir.swaps;
+      n_merges = costed.Ir.merges;
       compile_time;
       diagnostics =
-        (match ctx with
-         | Some acc ->
-           List.stable_sort Qlint.Diagnostic.compare (collected_diags acc)
+        (match lint with
+         | Some acc -> List.stable_sort Qlint.Diagnostic.compare (List.rev !acc)
          | None -> []);
-      trace = Qobs.Trace.last_span oc.obs;
-      certificate = Option.map Qcert.Pipeline.finish cctx }
+      trace = Qobs.Trace.last_span obs;
+      certificate = Option.map Qcert.Pipeline.finish cert }
   in
-  if Qobs.Metrics.enabled oc.metrics then
-    Qobs.Metrics.with_ambient oc.metrics body
+  if Qobs.Metrics.enabled metrics then Qobs.Metrics.with_ambient metrics body
   else body ()
 
-let compile_all ?config ?check ?certify ?obs ?metrics circuit =
+let compile_all ?config ?check ?certify ?obs ?metrics ?cache circuit =
+  (* one shared stage cache: the strategies fork from common prefixes
+     (all five lower identically; isa and aggregation also share
+     placement and routing), so the prefix is computed once *)
+  let cache =
+    match cache with Some c -> c | None -> Pipeline.Cache.create ()
+  in
   List.map
     (fun strategy ->
-      (strategy, compile ?config ?check ?certify ?obs ?metrics ~strategy circuit))
+      ( strategy,
+        compile ?config ?check ?certify ?obs ?metrics ~cache ~strategy circuit
+      ))
     Strategy.all
 
 let blocks result =

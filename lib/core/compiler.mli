@@ -22,12 +22,15 @@
 
     The returned GDG and schedule are on physical (device-site) qubits. *)
 
-type config = {
+type config = Backend.t = {
   device : Qcontrol.Device.t;
   topology : Qmap.Topology.t option;
       (** default: smallest near-square grid fitting the circuit *)
   width_limit : int;  (** aggregation width bound (default 10) *)
 }
+(** Alias for {!Backend.t} — the compiler's view of the target machine.
+    Kept as a transparent record so [{ default_config with ... }] call
+    sites read naturally. *)
 
 val default_config : config
 
@@ -62,11 +65,20 @@ type result = {
 
 val passes : Strategy.t -> string list
 (** The span names a traced compile emits for the strategy, in pipeline
-    order — each appears exactly once under the root ["compile"] span. *)
+    order — each appears exactly once under the root ["compile"] span.
+    Derived from the pass registry ({!Strategy.passes}). *)
+
+val describe_passes : Strategy.t -> (string * string * string) list
+(** [(name, input stage, output stage)] per pass, in pipeline order. *)
+
+val canonical_passes : unit -> string list
+(** The union of all strategies' passes in canonical pipeline order,
+    derived from the registry (used by [qcc profile]'s pass table). *)
 
 val compile :
   ?config:config -> ?check:bool -> ?certify:bool -> ?obs:Qobs.Trace.t ->
-  ?metrics:Qobs.Metrics.t -> strategy:Strategy.t -> Qgate.Circuit.t ->
+  ?metrics:Qobs.Metrics.t -> ?cache:Pipeline.Cache.t ->
+  strategy:Strategy.t -> Qgate.Circuit.t ->
   result
 (** [~check:true] runs the Qlint checker families at every pass boundary
     (lowered circuit, GDG construction, logical CLS schedule, routing,
@@ -96,13 +108,19 @@ val compile :
     checks, routing, CLS, aggregation, latency model) record into it too,
     as do the certifiers ([qcert.proved] / [qcert.refuted] /
     [qcert.skipped] / [qcert.facts]). Both defaults are null collectors:
-    the disabled path is one branch per seam, no allocation. *)
+    the disabled path is one branch per seam, no allocation.
+
+    [~cache] (default: none) shares stage artifacts across compiles —
+    see {!Pipeline}. Results are identical with and without it. *)
 
 val compile_all :
   ?config:config -> ?check:bool -> ?certify:bool -> ?obs:Qobs.Trace.t ->
-  ?metrics:Qobs.Metrics.t -> Qgate.Circuit.t ->
+  ?metrics:Qobs.Metrics.t -> ?cache:Pipeline.Cache.t -> Qgate.Circuit.t ->
   (Strategy.t * result) list
-(** All five strategies on one circuit (sharing the collectors). *)
+(** All five strategies on one circuit (sharing the collectors). By
+    default a fresh stage cache is created for the call, so the shared
+    pipeline prefix (lowering everywhere; placement and routing between
+    ISA and aggregation) is computed once per circuit. *)
 
 val blocks : result -> Qgate.Gate.t list list
 (** Final aggregated instructions as member-gate lists (for

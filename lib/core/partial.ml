@@ -9,10 +9,7 @@ let check_same_shape g g' =
 
 let reparameterize ?(config = Compiler.default_config) result f =
   let t0 = Sys.time () in
-  let cost gates =
-    Qcontrol.Latency_model.block_time ~width_limit:config.Compiler.width_limit
-      config.Compiler.device gates
-  in
+  let cost gates = Backend.block_cost config gates in
   let rebound =
     List.map
       (fun (i : Inst.t) ->

@@ -1,0 +1,177 @@
+exception
+  Stage_mismatch of { pass : string; expected : string; got : string }
+
+let () =
+  Printexc.register_printer (function
+    | Stage_mismatch { pass; expected; got } ->
+      Some
+        (Printf.sprintf
+           "Pipeline.Stage_mismatch: pass %S expects a %s artifact, got %s"
+           pass expected got)
+    | _ -> None)
+
+module Cache = struct
+  type entry = E : 'a Ir.stage * 'a -> entry
+
+  type t = {
+    tbl : (string, entry) Hashtbl.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+  let hits t = t.hits
+  let misses t = t.misses
+  let length t = Hashtbl.length t.tbl
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.hits <- 0;
+    t.misses <- 0
+end
+
+(* Keys chain provenance: the root digests the backend and the source
+   circuit (both plain data), and each pass extends the chain with its
+   fingerprint. Two strategies that share a prefix of passes therefore
+   share exactly that prefix of keys — and nothing past the first
+   divergence. *)
+let root_key backend source =
+  Digest.string (Backend.fingerprint backend ^ Marshal.to_string source [])
+
+let chain key fingerprint = Digest.string (key ^ "\x00" ^ fingerprint)
+
+let validate (passes : Pass.packed list) =
+  let rec go : type a. a Ir.stage -> Pass.packed list -> unit =
+   fun prev -> function
+    | [] -> ()
+    | Pass.P p :: rest ->
+      (match Ir.equal_stage prev p.Pass.inp with
+       | Some Ir.Eq -> ()
+       | None ->
+         raise
+           (Stage_mismatch
+              { pass = p.Pass.name;
+                expected = Ir.stage_name p.Pass.inp;
+                got = Ir.stage_name prev }));
+      go p.Pass.out rest
+  in
+  go Ir.Source passes
+
+(* One pass: cache lookup / span / run, then the hooks in seed order
+   (note inside the span, note_after on the parent, lint checkpoint,
+   certification). Hooks always run — a cache hit skips only the work,
+   so diagnostics, certificates and span structure are identical with
+   and without sharing. *)
+let exec :
+    type a b. Pass.ctx -> Cache.t option -> string option -> (a, b) Pass.t ->
+    a -> b =
+ fun ctx cache key p a ->
+  let lookup () : b option =
+    match (cache, key) with
+    | Some c, Some k ->
+      (match Hashtbl.find_opt c.Cache.tbl k with
+       | Some (Cache.E (st, v)) ->
+         (match Ir.equal_stage st p.Pass.out with
+          | Some Ir.Eq -> Some v
+          | None -> None)
+       | None -> None)
+    | _ -> None
+  in
+  let produce () =
+    match lookup () with
+    | Some b ->
+      (match cache with
+       | Some c -> c.Cache.hits <- c.Cache.hits + 1
+       | None -> ());
+      Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.hit";
+      Pass.with_span ctx p.Pass.name (fun () ->
+          Qobs.Trace.attr_str ctx.Pass.obs "cache" "hit";
+          (match p.Pass.note with Some f -> f ctx a b | None -> ());
+          b)
+    | None ->
+      (match cache with
+       | Some c ->
+         c.Cache.misses <- c.Cache.misses + 1;
+         Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.miss"
+       | None -> ());
+      (* never mutate a cache-resident artifact: in-place passes get a
+         private copy of the graph when sharing is on *)
+      let a = if p.Pass.mutates && cache <> None then Ir.clone p.Pass.inp a
+        else a
+      in
+      let b =
+        Pass.with_span ctx p.Pass.name (fun () ->
+            let b = p.Pass.run ctx a in
+            (match p.Pass.note with Some f -> f ctx a b | None -> ());
+            b)
+      in
+      (match (cache, key) with
+       | Some c, Some k -> Hashtbl.replace c.Cache.tbl k (Cache.E (p.Pass.out, b))
+       | _ -> ());
+      b
+  in
+  let hooked b =
+    (match p.Pass.note_after with Some f -> f ctx a b | None -> ());
+    (match (p.Pass.check, ctx.Pass.lint) with
+     | Some f, Some acc ->
+       let diags = f ctx a b in
+       acc := List.rev_append diags !acc;
+       if List.exists Qlint.Diagnostic.is_error diags then
+         raise
+           (Qlint.Report.Check_failed (Qlint.Report.of_list (List.rev !acc)))
+     | _ -> ());
+    b
+  in
+  match (p.Pass.certify, ctx.Pass.cert) with
+  | Some (Pass.Cert_pre (snap, post)), Some c ->
+    let s = snap a in
+    let b = hooked (produce ()) in
+    post ctx c s b;
+    b
+  | Some (Pass.Cert f), Some c ->
+    let b = hooked (produce ()) in
+    f ctx c a b;
+    b
+  | _ -> hooked (produce ())
+
+type boxed = B : 'a Ir.stage * 'a -> boxed
+
+let run ~ctx ?cache passes source =
+  let key0 =
+    match cache with
+    | Some _ -> Some (root_key ctx.Pass.backend source)
+    | None -> None
+  in
+  let step acc packed =
+    match (acc, packed) with
+    | (B (st, v), key), Pass.P p ->
+      (match Ir.equal_stage st p.Pass.inp with
+       | None ->
+         raise
+           (Stage_mismatch
+              { pass = p.Pass.name;
+                expected = Ir.stage_name p.Pass.inp;
+                got = Ir.stage_name st })
+       | Some Ir.Eq ->
+         let key = Option.map (fun k -> chain k p.Pass.fingerprint) key in
+         let b = exec ctx cache key p v in
+         (B (p.Pass.out, b), key))
+  in
+  let final, _ = List.fold_left step (B (Ir.Source, source), key0) passes in
+  match final with
+  | B (Ir.Scheduled, (s : Ir.scheduled)) ->
+    let route =
+      match s.route with
+      | Some r -> r
+      | None -> invalid_arg "Pipeline.run: final schedule is not routed"
+    in
+    { Ir.l = s.l;
+      gdg = s.gdg;
+      schedule = s.schedule;
+      latency = s.schedule.Qsched.Schedule.makespan;
+      merges = s.merges;
+      route }
+  | B (st, _) ->
+    raise
+      (Stage_mismatch
+         { pass = "<end>"; expected = "scheduled"; got = Ir.stage_name st })

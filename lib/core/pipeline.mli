@@ -1,0 +1,54 @@
+(** The one pipeline driver.
+
+    Interprets a declarative pass sequence ({!Strategy.passes}) over the
+    typed {!Ir} artifacts, executing each pass's hooks — span, notes,
+    lint checkpoint, certification boundary — in the fixed order the
+    hand-written pipelines used. Composition is checked dynamically via
+    the stage witnesses; a sequence whose stages do not line up raises
+    {!Stage_mismatch} on the first bad edge.
+
+    {2 Stage cache}
+
+    With a {!Cache.t}, artifacts are memoized under provenance-chained
+    content keys: the root key digests the backend and source circuit,
+    and each pass extends the chain with its fingerprint. Strategies
+    sharing a prefix of passes (every strategy lowers the same way; ISA
+    and aggregation also share placement and routing) then compute that
+    prefix once per circuit — [compile_all], [compare] and the pipeline
+    bench fork per strategy from the shared artifacts. A hit skips only
+    the work: notes, lint checks and certification still run, so
+    results, diagnostics and certificates are identical with and without
+    sharing. Cache-resident artifacts are never mutated — the in-place
+    passes ([detect], [aggregate]) receive a private copy of the graph
+    when sharing is on ({!Ir.clone}).
+
+    Hits and misses are counted on the cache and ticked as the
+    [pipeline.cache.hit] / [pipeline.cache.miss] metrics. *)
+
+exception
+  Stage_mismatch of { pass : string; expected : string; got : string }
+
+module Cache : sig
+  type t
+
+  val create : unit -> t
+  val hits : t -> int
+  val misses : t -> int
+
+  val length : t -> int
+  (** Distinct artifacts currently held. *)
+
+  val clear : t -> unit
+end
+
+val validate : Pass.packed list -> unit
+(** Check that consecutive stages line up (and that the sequence starts
+    from a source circuit) without running anything. Raises
+    {!Stage_mismatch} on the first bad edge. *)
+
+val run :
+  ctx:Pass.ctx -> ?cache:Cache.t -> Pass.packed list -> Qgate.Circuit.t ->
+  Ir.costed
+(** Run the sequence on a source circuit. The last pass must produce a
+    routed {!Ir.scheduled} artifact (raises {!Stage_mismatch} otherwise,
+    [Invalid_argument] if it was never routed). *)

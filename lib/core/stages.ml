@@ -1,0 +1,474 @@
+(** The pass catalog: every transformation the five strategies compose.
+
+    Each entry bundles the work with its span, lint check and
+    certification boundary exactly where the hand-written pipelines had
+    them; {!Strategy.passes} picks sequences from this catalog and
+    {!Pipeline.run} interprets them. Behavioral variants of a pass
+    (serial vs. modeled cost, gate vs. instruction input) are distinct
+    catalog entries with distinct fingerprints so the stage cache never
+    conflates them, while sharing the span name the paper's terminology
+    uses. *)
+
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+module Inst = Qgdg.Inst
+module Gdg = Qgdg.Gdg
+
+(* ---- cost models, resolved against the backend in the context ---- *)
+
+type cost = Serial | Model
+
+let cost_tag = function Serial -> "serial" | Model -> "model"
+
+let cost_fn cost ctx gates =
+  match cost with
+  | Serial -> Backend.serial_cost ctx.Pass.backend gates
+  | Model -> Backend.block_cost ctx.Pass.backend gates
+
+let topology ctx (l : Ir.lowered) = Backend.topology_for ctx.Pass.backend l.base
+
+let flatten_insts insts =
+  List.concat_map (fun (i : Inst.t) -> i.Inst.gates) insts
+
+let flat_circuit ~n_sites = function
+  | Ir.Gates c -> c
+  | Ir.Insts insts -> Circuit.make n_sites (flatten_insts insts)
+
+let count_swaps c = Circuit.count (fun g -> g.Gate.kind = Gate.Swap) c
+
+(* ---- lint boundaries (pure producers; Pipeline checkpoints them) ---- *)
+
+let logical_schedule_diags gdg schedule =
+  let groups = Qgdg.Comm_group.build gdg in
+  Qlint.Check_schedule.run ~stage:"cls" ~original:gdg
+    ~reorderable:(Qgdg.Comm_group.reorderable groups)
+    schedule
+
+(* the routing boundary for instruction streams: placement consistency,
+   site adjacency, and a full replay of the router's contract *)
+let routed_insts_diags ~topology ~initial ~final ~logical ~routed =
+  let gates insts = List.concat_map (fun (i : Inst.t) -> i.Inst.gates) insts in
+  Qlint.Check_mapping.run ~stage:"route" ~topology ~initial ~final routed
+  @ Qlint.Check_mapping.check_routing ~stage:"route" ~topology ~initial ~final
+      ~logical:(gates logical) ~physical:(gates routed) ()
+
+(* same boundary when the router ran over a plain gate stream *)
+let routed_circuit_diags ~topology ~initial ~final ~logical ~physical =
+  Qlint.Check_mapping.check_placement ~stage:"route" ~label:"initial placement"
+    ~topology initial
+  @ Qlint.Check_mapping.check_placement ~stage:"route"
+      ~label:"final placement" ~topology final
+  @ Qlint.Check_mapping.check_adjacency_circuit ~stage:"route" ~topology
+      physical
+  @ Qlint.Check_mapping.check_routing ~stage:"route" ~topology ~initial ~final
+      ~logical:(Circuit.gates logical) ~physical:(Circuit.gates physical) ()
+
+let aggregate_diags ~width_limit gdg =
+  (* diagonal detection may build 2-qubit blocks below any limit *)
+  Qlint.Check_agg.run ~stage:"aggregate" ~width_limit:(max width_limit 2) gdg
+  @ Qlint.Check_gdg.run ~stage:"aggregate" gdg
+
+(* the last boundary re-checks everything the earlier passes could have
+   invalidated: graph structure, block policy, site adjacency and the
+   final schedule's legality modulo declared commutations *)
+let final_diags ctx (b : Ir.scheduled) =
+  let topology = topology ctx b.l in
+  let groups = Qgdg.Comm_group.build b.gdg in
+  Qlint.Check_gdg.run ~stage:"schedule" b.gdg
+  @ Qlint.Check_agg.run ~stage:"schedule"
+      ~width_limit:(max ctx.Pass.backend.Backend.width_limit 2)
+      b.gdg
+  @ Qlint.Check_mapping.check_adjacency ~stage:"schedule" ~topology
+      (Gdg.insts b.gdg)
+  @ Qlint.Check_schedule.run ~stage:"schedule" ~original:b.gdg
+      ~reorderable:(Qgdg.Comm_group.reorderable groups)
+      b.schedule
+
+(* ---- the passes ---- *)
+
+let lower =
+  Pass.P
+    (Pass.make ~name:"lower" ~fingerprint:"lower" ~inp:Ir.Source
+       ~out:Ir.Lowered
+       ~note_after:(fun ctx _ (b : Ir.lowered) ->
+         if Pass.observing ctx then begin
+           Qobs.Trace.attr_int ctx.obs "qubits" (Circuit.n_qubits b.circuit);
+           Qobs.Trace.attr_int ctx.obs "gates" (Circuit.n_gates b.circuit);
+           Qobs.Metrics.incr ctx.metrics ~by:(Circuit.n_gates b.circuit)
+             "lower.gates"
+         end)
+       ~check:(fun _ _ (b : Ir.lowered) ->
+         Qlint.Check_circuit.run ~stage:"lower" b.circuit)
+       ~certify:
+         (Pass.Cert
+            (fun _ c src (b : Ir.lowered) ->
+              Qcert.Pipeline.lower c ~src ~dst:b.circuit))
+       (fun _ src ->
+         let base = Qgate.Decompose.to_isa src in
+         { Ir.base; circuit = base }))
+
+let handopt_pre =
+  Pass.P
+    (Pass.make ~name:"handopt-pre" ~fingerprint:"handopt-pre" ~inp:Ir.Lowered
+       ~out:Ir.Lowered
+       ~check:(fun _ _ (b : Ir.lowered) ->
+         Qlint.Check_circuit.run ~stage:"handopt" b.circuit)
+       ~certify:
+         (Pass.Cert
+            (fun _ c (a : Ir.lowered) (b : Ir.lowered) ->
+              Qcert.Pipeline.handopt c ~name:"handopt-pre" ~src:a.circuit
+                ~dst:b.circuit))
+       (fun _ (a : Ir.lowered) ->
+         { a with circuit = Handopt.optimize a.circuit }))
+
+(* [lint] controls whether the structural check runs here or later: the
+   strategies that contract the graph right after building it check once
+   after [detect] instead *)
+let gdg_of_lowered ~cost ~lint =
+  Pass.P
+    (Pass.make ~name:"gdg"
+       ~fingerprint:("gdg@lowered:" ^ cost_tag cost)
+       ~inp:Ir.Lowered ~out:Ir.Gdg_built
+       ~note:(fun ctx _ (b : Ir.gdg_built) -> Pass.note_gdg ctx b.gdg)
+       ?check:
+         (if lint then
+            Some
+              (fun _ _ (b : Ir.gdg_built) ->
+                Qlint.Check_gdg.run ~stage:"gdg" b.gdg)
+          else None)
+       ~certify:
+         (Pass.Cert
+            (fun _ c (a : Ir.lowered) (b : Ir.gdg_built) ->
+              Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:a.circuit
+                ~gdg:b.gdg))
+       (fun ctx (a : Ir.lowered) ->
+         { Ir.l = a;
+           gdg = Gdg.of_circuit ~latency:(cost_fn cost ctx) a.circuit;
+           merges = 0;
+           route = None }))
+
+let gdg_of_routed ~cost ~lint =
+  Pass.P
+    (Pass.make ~name:"gdg"
+       ~fingerprint:("gdg@routed:" ^ cost_tag cost)
+       ~inp:Ir.Routed ~out:Ir.Gdg_built
+       ~note:(fun ctx _ (b : Ir.gdg_built) -> Pass.note_gdg ctx b.gdg)
+       ?check:
+         (if lint then
+            Some
+              (fun _ _ (b : Ir.gdg_built) ->
+                Qlint.Check_gdg.run ~stage:"gdg" b.gdg)
+          else None)
+       ~certify:
+         (Pass.Cert
+            (fun _ c (a : Ir.routed) (b : Ir.gdg_built) ->
+              match a.rprogram with
+              | Ir.Gates physical ->
+                Qcert.Pipeline.gdg_build c ~name:"gdg" ~circuit:physical
+                  ~gdg:b.gdg
+              | Ir.Insts _ -> assert false))
+       (fun ctx (a : Ir.routed) ->
+         match a.rprogram with
+         | Ir.Gates physical ->
+           { Ir.l = a.l;
+             gdg = Gdg.of_circuit ~latency:(cost_fn cost ctx) physical;
+             merges = a.merges;
+             route = Some a.route }
+         | Ir.Insts _ -> invalid_arg "Stages.gdg_of_routed: instruction input"))
+
+let detect ~cost =
+  Pass.P
+    (Pass.make ~name:"detect"
+       ~fingerprint:("detect:" ^ cost_tag cost)
+       ~inp:Ir.Gdg_built ~out:Ir.Gdg_built ~mutates:true
+       ~note:(fun ctx (a : Ir.gdg_built) (b : Ir.gdg_built) ->
+         Pass.note_int ctx "contractions" (b.merges - a.merges))
+       ~check:(fun _ _ (b : Ir.gdg_built) ->
+         Qlint.Check_gdg.run ~stage:"gdg" b.gdg)
+       ~certify:
+         (Pass.Cert_pre
+            ( (fun (a : Ir.gdg_built) -> Gdg.insts a.gdg),
+              fun _ c before (b : Ir.gdg_built) ->
+                Qcert.Pipeline.contraction c ~before ~gdg:b.gdg ))
+       (fun ctx (a : Ir.gdg_built) ->
+         let n =
+           Qgdg.Diagonal.detect_and_contract ~latency:(cost_fn cost ctx) a.gdg
+         in
+         { a with merges = a.merges + n }))
+
+let cls_schedule =
+  Pass.P
+    (Pass.make ~name:"cls" ~fingerprint:"cls" ~inp:Ir.Gdg_built
+       ~out:Ir.Scheduled
+       ~check:(fun _ _ (b : Ir.scheduled) ->
+         logical_schedule_diags b.gdg b.schedule)
+       ~certify:
+         (Pass.Cert
+            (fun _ c _ (b : Ir.scheduled) ->
+              Qcert.Pipeline.schedule c ~name:"cls" ~gdg:b.gdg b.schedule))
+       (fun _ (a : Ir.gdg_built) ->
+         { Ir.l = a.l;
+           gdg = a.gdg;
+           schedule = Qsched.Cls.schedule a.gdg;
+           merges = a.merges;
+           route = a.route }))
+
+let place_of_lowered =
+  Pass.P
+    (Pass.make ~name:"place" ~fingerprint:"place@lowered" ~inp:Ir.Lowered
+       ~out:Ir.Placed
+       (fun ctx (a : Ir.lowered) ->
+         { Ir.l = a;
+           placement = Qmap.Placement.initial (topology ctx a) a.circuit;
+           program = Ir.Gates a.circuit;
+           merges = 0 }))
+
+let place_of_scheduled =
+  Pass.P
+    (Pass.make ~name:"place" ~fingerprint:"place@scheduled" ~inp:Ir.Scheduled
+       ~out:Ir.Placed
+       (fun ctx (a : Ir.scheduled) ->
+         { Ir.l = a.l;
+           placement = Qmap.Placement.initial (topology ctx a.l) a.l.circuit;
+           program = Ir.Insts (Qsched.Schedule.linearize a.schedule);
+           merges = a.merges }))
+
+(* relabel instructions to fresh consecutive ids (after routing mixes
+   logical instructions with inserted swaps) *)
+let renumber insts =
+  List.mapi
+    (fun id (i : Inst.t) -> Inst.make ~id ~latency:i.Inst.latency i.Inst.gates)
+    insts
+
+let route_insts ctx ~topology ~placement insts =
+  let swap_latency = Backend.gate_cost ctx.Pass.backend (Gate.swap 0 1) in
+  let swap_counter = ref 0 in
+  let routed, final =
+    Qmap.Router.route ~topology ~placement
+      ~support:(fun (i : Inst.t) -> i.Inst.qubits)
+      ~remap:(fun f (i : Inst.t) ->
+        Inst.make ~id:i.Inst.id ~latency:i.Inst.latency
+          (List.map (Gate.map_qubits f) i.Inst.gates))
+      ~make_swap:(fun a b ->
+        incr swap_counter;
+        Inst.make ~id:(-1) ~latency:swap_latency [ Gate.swap a b ])
+      insts
+  in
+  (renumber routed, !swap_counter, final)
+
+let route =
+  Pass.P
+    (Pass.make ~name:"route" ~fingerprint:"route" ~inp:Ir.Placed ~out:Ir.Routed
+       ~note:(fun ctx (a : Ir.placed) (b : Ir.routed) ->
+         match a.program with
+         | Ir.Insts _ -> Pass.note_int ctx "swaps" b.route.swaps
+         | Ir.Gates _ -> ())
+       ~check:(fun ctx (a : Ir.placed) (b : Ir.routed) ->
+         let topology = topology ctx a.l in
+         let initial = b.route.initial and final = b.route.final in
+         match (a.program, b.rprogram) with
+         | Ir.Gates logical, Ir.Gates physical ->
+           routed_circuit_diags ~topology ~initial ~final ~logical ~physical
+         | Ir.Insts logical, Ir.Insts routed ->
+           routed_insts_diags ~topology ~initial ~final ~logical ~routed
+         | _ -> assert false)
+       ~certify:
+         (Pass.Cert
+            (fun _ c (a : Ir.placed) (b : Ir.routed) ->
+              match (a.program, b.rprogram) with
+              | Ir.Gates logical, Ir.Gates physical ->
+                Qcert.Pipeline.route_circuit c ~initial:b.route.initial
+                  ~final:b.route.final ~logical ~physical
+              | Ir.Insts logical, Ir.Insts routed ->
+                Qcert.Pipeline.route_insts c ~initial:b.route.initial
+                  ~final:b.route.final ~logical ~routed
+              | _ -> assert false))
+       (fun ctx (a : Ir.placed) ->
+         let topology = topology ctx a.l in
+         match a.program with
+         | Ir.Gates c ->
+           let physical, final =
+             Qmap.Router.route_circuit ~placement:a.placement ~topology c
+           in
+           let swaps = count_swaps physical - count_swaps a.l.circuit in
+           { Ir.l = a.l;
+             route = { Ir.initial = a.placement; final; swaps };
+             rprogram = Ir.Gates physical;
+             merges = a.merges }
+         | Ir.Insts insts ->
+           let routed, swaps, final =
+             route_insts ctx ~topology ~placement:a.placement insts
+           in
+           { Ir.l = a.l;
+             route = { Ir.initial = a.placement; final; swaps };
+             rprogram = Ir.Insts routed;
+             merges = a.merges }))
+
+(* a second peephole pass over the routed stream (swaps enable new
+   cancellations) *)
+let handopt_post =
+  Pass.P
+    (Pass.make ~name:"handopt-post" ~fingerprint:"handopt-post" ~inp:Ir.Routed
+       ~out:Ir.Routed
+       ~check:(fun _ _ (b : Ir.routed) ->
+         match b.rprogram with
+         | Ir.Gates c -> Qlint.Check_circuit.run ~stage:"handopt" c
+         | Ir.Insts _ -> assert false)
+       ~certify:
+         (Pass.Cert
+            (fun ctx c (a : Ir.routed) (b : Ir.routed) ->
+              let n_sites =
+                Qmap.Topology.n_sites (topology ctx a.l)
+              in
+              let src = flat_circuit ~n_sites a.rprogram in
+              match b.rprogram with
+              | Ir.Gates dst ->
+                Qcert.Pipeline.handopt c ~name:"handopt-post" ~src ~dst
+              | Ir.Insts _ -> assert false))
+       (fun ctx (a : Ir.routed) ->
+         let n_sites = Qmap.Topology.n_sites (topology ctx a.l) in
+         let flat = flat_circuit ~n_sites a.rprogram in
+         { a with rprogram = Ir.Gates (Handopt.optimize flat) }))
+
+(* expand blocks back to gates so the final schedule recovers gate-level
+   overlap; the commutativity gain is already baked into the routed
+   order *)
+let rebuild_serial =
+  Pass.P
+    (Pass.make ~name:"rebuild" ~fingerprint:"rebuild:serial" ~inp:Ir.Routed
+       ~out:Ir.Gdg_built
+       ~certify:
+         (Pass.Cert
+            (fun _ c (a : Ir.routed) (b : Ir.gdg_built) ->
+              let src =
+                match a.rprogram with
+                | Ir.Gates cct -> Circuit.gates cct
+                | Ir.Insts insts -> flatten_insts insts
+              in
+              Qcert.Pipeline.rebuild c ~src ~gdg:b.gdg))
+       (fun ctx (a : Ir.routed) ->
+         let n_sites = Qmap.Topology.n_sites (topology ctx a.l) in
+         let flat = flat_circuit ~n_sites a.rprogram in
+         { Ir.l = a.l;
+           gdg = Gdg.of_circuit ~latency:(cost_fn Serial ctx) flat;
+           merges = a.merges;
+           route = Some a.route }))
+
+(* keep the routed blocks as instructions — aggregation continues from
+   the grouping routing preserved *)
+let rebuild_insts =
+  Pass.P
+    (Pass.make ~name:"rebuild" ~fingerprint:"rebuild:insts" ~inp:Ir.Routed
+       ~out:Ir.Gdg_built
+       ~certify:
+         (Pass.Cert
+            (fun _ c (a : Ir.routed) (b : Ir.gdg_built) ->
+              let src =
+                match a.rprogram with
+                | Ir.Gates cct -> Circuit.gates cct
+                | Ir.Insts insts -> flatten_insts insts
+              in
+              Qcert.Pipeline.rebuild c ~src ~gdg:b.gdg))
+       (fun ctx (a : Ir.routed) ->
+         match a.rprogram with
+         | Ir.Insts insts ->
+           let n_sites = Qmap.Topology.n_sites (topology ctx a.l) in
+           { Ir.l = a.l;
+             gdg = Gdg.of_insts ~n_qubits:n_sites insts;
+             merges = a.merges;
+             route = Some a.route }
+         | Ir.Gates _ -> invalid_arg "Stages.rebuild_insts: gate input"))
+
+let aggregate =
+  Pass.P
+    (Pass.make ~name:"aggregate" ~fingerprint:"aggregate" ~inp:Ir.Gdg_built
+       ~out:Ir.Aggregated ~mutates:true
+       ~note:(fun ctx (a : Ir.gdg_built) (b : Ir.aggregated) ->
+         Pass.note_int ctx "merges" (b.merges - a.merges))
+       ~check:(fun ctx _ (b : Ir.aggregated) ->
+         aggregate_diags ~width_limit:ctx.Pass.backend.Backend.width_limit
+           b.gdg)
+       ~certify:
+         (Pass.Cert_pre
+            ( (fun (a : Ir.gdg_built) -> Gdg.insts a.gdg),
+              fun ctx c before (b : Ir.aggregated) ->
+                Qcert.Pipeline.aggregation c
+                  ~width_limit:(max ctx.Pass.backend.Backend.width_limit 2)
+                  ~before ~gdg:b.gdg ))
+       (fun ctx (a : Ir.gdg_built) ->
+         let route =
+           match a.route with
+           | Some r -> r
+           | None -> invalid_arg "Stages.aggregate: unrouted GDG"
+         in
+         let stats =
+           Qagg.Aggregator.run
+             ~width_limit:ctx.Pass.backend.Backend.width_limit
+             ~cost:(cost_fn Model ctx) a.gdg
+         in
+         { Ir.l = a.l;
+           gdg = a.gdg;
+           merges = a.merges + stats.Qagg.Aggregator.merges;
+           route }))
+
+(* the four final-schedule variants share name, hooks and shape; only
+   the scheduler and the input stage differ *)
+let final_schedule ~fingerprint ~inp ~sched ~unpack =
+  Pass.P
+    (Pass.make ~name:"schedule" ~fingerprint ~inp ~out:Ir.Scheduled
+       ~check:(fun ctx _ (b : Ir.scheduled) -> final_diags ctx b)
+       ~certify:
+         (Pass.Cert
+            (fun _ c _ (b : Ir.scheduled) ->
+              Qcert.Pipeline.schedule c ~name:"schedule" ~gdg:b.gdg b.schedule))
+       (fun _ a ->
+         let l, gdg, merges, route = unpack a in
+         { Ir.l; gdg; schedule = sched gdg; merges; route }))
+
+let asap_final =
+  final_schedule ~fingerprint:"schedule:asap@gdg" ~inp:Ir.Gdg_built
+    ~sched:Qsched.Asap.schedule
+    ~unpack:(fun (a : Ir.gdg_built) -> (a.l, a.gdg, a.merges, a.route))
+
+let asap_final_agg =
+  final_schedule ~fingerprint:"schedule:asap@agg" ~inp:Ir.Aggregated
+    ~sched:Qsched.Asap.schedule
+    ~unpack:(fun (a : Ir.aggregated) -> (a.l, a.gdg, a.merges, Some a.route))
+
+let cls_final =
+  final_schedule ~fingerprint:"schedule:cls@gdg" ~inp:Ir.Gdg_built
+    ~sched:Qsched.Cls.schedule
+    ~unpack:(fun (a : Ir.gdg_built) -> (a.l, a.gdg, a.merges, a.route))
+
+let cls_final_agg =
+  final_schedule ~fingerprint:"schedule:cls@agg" ~inp:Ir.Aggregated
+    ~sched:Qsched.Cls.schedule
+    ~unpack:(fun (a : Ir.aggregated) -> (a.l, a.gdg, a.merges, Some a.route))
+
+(* ---- the five strategies as declarative pass sequences ---- *)
+
+(* ISA baseline: program order, per-gate pulses, ASAP *)
+let isa =
+  [ lower; place_of_lowered; route;
+    gdg_of_routed ~cost:Serial ~lint:true; asap_final ]
+
+(* commutativity detection + CLS, gates still pulsed individually *)
+let cls =
+  [ lower; gdg_of_lowered ~cost:Serial ~lint:false; detect ~cost:Serial;
+    cls_schedule; place_of_scheduled; route; rebuild_serial; cls_final ]
+
+(* aggregation without commutativity-aware scheduling *)
+let aggregation =
+  [ lower; place_of_lowered; route; gdg_of_routed ~cost:Model ~lint:false;
+    detect ~cost:Model; aggregate; asap_final_agg ]
+
+(* the full pipeline *)
+let cls_aggregation =
+  [ lower; gdg_of_lowered ~cost:Model ~lint:false; detect ~cost:Model;
+    cls_schedule; place_of_scheduled; route; rebuild_insts; aggregate;
+    cls_final_agg ]
+
+(* CLS + mechanical hand optimization *)
+let cls_hand =
+  [ lower; handopt_pre; gdg_of_lowered ~cost:Serial ~lint:true; cls_schedule;
+    place_of_scheduled; route; handopt_post; rebuild_serial; cls_final ]

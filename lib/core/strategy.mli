@@ -1,4 +1,7 @@
-(** Compilation strategies compared in the paper's evaluation (Fig. 9). *)
+(** Compilation strategies compared in the paper's evaluation (Fig. 9).
+
+    A strategy is a declarative pass sequence over the {!Stages} catalog
+    ({!passes}); {!Pipeline.run} interprets it. *)
 
 type t =
   | Isa  (** gate-based baseline: decompose, route, ASAP-schedule *)
@@ -8,8 +11,20 @@ type t =
   | Cls_hand  (** CLS + mechanical hand optimization ([39, 48]) *)
 
 val all : t list
+
+val names : string list
+(** Canonical names, in {!all} order — the single source for CLI help. *)
+
+val aliases : (string * t) list
+(** Accepted shorthands ([agg], [cls_agg], [hand], …). *)
+
 val to_string : t -> string
+
 val of_string : string -> t
-(** Raises [Invalid_argument] on unknown names. *)
+(** Accepts canonical names and {!aliases}. Raises [Invalid_argument]
+    listing the valid names otherwise. *)
 
 val pp : Format.formatter -> t -> unit
+
+val passes : t -> Pass.packed list
+(** The strategy as a pass sequence. *)

@@ -1,0 +1,48 @@
+module D = Diagnostic
+
+let diag ?stage = D.make ?stage ~severity:D.Error
+
+let run ?stage ?(source = "source") ?(sink = "scheduled") descriptors =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  (match descriptors with
+   | [] -> add (diag ?stage ~code:"QL080" "pipeline has no passes")
+   | (first, inp, _) :: _ ->
+     if inp <> source then
+       add
+         (diag ?stage ~code:"QL081"
+            (Printf.sprintf
+               "first pass %S consumes a %s artifact, but pipelines start \
+                from a %s"
+               first inp source)));
+  let rec edges = function
+    | (a, _, out) :: ((b, inp, _) :: _ as rest) ->
+      if out <> inp then
+        add
+          (diag ?stage ~code:"QL082"
+             (Printf.sprintf
+                "pass %S produces a %s artifact but its successor %S \
+                 consumes a %s"
+                a out b inp));
+      edges rest
+    | [ (last, _, out) ] ->
+      if out <> sink then
+        add
+          (diag ?stage ~code:"QL083"
+             (Printf.sprintf
+                "last pass %S produces a %s artifact, but the driver \
+                 finalizes a %s"
+                last out sink))
+    | [] -> ()
+  in
+  edges descriptors;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (name, _, _) ->
+      if Hashtbl.mem seen name then
+        add
+          (diag ?stage ~code:"QL084"
+             (Printf.sprintf "pass %S appears more than once" name))
+      else Hashtbl.add seen name ())
+    descriptors;
+  List.rev !diags

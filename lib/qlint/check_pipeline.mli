@@ -1,0 +1,20 @@
+(** Pass-sequence composition (QL08x).
+
+    Checks a pipeline description — [(pass name, input stage, output
+    stage)] triples as produced by the compiler's pass registry — for
+    composition errors before anything runs:
+
+    - QL080 error: empty pipeline
+    - QL081 error: first pass does not consume the source stage
+    - QL082 error: consecutive passes whose stages do not line up
+    - QL083 error: last pass does not produce the sink stage
+    - QL084 error: duplicate pass name (span names must be unique)
+
+    This is the static complement of the driver's runtime stage
+    witnesses: the driver raises on the first bad edge at execution
+    time, this check reports every bad edge without running anything. *)
+
+val run :
+  ?stage:string -> ?source:string -> ?sink:string ->
+  (string * string * string) list -> Diagnostic.t list
+(** [source] defaults to ["source"], [sink] to ["scheduled"]. *)

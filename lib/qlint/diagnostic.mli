@@ -10,7 +10,8 @@
     - QL02x GDG structural invariants
     - QL03x schedule legality
     - QL04x mapping / routing legality
-    - QL05x aggregation policy *)
+    - QL05x aggregation policy
+    - QL08x pass-sequence composition *)
 
 type severity = Error | Warning | Info
 

@@ -241,8 +241,14 @@ let compiler_cases =
             check_bool "roundtrip" true
               (Strategy.of_string (Strategy.to_string s) = s))
           Strategy.all;
+        List.iter
+          (fun (alias, s) ->
+            check_bool ("alias " ^ alias) true (Strategy.of_string alias = s))
+          Strategy.aliases;
         Alcotest.check_raises "unknown raises"
-          (Invalid_argument "Strategy.of_string: unknown \"warp\"") (fun () ->
+          (Invalid_argument
+             "Strategy.of_string: unknown \"warp\" (expected isa | cls | \
+              aggregation | cls+aggregation | cls+hand)") (fun () ->
             ignore (Strategy.of_string "warp")));
     case "report geomean" (fun () ->
         check_float ~eps:1e-9 "geomean" 2. (Qcc.Report.geometric_mean [ 1.; 4. ]);

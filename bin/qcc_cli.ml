@@ -6,6 +6,7 @@
      profile    per-pass wall-time breakdown over a benchmark/strategy matrix
      bench-list list the built-in benchmark instances
      lint       run the Qlint static checkers on a circuit / compilation
+     analyze    forward abstract interpretation: abstract states + summaries
      certify    translation-validate every pass boundary of a compilation
      verify     verify sampled aggregated instructions of a compilation
      pulse      GRAPE-synthesize a pulse for a named 1-2 qubit gate *)
@@ -355,60 +356,240 @@ let bench_list_cmd =
     Term.(const run $ const ())
 
 let lint_cmd =
-  let run qasm bench strategy topology width arch format =
+  let run qasm bench strategy topology width arch format semantic ancillas
+      threshold explain =
     or_die @@ fun () ->
-    let render report =
-      (match format with
-       | "text" -> Format.printf "%a" Qlint.Report.pp_text report
-       | "json" -> Format.printf "%a" Qlint.Report.pp_json report
-       | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f));
-      if Qlint.Report.has_errors report then exit 1
-    in
-    (* front-door lint: QASM parse + well-formedness before compiling *)
-    let input_diags =
-      match (qasm, bench) with
-      | Some _, Some _ ->
-        failwith "give either a QASM file or a benchmark, not both"
-      | Some path, None ->
-        Qlint.Check_circuit.lint_qasm_file ~stage:"input" path
-      | _ ->
-        Qlint.Check_circuit.run ~stage:"input" ~warn_unused:true
-          (load_circuit ~qasm_file:qasm ~benchmark:bench)
-    in
-    if List.exists Qlint.Diagnostic.is_error input_diags then
-      render (Qlint.Report.of_list input_diags)
-    else begin
-      let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
-      let strategy = Qcc.Strategy.of_string strategy in
-      (* static composition check of the pass sequence itself, before
-         running it *)
-      let pipeline_diags =
-        Qlint.Check_pipeline.run ~stage:"pipeline"
-          (Qcc.Compiler.describe_passes strategy)
+    match explain with
+    | Some code ->
+      (* --explain needs no input circuit: print the registry entry *)
+      (match Qlint.Registry.explain code with
+       | Some text -> print_endline text
+       | None ->
+         failwith
+           (Printf.sprintf "unknown diagnostic code %S (see the QL glossary \
+                            in the README)" code))
+    | None ->
+      let threshold =
+        match threshold with
+        | None -> None
+        | Some "warning" -> Some Qlint.Diagnostic.Warning
+        | Some "error" -> Some Qlint.Diagnostic.Error
+        | Some s ->
+          failwith
+            (Printf.sprintf "unknown severity threshold %S (warning | error)" s)
       in
-      let compiled =
-        match
-          Qcc.Compiler.compile ~config:(config topology width arch)
-            ~check:true ~strategy circuit
-        with
-        | r -> r.Qcc.Compiler.diagnostics
-        | exception Qlint.Report.Check_failed rep ->
-          Qlint.Report.diagnostics rep
+      let render report =
+        (match format with
+         | "text" -> Format.printf "%a" Qlint.Report.pp_text report
+         | "json" -> Format.printf "%a" Qlint.Report.pp_json report
+         | "sarif" -> Format.printf "%a" Qlint.Sarif.pp report
+         | f ->
+           failwith (Printf.sprintf "unknown format %S (text | json | sarif)" f));
+        let fails =
+          match threshold with
+          | Some sev -> Qlint.Report.has_at_least sev report
+          | None -> Qlint.Report.has_errors report
+        in
+        if fails then exit 1
       in
-      render (Qlint.Report.of_list (input_diags @ pipeline_diags @ compiled))
-    end
+      (* front-door lint: QASM parse + well-formedness before compiling *)
+      let input_diags =
+        match (qasm, bench) with
+        | Some _, Some _ ->
+          failwith "give either a QASM file or a benchmark, not both"
+        | Some path, None ->
+          Qlint.Check_circuit.lint_qasm_file ~stage:"input" path
+        | _ ->
+          Qlint.Check_circuit.run ~stage:"input" ~warn_unused:true
+            (load_circuit ~qasm_file:qasm ~benchmark:bench)
+      in
+      if List.exists Qlint.Diagnostic.is_error input_diags then
+        render (Qlint.Report.of_list input_diags)
+      else begin
+        let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+        let strategy = Qcc.Strategy.of_string strategy in
+        let cfg = config topology width arch in
+        (* static composition check of the pass sequence itself, before
+           running it *)
+        let pipeline_diags =
+          Qlint.Check_pipeline.run ~stage:"pipeline"
+            (Qcc.Compiler.describe_passes strategy)
+        in
+        (* semantic lints interpret the input circuit abstractly; the
+           aggregation-opportunity lints need the compiled GDG *)
+        let semantic_diags =
+          if semantic then
+            Qlint.Check_semantic.run ~stage:"input" ~ancillas circuit
+          else []
+        in
+        let compiled, aggop_diags =
+          match
+            Qcc.Compiler.compile ~config:cfg ~check:true ~strategy circuit
+          with
+          | r ->
+            let aggop =
+              if semantic then
+                Qlint.Check_aggop.run ~stage:"aggregate"
+                  ~gate_time:
+                    (Qcontrol.Latency_model.gate_time cfg.Qcc.Compiler.device)
+                  ~width_limit:cfg.Qcc.Compiler.width_limit r.Qcc.Compiler.gdg
+              else []
+            in
+            (r.Qcc.Compiler.diagnostics, aggop)
+          | exception Qlint.Report.Check_failed rep ->
+            (Qlint.Report.diagnostics rep, [])
+        in
+        render
+          (Qlint.Report.of_list
+             (input_diags @ pipeline_diags @ semantic_diags @ compiled
+              @ aggop_diags))
+      end
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ]
+             ~doc:"Report format: text (default), json or sarif (SARIF 2.1.0).")
+  in
+  let semantic =
+    Arg.(value & flag
+         & info [ "semantic" ]
+             ~doc:"Also run the semantic lints: abstract-interpretation \
+                   circuit checks (QL06x) and aggregation-opportunity \
+                   checks over the compiled GDG (QL07x).")
+  in
+  let ancillas =
+    Arg.(value & opt_all int []
+         & info [ "ancilla" ] ~docv:"QUBIT"
+             ~doc:"Declare a qubit as an ancilla for QL063 (must be \
+                   provably returned to |0>). Repeatable; only meaningful \
+                   with --semantic.")
+  in
+  let threshold =
+    Arg.(value & opt (some string) None
+         & info [ "severity-threshold" ] ~docv:"SEV"
+             ~doc:"Exit 1 when any diagnostic at or above this severity \
+                   (warning | error) is reported. Default: error.")
+  in
+  let explain =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"CODE"
+             ~doc:"Explain a diagnostic code (e.g. QL060) and exit.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static checkers (circuit, GDG, schedule, mapping, \
+             aggregation, and with --semantic the abstract-interpretation \
+             lints) over a full compilation; exit 1 on any error \
+             diagnostic (tunable with --severity-threshold).")
+    Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
+          $ width_arg $ arch_arg $ format $ semantic $ ancillas $ threshold
+          $ explain)
+
+let analyze_cmd =
+  let run qasm bench topology width arch format =
+    or_die @@ fun () ->
+    let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
+    let cfg = config topology width arch in
+    let metrics = Qobs.Metrics.create () in
+    Qobs.Metrics.with_ambient metrics @@ fun () ->
+    Qflow.Summary.reset_memo ();
+    let cr = Qflow.Analysis.circuit circuit in
+    let gdg =
+      Qgdg.Gdg.of_circuit
+        ~latency:
+          (Qcontrol.Latency_model.block_time
+             ~width_limit:cfg.Qcc.Compiler.width_limit cfg.Qcc.Compiler.device)
+        circuit
+    in
+    let gr = Qflow.Analysis.gdg gdg in
+    let klass_counts =
+      List.map
+        (fun k ->
+          ( k,
+            List.length
+              (List.filter
+                 (fun (i : Qflow.Analysis.inst_info) ->
+                   i.Qflow.Analysis.summary.Qflow.Summary.klass = k)
+                 gr.Qflow.Analysis.insts) ))
+        [ Qflow.Summary.Identity; Qflow.Summary.Diagonal;
+          Qflow.Summary.Clifford; Qflow.Summary.Phase_linear;
+          Qflow.Summary.General ]
+    in
+    let hits = Qobs.Metrics.counter_value metrics "qflow.summary.hit" in
+    let misses = Qobs.Metrics.counter_value metrics "qflow.summary.miss" in
+    (match format with
+     | "text" ->
+       Printf.printf "circuit: %d qubits, %d gates\n" cr.Qflow.Analysis.n_qubits
+         cr.Qflow.Analysis.n_gates;
+       Printf.printf "final abstract state:\n";
+       Array.iteri
+         (fun q v ->
+           Printf.printf "  q%-3d %s\n" q (Qflow.Absval.to_string v))
+         cr.Qflow.Analysis.final;
+       (match cr.Qflow.Analysis.dead with
+        | [] -> Printf.printf "dead gates: none\n"
+        | dead ->
+          Printf.printf "dead gates: %d\n" (List.length dead);
+          List.iter
+            (fun (i, g) ->
+              Printf.printf "  [%d] %s\n" i (Qgate.Gate.to_string g))
+            dead);
+       Printf.printf "gdg: %d instructions, %d transfer steps\n"
+         (List.length gr.Qflow.Analysis.insts) gr.Qflow.Analysis.steps;
+       Printf.printf "summary klasses:";
+       List.iter
+         (fun (k, n) ->
+           if n > 0 then
+             Printf.printf " %s=%d" (Qflow.Summary.klass_to_string k) n)
+         klass_counts;
+       print_newline ();
+       Printf.printf "summary cache: %d hits, %d misses\n" hits misses
+     | "json" ->
+       let open Qobs.Json in
+       let j =
+         Obj
+           [ ("schema", Str "qcc.analyze/1");
+             ("n_qubits", Int cr.Qflow.Analysis.n_qubits);
+             ("n_gates", Int cr.Qflow.Analysis.n_gates);
+             ( "final",
+               List
+                 (Array.to_list
+                    (Array.map
+                       (fun v -> Str (Qflow.Absval.to_string v))
+                       cr.Qflow.Analysis.final)) );
+             ( "dead",
+               List
+                 (List.map
+                    (fun (i, g) ->
+                      Obj
+                        [ ("gate_index", Int i);
+                          ("gate", Str (Qgate.Gate.to_string g)) ])
+                    cr.Qflow.Analysis.dead) );
+             ("instructions", Int (List.length gr.Qflow.Analysis.insts));
+             ("transfer_steps", Int gr.Qflow.Analysis.steps);
+             ( "klasses",
+               Obj
+                 (List.map
+                    (fun (k, n) -> (Qflow.Summary.klass_to_string k, Int n))
+                    klass_counts) );
+             ( "summary_cache",
+               Obj [ ("hits", Int hits); ("misses", Int misses) ] ) ]
+       in
+       print_endline (to_string j)
+     | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f))
   in
   let format =
     Arg.(value & opt string "text"
          & info [ "format" ] ~doc:"Report format: text (default) or json.")
   in
   Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Run the static checkers (circuit, GDG, schedule, mapping, \
-             aggregation) over a full compilation; exit 1 on any error \
-             diagnostic.")
-    Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
-          $ width_arg $ arch_arg $ format)
+    (Cmd.info "analyze"
+       ~doc:"Run the forward abstract interpretation (Qflow) over a \
+             circuit: per-qubit final abstract states, provably dead \
+             gates, per-instruction algebraic summary classes and the \
+             summary-cache hit/miss counters.")
+    Term.(const run $ qasm_arg $ bench_arg $ topology_arg $ width_arg
+          $ arch_arg $ format)
 
 let certify_cmd =
   let run qasm bench strategies topology width arch format =
@@ -562,5 +743,5 @@ let () =
   let info = Cmd.info "qcc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
                     [ compile_cmd; compare_cmd; profile_cmd; bench_list_cmd;
-                      lint_cmd; certify_cmd; verify_cmd; pulse_cmd;
-                      export_cmd ]))
+                      lint_cmd; analyze_cmd; certify_cmd; verify_cmd;
+                      pulse_cmd; export_cmd ]))

@@ -1,0 +1,27 @@
+type t = Zero | Basis | Stabilizer | Diag | Top
+
+let bottom = Zero
+let top = Top
+let rank = function Zero -> 0 | Basis -> 1 | Stabilizer -> 2 | Diag -> 3 | Top -> 4
+let leq a b = rank a <= rank b
+let join a b = if rank a >= rank b then a else b
+let compare a b = Stdlib.compare (rank a) (rank b)
+let equal a b = rank a = rank b
+
+let to_string = function
+  | Zero -> "zero"
+  | Basis -> "basis"
+  | Stabilizer -> "stabilizer"
+  | Diag -> "diag"
+  | Top -> "top"
+
+let of_string = function
+  | "zero" -> Some Zero
+  | "basis" -> Some Basis
+  | "stabilizer" -> Some Stabilizer
+  | "diag" -> Some Diag
+  | "top" -> Some Top
+  | _ -> None
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+let all = [ Zero; Basis; Stabilizer; Diag; Top ]

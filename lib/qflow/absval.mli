@@ -1,0 +1,53 @@
+(** Per-qubit abstract values — the lattice of the dataflow analysis.
+
+    The compiler's circuits are straight-line and start from |0…0⟩, so
+    the concrete register state at every program point is a single,
+    fixed vector. An abstract value classifies what the analysis has
+    proved about one qubit's tensor factor in that vector:
+
+    {v
+        Top          no information (the qubit may be entangled)
+         |
+        Diag         unentangled; an arbitrary single-qubit pure state
+         |           (stabilizer states rotated by diagonal-phase
+         |           gates land here, as do generic 1q rotations)
+        Stabilizer   unentangled; one of the six single-qubit
+         |           stabilizer states, up to phase
+        Basis        unentangled; |0⟩ or |1⟩, up to phase
+         |
+        Zero         unentangled; exactly |0⟩
+    v}
+
+    The order is a chain, so [join] is [max]. Soundness invariant: if
+    the analysis assigns value [v] to a qubit, the concrete state at
+    that point factors as (single-qubit state in γ(v)) ⊗ (rest) —
+    except for [Top], which promises nothing. Every class below [Top]
+    implies the qubit is disentangled from the rest of the register,
+    which is what licenses the dead-gate reasoning in {!Transfer}. *)
+
+type t = Zero | Basis | Stabilizer | Diag | Top
+
+val bottom : t
+(** [Zero] — the initial state of every qubit. *)
+
+val top : t
+
+val leq : t -> t -> bool
+(** The chain order ([Zero ⊑ Basis ⊑ Stabilizer ⊑ Diag ⊑ Top]). *)
+
+val join : t -> t -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val rank : t -> int
+(** 0 for [Zero] … 4 for [Top]; [leq a b ⟺ rank a <= rank b]. *)
+
+val to_string : t -> string
+(** Lower-case name: ["zero"], ["basis"], ["stabilizer"], ["diag"],
+    ["top"]. *)
+
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** The five values in lattice order (for tests and reports). *)

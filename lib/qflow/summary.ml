@@ -1,0 +1,143 @@
+module Gate = Qgate.Gate
+
+type klass = Identity | Diagonal | Clifford | Phase_linear | General
+
+let klass_to_string = function
+  | Identity -> "identity"
+  | Diagonal -> "diagonal"
+  | Clifford -> "clifford"
+  | Phase_linear -> "phase-linear"
+  | General -> "general"
+
+type t = {
+  digest : string;
+  support : int list;
+  klass : klass;
+  in_clifford : bool;
+  in_phase_poly : bool;
+}
+
+(* order-preserving relabelling of a gate list onto 0..|support|-1 *)
+let relabel_onto support gs =
+  let local = Hashtbl.create 8 in
+  List.iteri (fun k q -> Hashtbl.replace local q k) support;
+  List.map (Gate.map_qubits (fun q -> Hashtbl.find local q)) gs
+
+let support_of gs = List.sort_uniq compare (List.concat_map Gate.qubits gs)
+
+(* classification of a relabelled block, memoized on its digest — the
+   payload depends only on the block's shape, never on where it sits on
+   the register *)
+let classify_memo : (string, klass * bool * bool) Hashtbl.t = Hashtbl.create 1024
+
+let classify ~n_qubits local =
+  let pp = Qdomain.Phase_poly.of_gates ~n_qubits local in
+  let tb = Qdomain.Tableau.of_gates ~n_qubits local in
+  let in_phase_poly = pp <> None in
+  let in_clifford = tb <> None in
+  let identity =
+    (match tb with
+     | Some t -> Qdomain.Tableau.equal t (Qdomain.Tableau.identity n_qubits)
+     | None -> false)
+    ||
+    match pp with
+    | Some p -> Qdomain.Phase_poly.equal p (Qdomain.Phase_poly.identity n_qubits)
+    | None -> false
+  in
+  let diagonal =
+    List.for_all (fun g -> Gate.is_diagonal_kind g.Gate.kind) local
+    ||
+    match pp with
+    | Some p -> Qdomain.Phase_poly.is_linear_identity p
+    | None -> false
+  in
+  let klass =
+    if identity then Identity
+    else if diagonal then Diagonal
+    else if in_clifford then Clifford
+    else if in_phase_poly then Phase_linear
+    else General
+  in
+  (klass, in_clifford, in_phase_poly)
+
+let of_gates gs =
+  let support = support_of gs in
+  let local = relabel_onto support gs in
+  let digest = Digest.to_hex (Digest.string (Marshal.to_string local [])) in
+  let klass, in_clifford, in_phase_poly =
+    match Hashtbl.find_opt classify_memo digest with
+    | Some payload ->
+      Qobs.Metrics.tick "qflow.summary.hit";
+      payload
+    | None ->
+      Qobs.Metrics.tick "qflow.summary.miss";
+      let payload = classify ~n_qubits:(List.length support) local in
+      Hashtbl.replace classify_memo digest payload;
+      payload
+  in
+  { digest; support; klass; in_clifford; in_phase_poly }
+
+let of_inst (i : Qgdg.Inst.t) = of_gates i.Qgdg.Inst.gates
+
+let max_pair_width = 12
+
+(* algebraic-only commutation on the joint support, memoized under the
+   relabelled pair (the joint overlap pattern matters, so the single-
+   block digests are not a sufficient key) *)
+let pair_memo : (string, bool option) Hashtbl.t = Hashtbl.create 1024
+
+let decide_pair ~n_qubits a b =
+  match
+    ( Qdomain.Phase_poly.of_gates ~n_qubits (a @ b),
+      Qdomain.Phase_poly.of_gates ~n_qubits (b @ a) )
+  with
+  | Some p_ab, Some p_ba -> Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba
+  | _ -> (
+    match
+      ( Qdomain.Tableau.of_gates ~n_qubits (a @ b),
+        Qdomain.Tableau.of_gates ~n_qubits (b @ a) )
+    with
+    | Some t_ab, Some t_ba ->
+      if not (Qdomain.Tableau.equal t_ab t_ba) then Some false
+      else begin
+        (* tableau equality is up to global phase; one statevector
+           column decides the residual *)
+        let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
+        let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
+        let ok = ref true in
+        Array.iteri
+          (fun i z ->
+            if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then ok := false)
+          s_ab;
+        Some !ok
+      end
+    | _ -> None)
+
+let commutes ~a ~b sa sb =
+  if not (List.exists (fun q -> List.mem q sb.support) sa.support) then Some true
+  else if
+    (sa.klass = Identity || sa.klass = Diagonal)
+    && (sb.klass = Identity || sb.klass = Diagonal)
+  then Some true
+  else begin
+    let joint = List.sort_uniq compare (sa.support @ sb.support) in
+    let n_qubits = List.length joint in
+    if n_qubits > max_pair_width then None
+    else begin
+      let la = relabel_onto joint a and lb = relabel_onto joint b in
+      let key = Marshal.to_string (la, lb) [] in
+      match Hashtbl.find_opt pair_memo key with
+      | Some r ->
+        Qobs.Metrics.tick "qflow.summary.hit";
+        r
+      | None ->
+        Qobs.Metrics.tick "qflow.summary.miss";
+        let r = decide_pair ~n_qubits la lb in
+        Hashtbl.replace pair_memo key r;
+        r
+    end
+  end
+
+let reset_memo () =
+  Hashtbl.reset classify_memo;
+  Hashtbl.reset pair_memo

@@ -1,0 +1,121 @@
+module Gate = Qgate.Gate
+open Absval
+
+let angle_eps = 1e-9
+let tau = 2. *. Float.pi
+
+let multiple_of m a =
+  let r = a -. (m *. Float.round (a /. m)) in
+  Float.abs r < angle_eps
+
+(* a ≈ π (mod 2π): the rotation is a Pauli up to global phase *)
+let pauli_angle a = multiple_of tau (a -. Float.pi)
+let clifford_angle a = multiple_of (Float.pi /. 2.) a
+
+let get st q =
+  if q < 0 || q >= Array.length st then
+    invalid_arg (Printf.sprintf "Qflow.Transfer: qubit %d out of range" q)
+  else st.(q)
+
+let dead st (g : Gate.t) =
+  let v q = get st q in
+  match (g.Gate.kind, g.Gate.qubits) with
+  | Gate.I, _ -> true
+  (* full-turn rotations are ±identity *)
+  | (Gate.Rx a | Gate.Ry a | Gate.Rz a | Gate.Rxx a | Gate.Ryy a | Gate.Rzz a), _
+    when multiple_of tau a ->
+    true
+  | (Gate.Phase a | Gate.Cphase a), _ when multiple_of tau a -> true
+  (* a controlled gate whose control is exactly |0⟩ takes the identity
+     branch *)
+  | Gate.Cnot, c :: _ when v c = Zero -> true
+  | Gate.Ccx, c1 :: c2 :: _ when v c1 = Zero || v c2 = Zero -> true
+  | (Gate.Cz | Gate.Cphase _), [ a; b ] when v a = Zero || v b = Zero -> true
+  (* the swap family fixes |00⟩ exactly *)
+  | (Gate.Swap | Gate.Iswap | Gate.Sqrt_iswap), [ a; b ]
+    when v a = Zero && v b = Zero ->
+    true
+  (* a diagonal gate on definite basis qubits is one global phase *)
+  | k, qs when Gate.is_diagonal_kind k && List.for_all (fun q -> leq (v q) Basis) qs
+    ->
+    true
+  | _ -> false
+
+(* single-qubit class maps; [Top] is always a fixpoint *)
+let x_like = function Zero -> Basis | v -> v
+let h_like = function Zero | Basis | Stabilizer -> Stabilizer | v -> v
+let diag_like ~clifford = function
+  | (Zero | Basis) as v -> v
+  | Stabilizer -> if clifford then Stabilizer else Diag
+  | v -> v
+
+let apply st (g : Gate.t) =
+  if not (dead st g) then begin
+    let v q = get st q in
+    let set q x = st.(q) <- x in
+    let entangle qs = List.iter (fun q -> set q Top) qs in
+    match (g.Gate.kind, g.Gate.qubits) with
+    | (Gate.X | Gate.Y), [ q ] -> set q (x_like (v q))
+    | (Gate.Z | Gate.S | Gate.Sdg), [ _ ] -> ()
+    | (Gate.T | Gate.Tdg), [ q ] -> set q (diag_like ~clifford:false (v q))
+    | (Gate.Rz a | Gate.Phase a), [ q ] ->
+      set q (diag_like ~clifford:(clifford_angle a) (v q))
+    | Gate.H, [ q ] -> set q (h_like (v q))
+    | (Gate.Rx a | Gate.Ry a), [ q ] ->
+      if pauli_angle a then set q (x_like (v q))
+      else if clifford_angle a then set q (h_like (v q))
+      else set q (if v q = Top then Top else Diag)
+    | Gate.Cnot, [ c; t ] ->
+      (* [dead] already dispatched c = Zero, so ⊑ Basis means Basis: a
+         definite control value, i.e. the gate is I or X on the target *)
+      if leq (v c) Basis then set t (x_like (v t)) else entangle [ c; t ]
+    | Gate.Cz, [ a; b ] ->
+      (* one definite basis operand degrades CZ to I-or-Z on the other,
+         and Z preserves every class *)
+      if leq (v a) Basis || leq (v b) Basis then () else entangle [ a; b ]
+    | Gate.Cphase th, [ a; b ] ->
+      if leq (v a) Basis then set b (diag_like ~clifford:(clifford_angle th) (v b))
+      else if leq (v b) Basis then
+        set a (diag_like ~clifford:(clifford_angle th) (v a))
+      else entangle [ a; b ]
+    | Gate.Rzz th, [ a; b ] ->
+      (* Rzz(π) ∝ Z⊗Z: class-preserving on both sides *)
+      if pauli_angle th then ()
+      else if leq (v a) Basis then
+        set b (diag_like ~clifford:(clifford_angle th) (v b))
+      else if leq (v b) Basis then
+        set a (diag_like ~clifford:(clifford_angle th) (v a))
+      else entangle [ a; b ]
+    | Gate.Swap, [ a; b ] ->
+      let va = v a in
+      set a (v b);
+      set b va
+    | Gate.Iswap, [ a; b ] ->
+      (* with a definite basis operand, iSWAP is SWAP plus an S-like
+         phase on the moved state — class-preserving either way *)
+      if leq (v a) Basis || leq (v b) Basis then begin
+        let va = v a in
+        set a (v b);
+        set b va
+      end
+      else entangle [ a; b ]
+    | Gate.Sqrt_iswap, [ a; b ] -> entangle [ a; b ]
+    | (Gate.Rxx a | Gate.Ryy a), [ p; q ] ->
+      if pauli_angle a then begin
+        set p (x_like (v p));
+        set q (x_like (v q))
+      end
+      else entangle [ p; q ]
+    | Gate.Ccx, [ c1; c2; t ] ->
+      if leq (v c1) Basis && leq (v c2) Basis then set t (x_like (v t))
+      else entangle [ c1; c2; t ]
+    | Gate.I, _ -> ()
+    | _, qs ->
+      (* malformed arity (hand-built record): stay sound *)
+      entangle qs
+  end
+
+let step st g =
+  let d = dead st g in
+  if not d then apply st g;
+  d

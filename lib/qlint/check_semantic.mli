@@ -1,0 +1,22 @@
+(** Semantic circuit lints (QL06x), powered by {!Qflow}'s forward
+    abstract interpretation from |0…0⟩.
+
+    - QL060 warning: dead gate — provably identity (up to global phase)
+      on the inferred abstract state, so removing it leaves the
+      statevector unchanged up to global phase
+    - QL061 warning: adjacent self-inverse gate pair (the pair composes
+      to the identity and nothing on their qubits runs in between) the
+      optimizer missed
+    - QL062 info: a diagonal gate after the last use of all its qubits —
+      it only rotates computational-basis phases, so it cannot affect
+      any terminal computational-basis measurement
+    - QL063 warning: a declared ancilla whose final abstract state is
+      not provably [Zero]
+
+    QL060/QL061/QL062 are mutually exclusive per gate (a gate already
+    reported dead is not re-reported as half of a pair or as trailing).
+    QL063 only fires for qubits passed in [ancillas] — the IR carries
+    no ancilla annotations, so the caller declares them. *)
+
+val run :
+  ?stage:string -> ?ancillas:int list -> Qgate.Circuit.t -> Diagnostic.t list

@@ -34,17 +34,26 @@ let severity_to_string = function
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
+(* report order: severity, code, stage (None first), instruction ids,
+   then the remaining location fields and the message — a total,
+   deterministic key so reports from interleaved checkers always render
+   identically *)
 let compare a b =
   match Stdlib.compare (severity_rank a.severity) (severity_rank b.severity) with
   | 0 ->
     (match Stdlib.compare a.code b.code with
      | 0 ->
-       (match Stdlib.compare a.loc.insts b.loc.insts with
-        | 0 -> Stdlib.compare (a.loc.qubits, a.loc.gate_index, a.message)
-                 (b.loc.qubits, b.loc.gate_index, b.message)
+       (match Stdlib.compare a.loc.stage b.loc.stage with
+        | 0 ->
+          (match Stdlib.compare a.loc.insts b.loc.insts with
+           | 0 -> Stdlib.compare (a.loc.qubits, a.loc.gate_index, a.message)
+                    (b.loc.qubits, b.loc.gate_index, b.message)
+           | c -> c)
         | c -> c)
      | c -> c)
   | c -> c
+
+let equal a b = compare a b = 0 && a.loc.interval = b.loc.interval
 
 let ints is = String.concat "," (List.map string_of_int is)
 

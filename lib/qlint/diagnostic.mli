@@ -11,7 +11,12 @@
     - QL03x schedule legality
     - QL04x mapping / routing legality
     - QL05x aggregation policy
-    - QL08x pass-sequence composition *)
+    - QL06x semantic circuit lints (abstract interpretation)
+    - QL07x aggregation-opportunity lints
+    - QL08x pass-sequence composition
+
+    {!Registry} is the single source of truth mapping each code to its
+    family, severity and one-line summary. *)
 
 type severity = Error | Warning | Info
 
@@ -24,7 +29,7 @@ type location = {
 }
 
 type t = {
-  code : string;  (** "QL010" … "QL052" *)
+  code : string;  (** "QL010" … "QL084" (see {!Registry.all}) *)
   severity : severity;
   message : string;
   loc : location;
@@ -46,8 +51,17 @@ val make :
 val is_error : t -> bool
 val severity_to_string : severity -> string
 
+val severity_rank : severity -> int
+(** 0 = [Error], 1 = [Warning], 2 = [Info]. *)
+
 val compare : t -> t -> int
-(** Report order: severity (errors first), then code, then location. *)
+(** Report order: severity (errors first), then code, then stage, then
+    instruction ids, then the remaining location fields and message — a
+    deterministic total order over any checker interleaving. *)
+
+val equal : t -> t -> bool
+(** Structural equality (the cross-checker dedup predicate in
+    {!Report.of_list}). *)
 
 val pp : Format.formatter -> t -> unit
 (** One line: [QL030 error [stage] message (insts 3,7; qubits 2; t in

@@ -1,0 +1,37 @@
+(** The single source of truth for diagnostic codes.
+
+    One entry per QL0xx code: its family, the severity it is emitted
+    at, and a one-line description. Everything that enumerates codes
+    derives from this table — the README glossary block (pinned by a
+    test against {!markdown_glossary}), the [qcc lint --explain]
+    output, the SARIF rule catalog ({!Sarif}), and the
+    registry-vs-[.mli]-doc consistency test. A code that is not in
+    this table cannot appear in documentation without the test suite
+    noticing. *)
+
+type entry = {
+  code : string;  (** "QL010" … *)
+  family : string;  (** family key, e.g. ["circuit"], ["semantic"] *)
+  severity : Diagnostic.severity;  (** severity this code is emitted at *)
+  summary : string;  (** one-line description *)
+}
+
+val all : entry list
+(** Every known code, sorted by code. *)
+
+val find : string -> entry option
+
+val families : (string * string) list
+(** [(key, title)] in code order, e.g.
+    [("circuit", "circuit / QASM well-formedness")]. *)
+
+val family_title : string -> string
+(** Raises [Not_found] on an unknown key. *)
+
+val explain : string -> string option
+(** Multi-line human explanation of one code ([qcc lint --explain]);
+    [None] for unknown codes. *)
+
+val markdown_glossary : unit -> string
+(** The full markdown glossary table (header + one row per code), as
+    embedded in README.md between the [ql-glossary] markers. *)

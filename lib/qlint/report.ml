@@ -3,10 +3,42 @@ type t = { diagnostics : Diagnostic.t list }
 exception Check_failed of t
 
 let empty = { diagnostics = [] }
-let of_list ds = { diagnostics = List.stable_sort Diagnostic.compare ds }
+
+(* sort into report order, then drop exact duplicates — overlapping
+   checkers (the front-door circuit lint and the first pipeline
+   checkpoint, say) may report the same finding twice *)
+let of_list ds =
+  let sorted = List.stable_sort Diagnostic.compare ds in
+  let rec dedup = function
+    | a :: (b :: _ as rest) when Diagnostic.equal a b -> dedup rest
+    | a :: rest -> a :: dedup rest
+    | [] -> []
+  in
+  { diagnostics = dedup sorted }
+
 let diagnostics r = r.diagnostics
 let errors r = List.filter Diagnostic.is_error r.diagnostics
 let has_errors r = List.exists Diagnostic.is_error r.diagnostics
+
+let worst r =
+  List.fold_left
+    (fun acc (d : Diagnostic.t) ->
+      match acc with
+      | None -> Some d.Diagnostic.severity
+      | Some s ->
+        if
+          Diagnostic.severity_rank d.Diagnostic.severity
+          < Diagnostic.severity_rank s
+        then Some d.Diagnostic.severity
+        else acc)
+    None r.diagnostics
+
+let has_at_least threshold r =
+  List.exists
+    (fun (d : Diagnostic.t) ->
+      Diagnostic.severity_rank d.Diagnostic.severity
+      <= Diagnostic.severity_rank threshold)
+    r.diagnostics
 
 let counts r =
   List.fold_left

@@ -12,11 +12,21 @@ exception Check_failed of t
 val empty : t
 
 val of_list : Diagnostic.t list -> t
-(** Sorts into report order (errors first, then code, then location). *)
+(** Sorts into report order (severity, code, stage, instruction ids,
+    remaining location, message) and drops exact duplicates, so the
+    rendered report is deterministic regardless of which checkers ran
+    in which order, and overlapping checkers never double-report. *)
 
 val diagnostics : t -> Diagnostic.t list
 val errors : t -> Diagnostic.t list
 val has_errors : t -> bool
+
+val worst : t -> Diagnostic.severity option
+(** Most severe diagnostic present ([None] on an empty report). *)
+
+val has_at_least : Diagnostic.severity -> t -> bool
+(** Any diagnostic at or above the given severity? (The CI exit-code
+    gate behind [qcc lint --severity-threshold].) *)
 
 val counts : t -> int * int * int
 (** (errors, warnings, infos). *)

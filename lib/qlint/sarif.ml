@@ -1,0 +1,87 @@
+module D = Diagnostic
+module J = Qobs.Json
+
+let level_of = function
+  | D.Error -> "error"
+  | D.Warning -> "warning"
+  | D.Info -> "note"
+
+let rule_of code =
+  let base = [ ("id", J.Str code) ] in
+  match Registry.find code with
+  | None -> J.Obj base
+  | Some entry ->
+    J.Obj
+      (base
+       @ [ ("shortDescription", J.Obj [ ("text", J.Str entry.Registry.summary) ]);
+           ( "defaultConfiguration",
+             J.Obj [ ("level", J.Str (level_of entry.Registry.severity)) ] );
+           ( "properties",
+             J.Obj [ ("family", J.Str (Registry.family_title entry.Registry.family)) ]
+           ) ])
+
+let result_of ~rule_index (d : D.t) =
+  let loc = d.D.loc in
+  let properties =
+    List.filter_map Fun.id
+      [ (match loc.D.insts with
+         | [] -> None
+         | is -> Some ("insts", J.List (List.map (fun i -> J.Int i) is)));
+        (match loc.D.qubits with
+         | [] -> None
+         | qs -> Some ("qubits", J.List (List.map (fun q -> J.Int q) qs)));
+        Option.map (fun k -> ("gateIndex", J.Int k)) loc.D.gate_index;
+        Option.map
+          (fun (a, b) -> ("interval", J.List [ J.Float a; J.Float b ]))
+          loc.D.interval ]
+  in
+  J.Obj
+    ([ ("ruleId", J.Str d.D.code);
+       ("ruleIndex", J.Int (rule_index d.D.code));
+       ("level", J.Str (level_of d.D.severity));
+       ("message", J.Obj [ ("text", J.Str d.D.message) ]) ]
+     @ [ ( "locations",
+           J.List
+             [ J.Obj
+                 [ ( "logicalLocations",
+                     J.List
+                       [ J.Obj
+                           [ ( "fullyQualifiedName",
+                               J.Str (Option.value ~default:"lint" loc.D.stage)
+                             );
+                             ("kind", J.Str "module") ] ] ) ] ] ) ]
+     @ if properties = [] then [] else [ ("properties", J.Obj properties) ])
+
+let to_json report =
+  let diags = Report.diagnostics report in
+  (* rule catalog: distinct codes in report order; ruleIndex points into it *)
+  let codes = List.sort_uniq compare (List.map (fun d -> d.D.code) diags) in
+  let rule_index code =
+    let rec go k = function
+      | [] -> -1
+      | c :: _ when c = code -> k
+      | _ :: rest -> go (k + 1) rest
+    in
+    go 0 codes
+  in
+  J.Obj
+    [ ("$schema", J.Str "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", J.Str "2.1.0");
+      ( "runs",
+        J.List
+          [ J.Obj
+              [ ( "tool",
+                  J.Obj
+                    [ ( "driver",
+                        J.Obj
+                          [ ("name", J.Str "qlint");
+                            ( "informationUri",
+                              J.Str
+                                "https://github.com/paper-repo-growth/qagg" );
+                            ("version", J.Str "1.0.0");
+                            ("rules", J.List (List.map rule_of codes)) ] ) ] );
+                ("results", J.List (List.map (result_of ~rule_index) diags)) ]
+          ] ) ]
+
+let to_string report = J.to_string (to_json report)
+let pp ppf report = Format.fprintf ppf "%s@." (to_string report)

@@ -1,0 +1,15 @@
+(** SARIF 2.1.0 rendering of a lint report.
+
+    Static Analysis Results Interchange Format: one [run] of the
+    [qlint] tool, with a rule catalog derived from {!Registry} for
+    every code present in the report and one [result] per diagnostic.
+    Severities map to SARIF levels ([Error→error], [Warning→warning],
+    [Info→note]); the structured location lands in a logical location
+    (the pipeline stage) plus a [properties] bag carrying the
+    instruction ids, qubits, gate index and time window. Code-review
+    frontends (GitHub code scanning among them) render these as
+    annotations. *)
+
+val to_json : Report.t -> Qobs.Json.t
+val to_string : Report.t -> string
+val pp : Format.formatter -> Report.t -> unit

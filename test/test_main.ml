@@ -6,4 +6,5 @@ let () =
      @ Test_qarith.suites @ Test_qapps.suites @ Test_qcc.suites
      @ Test_noise.suites @ Test_fermion.suites @ Test_tools.suites
      @ Test_pipeline.suites @ Test_passmgr.suites @ Test_properties.suites
-     @ Test_qlint.suites @ Test_qobs.suites @ Test_qcert.suites)
+     @ Test_qlint.suites @ Test_qflow.suites @ Test_qobs.suites
+     @ Test_qcert.suites)

@@ -408,6 +408,11 @@ let pipeline () =
       (fun name ->
         let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
         Printf.printf "  profiling %s...\n%!" name;
+        (* cold commutation memos per circuit so the recorded times do
+           not depend on which benchmarks ran earlier in the process —
+           the perf gate resets the same way before re-measuring *)
+        Qgdg.Commute.reset_memos ();
+        Qflow.Summary.reset_memo ();
         (* one stage cache per circuit, as compile_all would use: the
            pipeline.cache.{hit,miss} counters land in each entry's
            metrics *)
@@ -418,19 +423,13 @@ let pipeline () =
             let metrics = Qobs.Metrics.create () in
             let r = Compiler.compile ~obs ~metrics ~cache ~strategy circuit in
             let passes =
+              (* one row per pass span under the compile root, with wall
+                 time and the GC allocation delta (same shape as the
+                 flight-recorder ledger rows) *)
               match r.Compiler.trace with
               | None -> []
               | Some root ->
-                List.concat_map
-                  (fun pass ->
-                    List.map
-                      (fun span ->
-                        Qobs.Json.Obj
-                          [ ("pass", Qobs.Json.Str pass);
-                            ("wall_ns",
-                             Qobs.Json.Float (Qobs.Span.duration_ns span)) ])
-                      (Qobs.Span.find_all ~name:pass root))
-                  (Compiler.passes strategy)
+                List.map Qobs.Ledger.pass_row (Qobs.Span.children root)
             in
             Qobs.Json.Obj
               [ ("benchmark", Qobs.Json.Str name);
@@ -503,6 +502,176 @@ let pipeline_smoke () =
       end)
     [ "maxcut-line"; "uccsd-n4" ];
   if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Perf gate: fresh per-pass times vs the committed baseline           *)
+
+(* Compares a fresh min-of-N run against BENCH_pipeline.json with a
+   per-pass tolerance. To stay robust against uniform machine skew
+   (different hardware, load) while still catching a single slow pass,
+   the per-pass ratios are calibrated by their median: a machine that is
+   2x slower everywhere has median ratio 2 and normalized ratios ~1, but
+   one regressed pass sticks out of the median unchanged. Knobs (env):
+     QCC_PERF_BASELINE      baseline file    (BENCH_pipeline.json)
+     QCC_PERF_GATE_FACTOR   fail threshold on the normalized ratio (1.75)
+     QCC_PERF_GATE_FLOOR_MS ignore passes with baseline below this (2.0)
+     QCC_PERF_GATE_REPS     fresh repetitions, min taken (3)
+     QCC_PERF_GATE_BENCHMARKS  comma-separated subset of the baseline's
+                               benchmarks (maxcut-line,sqrt-n3,uccsd-n4)
+     QCC_PERF_GATE_HANDICAP pass=factor: multiply that pass's fresh time
+                            (self-test hook: a seeded 2x slowdown must
+                            fail the gate) *)
+let perf_gate () =
+  header "Perf gate: fresh per-pass wall times vs committed baseline";
+  let getenv name default =
+    match Sys.getenv_opt name with Some v -> v | None -> default
+  in
+  let baseline_path = getenv "QCC_PERF_BASELINE" "BENCH_pipeline.json" in
+  let factor = float_of_string (getenv "QCC_PERF_GATE_FACTOR" "1.75") in
+  let floor_ms = float_of_string (getenv "QCC_PERF_GATE_FLOOR_MS" "2.0") in
+  let reps = int_of_string (getenv "QCC_PERF_GATE_REPS" "3") in
+  let benches =
+    String.split_on_char ','
+      (getenv "QCC_PERF_GATE_BENCHMARKS" "maxcut-line,sqrt-n3,uccsd-n4")
+  in
+  let handicap =
+    match Sys.getenv_opt "QCC_PERF_GATE_HANDICAP" with
+    | None -> None
+    | Some s -> (
+      match String.split_on_char '=' s with
+      | [ pass; f ] -> Some (pass, float_of_string f)
+      | _ -> failwith "QCC_PERF_GATE_HANDICAP: expected PASS=FACTOR")
+  in
+  let baseline_doc =
+    match
+      Qobs.Json.of_string
+        (In_channel.with_open_text baseline_path In_channel.input_all)
+    with
+    | Ok j -> j
+    | Error msg -> failwith (Printf.sprintf "%s: %s" baseline_path msg)
+    | exception Sys_error msg -> failwith msg
+  in
+  let base = Hashtbl.create 64 in
+  (match Qobs.Json.member "entries" baseline_doc with
+   | Some (Qobs.Json.List entries) ->
+     List.iter
+       (fun e ->
+         let str k =
+           match Qobs.Json.member k e with
+           | Some (Qobs.Json.Str s) -> s
+           | _ -> ""
+         in
+         let bench = str "benchmark" and strat = str "strategy" in
+         match Qobs.Json.member "passes" e with
+         | Some (Qobs.Json.List passes) ->
+           List.iter
+             (fun p ->
+               let pname =
+                 match Qobs.Json.member "pass" p with
+                 | Some (Qobs.Json.Str s) -> s
+                 | _ -> ""
+               in
+               let wall =
+                 match Qobs.Json.member "wall_ns" p with
+                 | Some (Qobs.Json.Float f) -> f
+                 | Some (Qobs.Json.Int n) -> float_of_int n
+                 | _ -> 0.
+               in
+               let key = (bench, strat, pname) in
+               Hashtbl.replace base key
+                 (wall +. Option.value ~default:0. (Hashtbl.find_opt base key)))
+             passes
+         | _ -> ())
+       entries
+   | _ -> failwith (Printf.sprintf "%s: no entries array" baseline_path));
+  (* fresh measurement: min over reps, per-circuit stage cache as the
+     baseline run used *)
+  let fresh = Hashtbl.create 64 in
+  for _rep = 1 to reps do
+    List.iter
+      (fun bench ->
+        let circuit = Qapps.Suite.lowered (Qapps.Suite.find bench) in
+        (* cold memos, as when the baseline was recorded *)
+        Qgdg.Commute.reset_memos ();
+        Qflow.Summary.reset_memo ();
+        let cache = Qcc.Pipeline.Cache.create () in
+        List.iter
+          (fun strategy ->
+            let obs = Qobs.Trace.create () in
+            let r = Compiler.compile ~obs ~cache ~strategy circuit in
+            match r.Compiler.trace with
+            | None -> ()
+            | Some root ->
+              let totals = Hashtbl.create 16 in
+              List.iter
+                (fun span ->
+                  let k = span.Qobs.Span.name in
+                  Hashtbl.replace totals k
+                    (Qobs.Span.duration_ns span
+                     +. Option.value ~default:0. (Hashtbl.find_opt totals k)))
+                (Qobs.Span.children root);
+              Hashtbl.iter
+                (fun pname wall ->
+                  let key = (bench, Strategy.to_string strategy, pname) in
+                  match Hashtbl.find_opt fresh key with
+                  | Some prev when prev <= wall -> ()
+                  | _ -> Hashtbl.replace fresh key wall)
+                totals)
+          Strategy.all)
+      benches
+  done;
+  (* qualifying rows: both sides present, baseline above the floor *)
+  let rows =
+    Hashtbl.fold
+      (fun ((bench, _, pname) as key) base_ns acc ->
+        if base_ns /. 1e6 < floor_ms || not (List.mem bench benches) then acc
+        else
+          match Hashtbl.find_opt fresh key with
+          | None -> acc
+          | Some f ->
+            let f =
+              match handicap with
+              | Some (hp, hf) when hp = pname -> f *. hf
+              | _ -> f
+            in
+            (key, base_ns, f) :: acc)
+      base []
+  in
+  if rows = [] then
+    failwith
+      (Printf.sprintf
+         "perf gate: no passes at or above the %.1f ms floor — regenerate \
+          the baseline (bench/main.exe pipeline)" floor_ms);
+  let ratios = List.sort compare (List.map (fun (_, b, f) -> f /. b) rows) in
+  let median = List.nth ratios (List.length ratios / 2) in
+  (* calibration is itself clamped so a pathological baseline cannot
+     silently raise the bar *)
+  let skew = Float.max 0.25 (Float.min 4.0 median) in
+  let normalized =
+    List.sort
+      (fun (_, _, _, a) (_, _, _, b) -> compare b a)
+      (List.map (fun (key, b, f) -> (key, b, f, f /. b /. skew)) rows)
+  in
+  Printf.printf
+    "  %d passes gated (floor %.1f ms, factor %.2f, reps %d, machine skew %.2fx)\n"
+    (List.length rows) floor_ms factor reps skew;
+  List.iteri
+    (fun i ((bench, strat, pname), b, f, r) ->
+      if i < 12 then
+        Printf.printf "  %-14s %-16s %-12s base %9.2f ms | fresh %9.2f ms | x%5.2f\n"
+          bench strat pname (b /. 1e6) (f /. 1e6) r)
+    normalized;
+  let failures = List.filter (fun (_, _, _, r) -> r > factor) normalized in
+  if failures <> [] then begin
+    List.iter
+      (fun ((bench, strat, pname), b, f, r) ->
+        Printf.eprintf
+          "  FAIL %s/%s/%s: %.2f ms vs baseline %.2f ms (normalized %.2fx > %.2fx)\n%!"
+          bench strat pname (f /. 1e6) (b /. 1e6) r factor)
+      failures;
+    exit 1
+  end
+  else Printf.printf "  perf gate OK\n%!"
 
 (* ------------------------------------------------------------------ *)
 (* Observability overhead: the default-off path must be free           *)
@@ -657,6 +826,7 @@ let experiments =
     ("ablations", ablations);
     ("pipeline", pipeline);
     ("pipeline-smoke", pipeline_smoke);
+    ("perf-gate", perf_gate);
     ("obs-overhead", obs_overhead);
     ("certify-overhead", certify_overhead);
     ("bechamel", bechamel) ]

@@ -4,6 +4,7 @@
      compile    compile a QASM file (or named benchmark) under a strategy
      compare    run all strategies and print normalized latencies
      profile    per-pass wall-time breakdown over a benchmark/strategy matrix
+     stats      aggregate / diff flight-recorder ledgers (--ledger files)
      bench-list list the built-in benchmark instances
      lint       run the Qlint static checkers on a circuit / compilation
      analyze    forward abstract interpretation: abstract states + summaries
@@ -141,26 +142,51 @@ let json_arg =
        & info [ "json" ] ~docv:"FILE"
            ~doc:"Write the machine-readable result summary as JSON.")
 
+let ledger_arg =
+  Arg.(value & opt (some string) None
+       & info [ "ledger" ] ~docv:"FILE"
+           ~doc:"Append one qcc.ledger/1 row per compilation to this JSONL \
+                 flight-recorder file (aggregate with qcc stats).")
+
+let with_ledger path f =
+  match path with
+  | None -> f None
+  | Some p ->
+    let l = Qobs.Ledger.open_file p in
+    Fun.protect ~finally:(fun () -> Qobs.Ledger.close l) (fun () -> f (Some l))
+
+let source_label ~qasm_file ~benchmark =
+  match (benchmark, qasm_file) with
+  | Some name, _ -> Some name
+  | None, Some path -> Some (Filename.basename path)
+  | None, None -> None
+
 let wrote path = Printf.printf "wrote %s\n%!" path
 
 let compile_cmd =
   let run qasm bench strategy topology width arch trace_file metrics_file
-      json_file verbosity =
+      json_file ledger_file verbosity =
     or_die @@ fun () ->
     let verbosity = List.length verbosity in
     setup_logs verbosity;
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let strategy = Qcc.Strategy.of_string strategy in
+    (* a ledger row wants per-pass spans and the metric snapshot, so
+       --ledger implies enabled collectors *)
     let obs =
-      if trace_file <> None || verbosity >= 2 then Qobs.Trace.create ()
+      if trace_file <> None || ledger_file <> None || verbosity >= 2 then
+        Qobs.Trace.create ()
       else Qobs.Trace.disabled
     in
     let metrics =
-      if metrics_file <> None then Qobs.Metrics.create ()
+      if metrics_file <> None || ledger_file <> None then Qobs.Metrics.create ()
       else Qobs.Metrics.disabled
     in
     let r =
+      with_ledger ledger_file @@ fun ledger ->
       Qcc.Compiler.compile ~config:(config topology width arch) ~obs ~metrics
+        ?ledger
+        ?source_label:(source_label ~qasm_file:qasm ~benchmark:bench)
         ~strategy circuit
     in
     print_result r;
@@ -187,13 +213,14 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit under one strategy.")
     Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
           $ width_arg $ arch_arg $ trace_arg $ metrics_arg $ json_arg
-          $ verbosity_arg)
+          $ ledger_arg $ verbosity_arg)
 
 let compare_cmd =
-  let run qasm benches topology width arch json_file =
+  let run qasm benches topology width arch json_file ledger_file =
     or_die @@ fun () ->
     let cfg = config topology width arch in
     let rows =
+      with_ledger ledger_file @@ fun ledger ->
       match (qasm, benches) with
       | Some _, _ :: _ ->
         failwith "give either a QASM file or benchmarks, not both"
@@ -201,11 +228,14 @@ let compare_cmd =
         List.map
           (fun name ->
             let circuit = load_circuit ~qasm_file:None ~benchmark:(Some name) in
-            (name, Qcc.Compiler.compile_all ~config:cfg circuit))
+            ( name,
+              Qcc.Compiler.compile_all ~config:cfg ?ledger ~source_label:name
+                circuit ))
           benches
       | _ ->
         [ ( "circuit",
-            Qcc.Compiler.compile_all ~config:cfg
+            Qcc.Compiler.compile_all ~config:cfg ?ledger
+              ?source_label:(source_label ~qasm_file:qasm ~benchmark:None)
               (load_circuit ~qasm_file:qasm ~benchmark:None) ) ]
     in
     Qcc.Report.print_speedup_table ~header:"normalized latency (isa = 1.0)"
@@ -219,13 +249,13 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all strategies on one or more circuits.")
     Term.(const run $ qasm_arg $ benches $ topology_arg $ width_arg
-          $ arch_arg $ json_arg)
+          $ arch_arg $ json_arg $ ledger_arg)
 
 (* per-pass wall-time matrix: compile each benchmark under each strategy
    with tracing on, then read the pass spans back out of result.trace *)
 let profile_cmd =
   let canonical_passes = Qcc.Compiler.canonical_passes () in
-  let run benches strategies topology width arch =
+  let run benches strategies topology width arch format =
     or_die @@ fun () ->
     let benches = if benches = [] then [ "maxcut-line" ] else benches in
     let strategies =
@@ -234,14 +264,54 @@ let profile_cmd =
       | names -> List.map Qcc.Strategy.of_string names
     in
     let config = config topology width arch in
+    let find_bench bname =
+      try Qapps.Suite.find bname
+      with Not_found ->
+        failwith
+          (Printf.sprintf "unknown benchmark %S (see qcc bench-list)" bname)
+    in
+    (* one compile per (benchmark, strategy) cell, tracing + metrics on;
+       the json rendering reads the same spans the text table does, plus
+       the per-pass GC allocation columns *)
+    let profile_json () =
+      let open Qobs.Json in
+      let bench_obj bname =
+        let circuit = Qapps.Suite.lowered (find_bench bname) in
+        let strategy_obj strategy =
+          let obs = Qobs.Trace.create () in
+          let metrics = Qobs.Metrics.create () in
+          let r = Qcc.Compiler.compile ~config ~obs ~metrics ~strategy circuit in
+          let passes =
+            match r.Qcc.Compiler.trace with
+            | None -> []
+            | Some root -> List.map Qobs.Ledger.pass_row (Qobs.Span.children root)
+          in
+          Obj
+            [ ("strategy", Str (Qcc.Strategy.to_string strategy));
+              ("latency_ns", Float r.Qcc.Compiler.latency);
+              ("instructions", Int r.Qcc.Compiler.n_instructions);
+              ("swaps", Int r.Qcc.Compiler.n_swaps_inserted);
+              ("merges", Int r.Qcc.Compiler.n_merges);
+              ("compile_time_s", Float r.Qcc.Compiler.compile_time);
+              ("passes", List passes);
+              ("metrics", Qobs.Metrics.to_json metrics) ]
+        in
+        Obj
+          [ ("benchmark", Str bname);
+            ("n_qubits", Int (Qgate.Circuit.n_qubits circuit));
+            ("n_gates", Int (Qgate.Circuit.n_gates circuit));
+            ("strategies", List (List.map strategy_obj strategies)) ]
+      in
+      print_endline
+        (to_string
+           (Obj
+              [ ("schema", Str "qcc.profile/1");
+                ("benchmarks", List (List.map bench_obj benches)) ]))
+    in
+    let profile_text () =
     List.iter
       (fun bname ->
-        let b =
-          try Qapps.Suite.find bname
-          with Not_found ->
-            failwith
-              (Printf.sprintf "unknown benchmark %S (see qcc bench-list)" bname)
-        in
+        let b = find_bench bname in
         let circuit = Qapps.Suite.lowered b in
         Printf.printf "\n==== %s (%d qubits, %d gates) ====\n" bname
           (Qgate.Circuit.n_qubits circuit)
@@ -323,6 +393,11 @@ let profile_cmd =
         metric_row "agg vetoed" (counter "agg.vetoed_monotonic");
         Printf.printf "%!")
       benches
+    in
+    match format with
+    | "text" -> profile_text ()
+    | "json" -> profile_json ()
+    | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f)
   in
   let benches =
     Arg.(value & opt_all string []
@@ -334,12 +409,70 @@ let profile_cmd =
          & info [ "s"; "strategy" ]
              ~doc:"Strategy to profile (repeatable; default all five).")
   in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ]
+             ~doc:"Report format: text (default) or json (schema \
+                   qcc.profile/1, with per-pass wall time and GC \
+                   allocation).")
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Compile a benchmark/strategy matrix with tracing on and print \
              the per-pass wall-time breakdown plus headline metrics.")
     Term.(const run $ benches $ strategies $ topology_arg $ width_arg
-          $ arch_arg)
+          $ arch_arg $ format)
+
+let stats_cmd =
+  let run files base format top =
+    or_die @@ fun () ->
+    if files = [] then failwith "give at least one ledger file";
+    let read path =
+      match Qobs.Ledger.read_file path with
+      | Ok rows -> rows
+      | Error msg -> failwith msg
+    in
+    let cur = Qobs.Stats.of_rows (List.concat_map read files) in
+    match base with
+    | None ->
+      (match format with
+       | "text" -> Format.printf "%a" (Qobs.Stats.pp_text ~top) cur
+       | "json" -> print_endline (Qobs.Json.to_string (Qobs.Stats.to_json cur))
+       | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f))
+    | Some base_path ->
+      let d = Qobs.Stats.diff ~base:(Qobs.Stats.of_rows (read base_path)) ~cur in
+      (match format with
+       | "text" -> Format.printf "%a" (Qobs.Stats.pp_diff ~top) d
+       | "json" ->
+         print_endline (Qobs.Json.to_string (Qobs.Stats.diff_to_json d))
+       | f -> failwith (Printf.sprintf "unknown format %S (text | json)" f))
+  in
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"LEDGER"
+             ~doc:"Ledger JSONL file(s) written by --ledger (concatenated).")
+  in
+  let base =
+    Arg.(value & opt (some file) None
+         & info [ "diff" ] ~docv:"BASE"
+             ~doc:"Diff against a baseline ledger: per-pass wall-time \
+                   movers, compile-time and cache-rate deltas.")
+  in
+  let format =
+    Arg.(value & opt string "text"
+         & info [ "format" ]
+             ~doc:"Report format: text (default) or json (schema qcc.stats/1).")
+  in
+  let top =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K" ~doc:"Rows in the slowest-passes table.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Aggregate flight-recorder ledgers (qcc.ledger/1): slowest \
+             passes by wall time and allocation, stage-cache hit rates, \
+             commutation route mix; --diff compares two ledgers.")
+    Term.(const run $ files $ base $ format $ top)
 
 let bench_list_cmd =
   let run () =
@@ -742,6 +875,6 @@ let () =
   let doc = "optimized compilation of aggregated quantum instructions" in
   let info = Cmd.info "qcc" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
-                    [ compile_cmd; compare_cmd; profile_cmd; bench_list_cmd;
-                      lint_cmd; analyze_cmd; certify_cmd; verify_cmd;
-                      pulse_cmd; export_cmd ]))
+                    [ compile_cmd; compare_cmd; profile_cmd; stats_cmd;
+                      bench_list_cmd; lint_cmd; analyze_cmd; certify_cmd;
+                      verify_cmd; pulse_cmd; export_cmd ]))

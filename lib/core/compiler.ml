@@ -67,9 +67,40 @@ let canonical_passes () =
     (fun acc strategy -> merge acc (passes strategy))
     [] (List.rev Strategy.all)
 
+(* the strategy's pass-chain identity, independent of source/backend *)
+let chain_digest strategy =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          (List.map Pass.fingerprint (Strategy.passes strategy))))
+
+let source_digest circuit =
+  Digest.to_hex (Digest.string (Marshal.to_string circuit []))
+
 let compile ?(config = default_config) ?(check = false) ?(certify = false)
-    ?(obs = Qobs.Trace.disabled) ?(metrics = Qobs.Metrics.disabled) ?cache
-    ~strategy circuit =
+    ?obs ?metrics ?cache ?ledger ?source_label ~strategy circuit =
+  (* the ledger needs an enabled trace (per-pass rows) and registry
+     (metric snapshot); give it private ones when the caller brought
+     neither, so [--ledger] costs nothing to callers that stay dark *)
+  let obs =
+    match obs with
+    | Some o -> o
+    | None ->
+      if Option.is_none ledger then Qobs.Trace.disabled
+      else Qobs.Trace.create ()
+  in
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None ->
+      if Option.is_none ledger then Qobs.Metrics.disabled
+      else Qobs.Metrics.create ()
+  in
+  let cache_hits0, cache_misses0 =
+    match cache with
+    | Some c -> (Pipeline.Cache.hits c, Pipeline.Cache.misses c)
+    | None -> (0, 0)
+  in
   let cert =
     if certify then
       Some
@@ -122,10 +153,32 @@ let compile ?(config = default_config) ?(check = false) ?(certify = false)
       trace = Qobs.Trace.last_span obs;
       certificate = Option.map Qcert.Pipeline.finish cert }
   in
-  if Qobs.Metrics.enabled metrics then Qobs.Metrics.with_ambient metrics body
-  else body ()
+  let result =
+    if Qobs.Metrics.enabled metrics then Qobs.Metrics.with_ambient metrics body
+    else body ()
+  in
+  (match ledger with
+   | None -> ()
+   | Some l ->
+     let cache_hits, cache_misses =
+       match cache with
+       | Some c ->
+         ( Pipeline.Cache.hits c - cache_hits0,
+           Pipeline.Cache.misses c - cache_misses0 )
+       | None -> (0, 0)
+     in
+     Qobs.Ledger.append l
+       (Qobs.Ledger.row ?source_label
+          ~strategy:(Strategy.to_string strategy)
+          ~backend_digest:(Digest.to_hex (Backend.fingerprint config))
+          ~source_digest:(source_digest circuit)
+          ~chain_digest:(chain_digest strategy) ~latency_ns:result.latency
+          ~compile_time_s:result.compile_time ~cache_hits ~cache_misses
+          ?trace:result.trace ~metrics ()));
+  result
 
-let compile_all ?config ?check ?certify ?obs ?metrics ?cache circuit =
+let compile_all ?config ?check ?certify ?obs ?metrics ?cache ?ledger
+    ?source_label circuit =
   (* one shared stage cache: the strategies fork from common prefixes
      (all five lower identically; isa and aggregation also share
      placement and routing), so the prefix is computed once *)
@@ -135,8 +188,8 @@ let compile_all ?config ?check ?certify ?obs ?metrics ?cache circuit =
   List.map
     (fun strategy ->
       ( strategy,
-        compile ?config ?check ?certify ?obs ?metrics ~cache ~strategy circuit
-      ))
+        compile ?config ?check ?certify ?obs ?metrics ~cache ?ledger
+          ?source_label ~strategy circuit ))
     Strategy.all
 
 let blocks result =

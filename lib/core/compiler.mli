@@ -78,6 +78,7 @@ val canonical_passes : unit -> string list
 val compile :
   ?config:config -> ?check:bool -> ?certify:bool -> ?obs:Qobs.Trace.t ->
   ?metrics:Qobs.Metrics.t -> ?cache:Pipeline.Cache.t ->
+  ?ledger:Qobs.Ledger.t -> ?source_label:string ->
   strategy:Strategy.t -> Qgate.Circuit.t ->
   result
 (** [~check:true] runs the Qlint checker families at every pass boundary
@@ -111,11 +112,22 @@ val compile :
     the disabled path is one branch per seam, no allocation.
 
     [~cache] (default: none) shares stage artifacts across compiles —
-    see {!Pipeline}. Results are identical with and without it. *)
+    see {!Pipeline}. Results are identical with and without it.
+
+    [~ledger] (default: none) appends one [qcc.ledger/1] row to the
+    flight recorder after a successful compile: backend / source /
+    pass-chain digests, per-pass wall time and GC allocation, the metric
+    snapshot, and this run's stage-cache hit/miss deltas. When the
+    caller supplies no [~obs]/[~metrics], private enabled collectors are
+    created so every row carries full per-pass and per-route data — and
+    each row's metric snapshot is then per-run, which is what
+    [qcc stats] sums over. [~source_label] names the row's [source]
+    field (e.g. the benchmark or file name). *)
 
 val compile_all :
   ?config:config -> ?check:bool -> ?certify:bool -> ?obs:Qobs.Trace.t ->
-  ?metrics:Qobs.Metrics.t -> ?cache:Pipeline.Cache.t -> Qgate.Circuit.t ->
+  ?metrics:Qobs.Metrics.t -> ?cache:Pipeline.Cache.t ->
+  ?ledger:Qobs.Ledger.t -> ?source_label:string -> Qgate.Circuit.t ->
   (Strategy.t * result) list
 (** All five strategies on one circuit (sharing the collectors). By
     default a fresh stage cache is created for the call, so the shared

@@ -39,9 +39,20 @@ let with_span ctx name f =
   if not (observing ctx) then f ()
   else begin
     let t0 = Qobs.Clock.now_ns () in
+    let g0 = Qobs.Span.gc_now () in
     let finish () =
       Qobs.Metrics.observe ctx.metrics "pass.duration_ms"
-        (Qobs.Clock.elapsed_ns t0 /. 1e6)
+        (Qobs.Clock.elapsed_ns t0 /. 1e6);
+      if Qobs.Metrics.enabled ctx.metrics then begin
+        let g1 = Qobs.Span.gc_now () in
+        Qobs.Metrics.observe ctx.metrics "alloc.minor_words"
+          (g1.Qobs.Span.minor_words -. g0.Qobs.Span.minor_words);
+        Qobs.Metrics.observe ctx.metrics "alloc.major_words"
+          (g1.Qobs.Span.major_words -. g0.Qobs.Span.major_words);
+        Qobs.Metrics.incr ctx.metrics
+          ~by:(g1.Qobs.Span.major_collections - g0.Qobs.Span.major_collections)
+          "alloc.major_collections"
+      end
     in
     match Qobs.Trace.with_span ctx.obs name f with
     | v ->

@@ -86,54 +86,95 @@ let max_pair_width = 12
    block digests are not a sufficient key) *)
 let pair_memo : (string, bool option) Hashtbl.t = Hashtbl.create 1024
 
+(* Route attribution, mirroring Qgdg.Commute: every [commutes] query
+   ticks "qflow.pair.checks" and exactly one "qflow.route.<r>" counter
+   (structural / oversize / memo / phase_poly / tableau / undecided),
+   plus the matching per-route time histogram. The clock is read only
+   when a metrics registry is ambient. *)
+let now_if_metrics () =
+  if Qobs.Metrics.enabled (Qobs.Metrics.ambient ()) then
+    Some (Qobs.Clock.now_ns ())
+  else None
+
+let route_structural = ("qflow.route.structural", "qflow.route.structural.ms")
+let route_oversize = ("qflow.route.oversize", "qflow.route.oversize.ms")
+let route_memo = ("qflow.route.memo", "qflow.route.memo.ms")
+let route_phase_poly = ("qflow.route.phase_poly", "qflow.route.phase_poly.ms")
+let route_tableau = ("qflow.route.tableau", "qflow.route.tableau.ms")
+let route_undecided = ("qflow.route.undecided", "qflow.route.undecided.ms")
+
+let route (name, hist) t0 =
+  match t0 with
+  | None -> ()
+  | Some t0 ->
+    Qobs.Metrics.tick name;
+    Qobs.Metrics.record hist (Qobs.Clock.elapsed_ns t0 /. 1e6)
+
 let decide_pair ~n_qubits a b =
   match
     ( Qdomain.Phase_poly.of_gates ~n_qubits (a @ b),
       Qdomain.Phase_poly.of_gates ~n_qubits (b @ a) )
   with
-  | Some p_ab, Some p_ba -> Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba
+  | Some p_ab, Some p_ba ->
+    (Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba, route_phase_poly)
   | _ -> (
     match
       ( Qdomain.Tableau.of_gates ~n_qubits (a @ b),
         Qdomain.Tableau.of_gates ~n_qubits (b @ a) )
     with
     | Some t_ab, Some t_ba ->
-      if not (Qdomain.Tableau.equal t_ab t_ba) then Some false
-      else begin
-        (* tableau equality is up to global phase; one statevector
-           column decides the residual *)
-        let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
-        let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
-        let ok = ref true in
-        Array.iteri
-          (fun i z ->
-            if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then ok := false)
-          s_ab;
-        Some !ok
-      end
-    | _ -> None)
+      let r =
+        if not (Qdomain.Tableau.equal t_ab t_ba) then Some false
+        else begin
+          (* tableau equality is up to global phase; one statevector
+             column decides the residual *)
+          let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
+          let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
+          let ok = ref true in
+          Array.iteri
+            (fun i z ->
+              if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then ok := false)
+            s_ab;
+          Some !ok
+        end
+      in
+      (r, route_tableau)
+    | _ -> (None, route_undecided))
 
 let commutes ~a ~b sa sb =
-  if not (List.exists (fun q -> List.mem q sb.support) sa.support) then Some true
+  Qobs.Metrics.tick "qflow.pair.checks";
+  let t0 = now_if_metrics () in
+  if not (List.exists (fun q -> List.mem q sb.support) sa.support) then begin
+    route route_structural t0;
+    Some true
+  end
   else if
     (sa.klass = Identity || sa.klass = Diagonal)
     && (sb.klass = Identity || sb.klass = Diagonal)
-  then Some true
+  then begin
+    route route_structural t0;
+    Some true
+  end
   else begin
     let joint = List.sort_uniq compare (sa.support @ sb.support) in
     let n_qubits = List.length joint in
-    if n_qubits > max_pair_width then None
+    if n_qubits > max_pair_width then begin
+      route route_oversize t0;
+      None
+    end
     else begin
       let la = relabel_onto joint a and lb = relabel_onto joint b in
       let key = Marshal.to_string (la, lb) [] in
       match Hashtbl.find_opt pair_memo key with
       | Some r ->
         Qobs.Metrics.tick "qflow.summary.hit";
+        route route_memo t0;
         r
       | None ->
         Qobs.Metrics.tick "qflow.summary.miss";
-        let r = decide_pair ~n_qubits la lb in
+        let r, route_taken = decide_pair ~n_qubits la lb in
         Hashtbl.replace pair_memo key r;
+        route route_taken t0;
         r
     end
   end

@@ -45,7 +45,12 @@ val commutes : a:Qgate.Gate.t list -> b:Qgate.Gate.t list -> t -> t -> bool opti
     escapes all of these (no dense fallback here — see
     {!Qgdg.Commute} for the full decision procedure). Decisions are
     memoized under the relabelled pair. Joint supports wider than
-    {!max_pair_width} return [None]. *)
+    {!max_pair_width} return [None].
+
+    Every call ticks [qflow.pair.checks] and exactly one
+    [qflow.route.<r>] counter (structural / oversize / memo /
+    phase_poly / tableau / undecided) with a matching [.ms] histogram,
+    when a metrics registry is ambient. *)
 
 val max_pair_width : int
 (** Joint-support cap for pairwise algebraic checks (12). *)

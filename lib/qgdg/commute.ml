@@ -38,6 +38,33 @@ let is_diagonal_block gs =
    unless a metrics registry is ambient, see Qobs.Metrics) *)
 let fast_path () = Qobs.Metrics.tick "commute.fast_path"
 
+(* Route attribution: on top of the legacy counters above, every query
+   that ticks "commute.checks" resolves through exactly one route —
+   structural / memo / phase_poly / tableau / dense / oversize — ticking
+   "commute.route.<r>" and recording the query's wall time in
+   "commute.route.<r>.ms". The per-route counters therefore sum to the
+   decision count, which [qcc stats] checks and reports as the route mix.
+   The clock is read only when a metrics registry is ambient, so the
+   disabled path stays one branch. *)
+let now_if_metrics () =
+  if Qobs.Metrics.enabled (Qobs.Metrics.ambient ()) then
+    Some (Qobs.Clock.now_ns ())
+  else None
+
+let route_structural = ("commute.route.structural", "commute.route.structural.ms")
+let route_memo = ("commute.route.memo", "commute.route.memo.ms")
+let route_phase_poly = ("commute.route.phase_poly", "commute.route.phase_poly.ms")
+let route_tableau = ("commute.route.tableau", "commute.route.tableau.ms")
+let route_dense = ("commute.route.dense", "commute.route.dense.ms")
+let route_oversize = ("commute.route.oversize", "commute.route.oversize.ms")
+
+let route (name, hist) t0 =
+  match t0 with
+  | None -> ()
+  | Some t0 ->
+    Qobs.Metrics.tick name;
+    Qobs.Metrics.record hist (Qobs.Clock.elapsed_ns t0 /. 1e6)
+
 (* Content-addressed cache of block unitaries on their own support. A
    block is re-checked against many partners, each time on a different
    joint support; building its unitary once on its own support and
@@ -139,13 +166,14 @@ let decision_memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
 (* shared slow path: support width gate, then algebraic domains, then the
    dense comparison. Callers have already dispatched the structural
    shortcuts. *)
-let decide a_gates b_gates =
+let decide ~t0 a_gates b_gates =
   let support =
     List.sort_uniq compare
       (List.concat_map Gate.qubits a_gates @ List.concat_map Gate.qubits b_gates)
   in
   if List.length support > max_check_width then begin
     Qobs.Metrics.tick "commute.oversize";
+    route route_oversize t0;
     false
   end
   else begin
@@ -157,19 +185,26 @@ let decide a_gates b_gates =
     | Some r ->
       Qobs.Metrics.tick "commute.memo_hits";
       fast_path ();
+      route route_memo t0;
       r
     | None ->
       let r =
         match phase_poly_commute ~n_qubits a b with
         | Some r ->
           fast_path ();
+          route route_phase_poly t0;
           r
         | None -> (
           match tableau_commute ~n_qubits a b with
           | Some r ->
             fast_path ();
+            route route_tableau t0;
             r
-          | None -> dense_on ~n_qubits a b)
+          | None ->
+            Qobs.Metrics.record "commute.dense.width" (float_of_int n_qubits);
+            let r = dense_on ~n_qubits a b in
+            route route_dense t0;
+            r)
       in
       Hashtbl.replace decision_memo key r;
       r
@@ -177,9 +212,11 @@ let decide a_gates b_gates =
 
 let blocks a b =
   Qobs.Metrics.tick "commute.checks";
+  let t0 = now_if_metrics () in
   match (a, b) with
   | [], _ | _, [] ->
     fast_path ();
+    route route_structural t0;
     true
   | _ ->
     let qa = List.sort_uniq compare (List.concat_map Gate.qubits a) in
@@ -187,29 +224,40 @@ let blocks a b =
     let disjoint = not (List.exists (fun q -> List.mem q qb) qa) in
     if disjoint then begin
       fast_path ();
+      route route_structural t0;
       true
     end
     else if all_diagonal a && all_diagonal b then begin
       fast_path ();
+      route route_structural t0;
       true
     end
-    else decide a b
+    else decide ~t0 a b
 
 let gates a b =
   Qobs.Metrics.tick "commute.checks";
+  let t0 = now_if_metrics () in
   if Gate.equal a b then begin
     fast_path ();
+    route route_structural t0;
     true
   end
   else if not (Gate.shares_qubit a b) then begin
     fast_path ();
+    route route_structural t0;
     true
   end
   else if Gate.is_diagonal_kind a.Gate.kind && Gate.is_diagonal_kind b.Gate.kind
   then begin
     fast_path ();
+    route route_structural t0;
     true
   end
-  else decide [ a ] [ b ]
+  else decide ~t0 [ a ] [ b ]
 
 let insts a b = blocks a.Inst.gates b.Inst.gates
+
+let reset_memos () =
+  Hashtbl.reset decision_memo;
+  Hashtbl.reset unitary_memo;
+  unitary_memo_cells := 0

@@ -8,7 +8,14 @@
     comparison for CNOT+diagonal blocks and a Pauli-tableau comparison
     (with a statevector tie-break for the residual global phase) for
     Clifford blocks. Dense unitaries are only built when the query escapes
-    every one of these. *)
+    every one of these.
+
+    When a metrics registry is ambient ({!Qobs.Metrics}), every query is
+    attributed to exactly one route: [commute.route.structural] /
+    [memo] / [phase_poly] / [tableau] / [dense] / [oversize] counters
+    (summing to [commute.checks]) with matching [.ms] time histograms,
+    and [commute.dense.width] records the joint support width of every
+    dense fallback. *)
 
 val gates : Qgate.Gate.t -> Qgate.Gate.t -> bool
 (** Do two gates commute as operators? *)
@@ -27,6 +34,11 @@ val dense_commute : Qgate.Gate.t list -> Qgate.Gate.t list -> bool
 (** The reference dense comparison on the joint support (false beyond
     {!max_check_width}), with no algebraic fast paths — exposed so tests
     can cross-check the fast paths against it. *)
+
+val reset_memos : unit -> unit
+(** Clear the process-wide decision and unitary memos. Benchmarks use
+    this to measure cold-path timings reproducibly; results are
+    unaffected (the memos are pure caches). *)
 
 val is_diagonal_block : Qgate.Gate.t list -> bool
 (** Is the composed unitary diagonal in the computational basis? True

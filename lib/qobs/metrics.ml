@@ -5,6 +5,25 @@ type hist_stats = {
   max : float;
 }
 
+(* Every histogram shares one fixed log-spaced bucket grid (half-powers
+   of two): bucket 0 is the underflow (v <= 0 or below the grid), bucket
+   k in 1..n_buckets-1 nominally covers [2^((k-64)/2), 2^((k-63)/2)),
+   spanning ~3e-10 .. 3e9 — wide enough for ns..s durations expressed in
+   ms, word counts and qubit widths alike. Quantiles read off the
+   cumulative bucket counts with a worst-case relative error of one
+   bucket ratio (sqrt 2), clamped to the observed min/max. *)
+let n_buckets = 128
+
+let bucket_of v =
+  if v <= 0. then 0
+  else begin
+    let i = 64 + int_of_float (Float.floor (2. *. Float.log2 v)) in
+    if i < 1 then 1 else if i > n_buckets - 1 then n_buckets - 1 else i
+  end
+
+(* geometric midpoint of bucket k's nominal bounds *)
+let bucket_rep k = Float.exp2 ((float_of_int (k - 64) +. 0.5) /. 2.)
+
 type metric =
   | Counter of { mutable count : int }
   | Gauge of { mutable value : float }
@@ -13,6 +32,7 @@ type metric =
       mutable sum : float;
       mutable min : float;
       mutable max : float;
+      buckets : int array;
     }
 
 type t = {
@@ -46,9 +66,15 @@ let observe t name v =
       h.n <- h.n + 1;
       h.sum <- h.sum +. v;
       if v < h.min then h.min <- v;
-      if v > h.max then h.max <- v
+      if v > h.max then h.max <- v;
+      let k = bucket_of v in
+      h.buckets.(k) <- h.buckets.(k) + 1
     | Some _ -> ()
-    | None -> Hashtbl.replace t.table name (Hist { n = 1; sum = v; min = v; max = v })
+    | None ->
+      let buckets = Array.make n_buckets 0 in
+      buckets.(bucket_of v) <- 1;
+      Hashtbl.replace t.table name
+        (Hist { n = 1; sum = v; min = v; max = v; buckets })
 
 let counter_value t name =
   match Hashtbl.find_opt t.table name with
@@ -65,19 +91,58 @@ let hist_value t name =
   | Some (Hist h) -> Some { n = h.n; sum = h.sum; min = h.min; max = h.max }
   | Some _ | None -> None
 
+(* rank-based read over the cumulative bucket counts: the smallest bucket
+   whose cumulative count reaches ceil(q * n). Deterministic, and exact
+   up to the bucket ratio; the clamp keeps estimates inside the true
+   observed range (so single-bucket histograms report min <= p50 <= max) *)
+let quantile ~n ~lo ~hi ~(buckets : int array) q =
+  if n = 0 then 0.
+  else if q <= 0. then lo
+  else if q >= 1. then hi
+  else begin
+    let target = int_of_float (Float.ceil (q *. float_of_int n)) in
+    let target = if target < 1 then 1 else target in
+    let rec go k cum =
+      if k >= n_buckets then hi
+      else begin
+        let cum = cum + buckets.(k) in
+        if cum >= target then
+          let rep = if k = 0 then lo else bucket_rep k in
+          Float.min hi (Float.max lo rep)
+        else go (k + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+let hist_quantile t name q =
+  match Hashtbl.find_opt t.table name with
+  | Some (Hist h) ->
+    Some (quantile ~n:h.n ~lo:h.min ~hi:h.max ~buckets:h.buckets q)
+  | Some _ | None -> None
+
 let names t =
   List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.table [])
 
+(* histogram fields in sorted key order: exports are byte-deterministic
+   given the same samples *)
 let metric_json = function
   | Counter c -> Json.Int c.count
   | Gauge g -> Json.Float g.value
   | Hist h ->
     Json.Obj
       [ ("count", Json.Int h.n);
-        ("sum", Json.Float h.sum);
-        ("min", Json.Float h.min);
         ("max", Json.Float h.max);
-        ("mean", Json.Float (if h.n = 0 then 0. else h.sum /. float_of_int h.n)) ]
+        ("mean", Json.Float (if h.n = 0 then 0. else h.sum /. float_of_int h.n));
+        ("min", Json.Float h.min);
+        ("p50",
+         Json.Float (quantile ~n:h.n ~lo:h.min ~hi:h.max ~buckets:h.buckets 0.5));
+        ("p90",
+         Json.Float (quantile ~n:h.n ~lo:h.min ~hi:h.max ~buckets:h.buckets 0.9));
+        ("p99",
+         Json.Float
+           (quantile ~n:h.n ~lo:h.min ~hi:h.max ~buckets:h.buckets 0.99));
+        ("sum", Json.Float h.sum) ]
 
 let to_json t =
   Json.Obj
@@ -93,7 +158,9 @@ let pp_text ppf t =
         | Counter c -> string_of_int c.count
         | Gauge g -> Printf.sprintf "%g" g.value
         | Hist h ->
-          Printf.sprintf "count=%d sum=%g min=%g max=%g" h.n h.sum h.min h.max
+          let q p = quantile ~n:h.n ~lo:h.min ~hi:h.max ~buckets:h.buckets p in
+          Printf.sprintf "count=%d sum=%g min=%g max=%g p50=%g p90=%g p99=%g"
+            h.n h.sum h.min h.max (q 0.5) (q 0.9) (q 0.99)
       in
       Format.fprintf ppf "%-36s %s@." name value)
     (names t)

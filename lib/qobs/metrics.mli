@@ -34,7 +34,9 @@ val gauge : t -> string -> float -> unit
 (** Gauge: last write wins. *)
 
 val observe : t -> string -> float -> unit
-(** Histogram sample (summary stats: count/sum/min/max). *)
+(** Histogram sample: summary stats (count/sum/min/max) plus a fixed
+    log-spaced bucket grid (half-powers of two spanning ~3e-10..3e9) from
+    which {!hist_quantile} and the exported p50/p90/p99 are read. *)
 
 val counter_value : t -> string -> int
 (** 0 when absent or not a counter. *)
@@ -42,12 +44,19 @@ val counter_value : t -> string -> int
 val gauge_value : t -> string -> float option
 val hist_value : t -> string -> hist_stats option
 
+val hist_quantile : t -> string -> float -> float option
+(** Bucket-estimated quantile of a histogram (worst-case relative error
+    one bucket ratio, [sqrt 2]), clamped to the observed min/max; [None]
+    when absent or not a histogram. [q <= 0] reads the min, [q >= 1] the
+    max. *)
+
 val names : t -> string list
 (** Sorted. *)
 
 val to_json : t -> Json.t
 (** One field per metric, sorted by name: counters as ints, gauges as
-    floats, histograms as [{count,sum,min,max,mean}] objects. *)
+    floats, histograms as [{count,max,mean,min,p50,p90,p99,sum}] objects
+    (keys sorted). Byte-deterministic given the same recorded samples. *)
 
 val pp_text : Format.formatter -> t -> unit
 val write_file : string -> t -> unit

@@ -4,16 +4,35 @@ type attr =
   | Bool of bool
   | Str of string
 
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  major_collections : int;
+}
+
 type t = {
   name : string;
   start_ns : float;
   mutable stop_ns : float;
   mutable attrs : (string * attr) list;
   mutable rev_children : t list;
+  mutable gc0 : gc_delta option;
+  mutable gc : gc_delta option;
 }
 
 let make ~name ~start_ns =
-  { name; start_ns; stop_ns = start_ns; attrs = []; rev_children = [] }
+  { name; start_ns; stop_ns = start_ns; attrs = []; rev_children = [];
+    gc0 = None; gc = None }
+
+(* [Gc.minor_words] reads the allocation pointer, so deltas are exact
+   even between minor collections; [quick_stat]'s own [minor_words] is
+   only refreshed at collection boundaries and would read 0 for any
+   span that does not trigger one *)
+let gc_now () =
+  let s = Gc.quick_stat () in
+  { minor_words = Gc.minor_words ();
+    major_words = s.Gc.major_words;
+    major_collections = s.Gc.major_collections }
 
 let duration_ns s = s.stop_ns -. s.start_ns
 let children s = List.rev s.rev_children
@@ -30,7 +49,8 @@ let find_all ~name s =
   List.rev (go [] s)
 
 (* first write wins after reversal: attrs are stored newest-first, so
-   dedup keeping the first (newest) occurrence, then restore order *)
+   dedup keeping the first (newest) occurrence; exported order is sorted
+   by key so every exporter is byte-deterministic *)
 let exported_attrs s =
   let seen = Hashtbl.create 8 in
   let newest_first =
@@ -43,7 +63,7 @@ let exported_attrs s =
         end)
       s.attrs
   in
-  List.rev newest_first
+  List.sort (fun (a, _) (b, _) -> compare a b) newest_first
 
 let attr_json = function
   | Int n -> Json.Int n
@@ -51,29 +71,52 @@ let attr_json = function
   | Bool b -> Json.Bool b
   | Str s -> Json.Str s
 
+let gc_json g =
+  Json.Obj
+    [ ("major_collections", Json.Int g.major_collections);
+      ("major_words", Json.Float g.major_words);
+      ("minor_words", Json.Float g.minor_words) ]
+
 let rec to_json s =
   Json.Obj
-    [ ("name", Json.Str s.name);
-      ("start_ns", Json.Float s.start_ns);
-      ("dur_ns", Json.Float (duration_ns s));
-      ("attrs",
-       Json.Obj (List.map (fun (k, v) -> (k, attr_json v)) (exported_attrs s)));
-      ("children", Json.List (List.map to_json (children s))) ]
+    (( "name", Json.Str s.name)
+     :: ("start_ns", Json.Float s.start_ns)
+     :: ("dur_ns", Json.Float (duration_ns s))
+     :: (match s.gc with Some g -> [ ("alloc", gc_json g) ] | None -> [])
+     @ [ ("attrs",
+          Json.Obj
+            (List.map (fun (k, v) -> (k, attr_json v)) (exported_attrs s)));
+         ("children", Json.List (List.map to_json (children s))) ])
 
-let to_chrome_events ?(pid = 1) ?(tid = 1) s =
+let to_chrome_events ?(pid = 1) ?(tid = 1) ?(first_id = 1) s =
+  (* ids are assigned depth-first in pre-order, so the same tree always
+     exports the same ids regardless of when it was recorded *)
+  let next = ref first_id in
   let rec go acc s =
+    let id = !next in
+    incr next;
+    let alloc_args =
+      match s.gc with
+      | Some g ->
+        [ ("major_collections", Json.Int g.major_collections);
+          ("major_words", Json.Float g.major_words);
+          ("minor_words", Json.Float g.minor_words) ]
+      | None -> []
+    in
     let event =
       Json.Obj
         [ ("name", Json.Str s.name);
           ("cat", Json.Str "compile");
           ("ph", Json.Str "X");
+          ("id", Json.Int id);
           ("ts", Json.Float (s.start_ns /. 1e3));
           ("dur", Json.Float (duration_ns s /. 1e3));
           ("pid", Json.Int pid);
           ("tid", Json.Int tid);
           ("args",
            Json.Obj
-             (List.map (fun (k, v) -> (k, attr_json v)) (exported_attrs s))) ]
+             (List.map (fun (k, v) -> (k, attr_json v)) (exported_attrs s)
+              @ alloc_args)) ]
     in
     List.fold_left go (event :: acc) (children s)
   in
@@ -99,11 +142,18 @@ let pp_text ppf s =
                  Printf.sprintf "%s=%s" k value)
                kvs)
     in
-    Format.fprintf ppf "%s%-*s %10.3f ms%s@." indent
+    let alloc =
+      match s.gc with
+      | Some g ->
+        Printf.sprintf "  minor_kw=%.1f major_kw=%.1f majors=%d"
+          (g.minor_words /. 1e3) (g.major_words /. 1e3) g.major_collections
+      | None -> ""
+    in
+    Format.fprintf ppf "%s%-*s %10.3f ms%s%s@." indent
       (max 1 (32 - String.length indent))
       s.name
       (duration_ns s /. 1e6)
-      attrs;
+      alloc attrs;
     List.iter (go (indent ^ "  ")) (children s)
   in
   go "" s

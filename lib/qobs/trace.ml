@@ -15,6 +15,16 @@ let enabled t = t.enabled
 
 let close t span =
   span.Span.stop_ns <- Clock.now_ns ();
+  (match span.Span.gc0 with
+   | Some g0 ->
+     let g1 = Span.gc_now () in
+     span.Span.gc <-
+       Some
+         { Span.minor_words = g1.Span.minor_words -. g0.Span.minor_words;
+           major_words = g1.Span.major_words -. g0.Span.major_words;
+           major_collections =
+             g1.Span.major_collections - g0.Span.major_collections }
+   | None -> ());
   (match t.stack with
    | top :: rest when top == span -> t.stack <- rest
    | _ ->
@@ -37,6 +47,7 @@ let with_span t name f =
   if not t.enabled then f ()
   else begin
     let span = Span.make ~name ~start_ns:(Clock.now_ns ()) in
+    span.Span.gc0 <- Some (Span.gc_now ());
     t.stack <- span :: t.stack;
     Fun.protect ~finally:(fun () -> close t span) f
   end
@@ -69,13 +80,20 @@ let to_text t =
 let to_json t = Json.Obj [ ("spans", Json.List (List.map Span.to_json (roots t))) ]
 
 let to_chrome t =
+  (* stable span ids: pre-order position across the root forest *)
+  let next_id = ref 1 in
   let events =
     Json.Obj
       [ ("name", Json.Str "process_name");
         ("ph", Json.Str "M");
         ("pid", Json.Int 1);
         ("args", Json.Obj [ ("name", Json.Str "qcc") ]) ]
-    :: List.concat_map Span.to_chrome_events (roots t)
+    :: List.concat_map
+         (fun root ->
+           let evs = Span.to_chrome_events ~first_id:!next_id root in
+           next_id := !next_id + Span.count root;
+           evs)
+         (roots t)
   in
   Json.Obj
     [ ("traceEvents", Json.List events);

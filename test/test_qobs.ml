@@ -145,6 +145,60 @@ let test_ambient () =
    with Failure _ -> ());
   checkb "ambient restored" true (Metrics.ambient () == Metrics.disabled)
 
+let test_hist_quantiles () =
+  let m = Metrics.create () in
+  for v = 1 to 100 do
+    Metrics.observe m "h" (float_of_int v)
+  done;
+  let q p =
+    match Metrics.hist_quantile m "h" p with
+    | Some v -> v
+    | None -> Alcotest.fail "quantile missing"
+  in
+  (* extremes are exact *)
+  check Alcotest.(float 1e-9) "q0 = min" 1. (q 0.);
+  check Alcotest.(float 1e-9) "q1 = max" 100. (q 1.);
+  (* interior quantiles are monotone, inside [min,max], and within one
+     bucket ratio (sqrt 2) of the true rank value *)
+  let p50 = q 0.5 and p90 = q 0.9 and p99 = q 0.99 in
+  checkb "monotone" true (1. <= p50 && p50 <= p90 && p90 <= p99 && p99 <= 100.);
+  let within true_v est =
+    est >= true_v /. 1.5 && est <= Float.min 100. (true_v *. 1.5)
+  in
+  checkb (Printf.sprintf "p50 near 50 (got %g)" p50) true (within 50. p50);
+  checkb (Printf.sprintf "p90 near 90 (got %g)" p90) true (within 90. p90);
+  checkb (Printf.sprintf "p99 near 99 (got %g)" p99) true (within 99. p99);
+  (* single-sample histogram: every quantile collapses to the sample *)
+  Metrics.observe m "one" 7.;
+  List.iter
+    (fun p ->
+      check Alcotest.(option (float 1e-9)) "single-sample quantile" (Some 7.)
+        (Metrics.hist_quantile m "one" p))
+    [ 0.; 0.5; 0.9; 0.99; 1. ]
+
+let test_span_alloc () =
+  let tr = Trace.create () in
+  ignore
+    (Trace.with_span tr "alloc" (fun () ->
+         (* allocate enough that the minor-heap delta is unambiguous even
+            though no minor collection runs inside the span *)
+         Sys.opaque_identity (List.init 1000 (fun i -> (i, i)))));
+  match Trace.roots tr with
+  | [ root ] ->
+    (match root.Span.gc with
+     | None -> Alcotest.fail "span must carry a GC delta"
+     | Some g ->
+       checkb
+         (Printf.sprintf "minor words counted (got %g)" g.Span.minor_words)
+         true
+         (g.Span.minor_words >= 2000.);
+       checkb "major collections non-negative" true (g.Span.major_collections >= 0));
+    (* the delta is exported under "alloc" *)
+    (match Json.member "alloc" (Span.to_json root) with
+     | Some (Json.Obj _) -> ()
+     | _ -> Alcotest.fail "to_json must export the alloc object")
+  | _ -> Alcotest.fail "expected 1 root"
+
 (* ---- JSON ---- *)
 
 let rec json_equal a b =
@@ -235,6 +289,238 @@ let test_chrome_export () =
          complete
      | _ -> Alcotest.fail "traceEvents missing")
 
+(* ---- golden byte-pins: exporters must be byte-deterministic ---- *)
+
+let test_metrics_json_golden () =
+  let m = Metrics.create () in
+  Metrics.incr m ~by:3 "a.count";
+  Metrics.gauge m "b.gauge" 1.5;
+  Metrics.observe m "c.hist" 2.;
+  let expected =
+    "{\"a.count\":3,\"b.gauge\":1.5,\"c.hist\":{\"count\":1,\"max\":2.0,"
+    ^ "\"mean\":2.0,\"min\":2.0,\"p50\":2.0,\"p90\":2.0,\"p99\":2.0,"
+    ^ "\"sum\":2.0}}"
+  in
+  check Alcotest.string "metrics json bytes" expected
+    (Json.to_string (Metrics.to_json m));
+  (* re-export is byte-identical *)
+  check Alcotest.string "re-export stable"
+    (Json.to_string (Metrics.to_json m))
+    (Json.to_string (Metrics.to_json m))
+
+let test_chrome_golden () =
+  (* synthetic span tree with pinned clock values: the exporter assigns
+     ids in pre-order and sorts attrs by key, so the bytes are fixed *)
+  let root = Span.make ~name:"root" ~start_ns:1000. in
+  root.Span.stop_ns <- 5000.;
+  let kid = Span.make ~name:"kid" ~start_ns:2000. in
+  kid.Span.stop_ns <- 3000.;
+  Span.add_attr kid "zeta" (Span.Int 9);
+  Span.add_attr kid "alpha" (Span.Str "x");
+  kid.Span.gc <-
+    Some { Span.minor_words = 10.; major_words = 0.; major_collections = 1 };
+  root.Span.rev_children <- [ kid ];
+  let bytes =
+    String.concat "\n"
+      (List.map Json.to_string (Span.to_chrome_events root))
+  in
+  let expected =
+    "{\"name\":\"root\",\"cat\":\"compile\",\"ph\":\"X\",\"id\":1,"
+    ^ "\"ts\":1.0,\"dur\":4.0,\"pid\":1,\"tid\":1,\"args\":{}}"
+    ^ "\n"
+    ^ "{\"name\":\"kid\",\"cat\":\"compile\",\"ph\":\"X\",\"id\":2,"
+    ^ "\"ts\":2.0,\"dur\":1.0,\"pid\":1,\"tid\":1,\"args\":{"
+    ^ "\"alpha\":\"x\",\"zeta\":9,"
+    ^ "\"major_collections\":1,\"major_words\":0.0,\"minor_words\":10.0}}"
+  in
+  check Alcotest.string "chrome event bytes" expected bytes
+
+let test_chrome_roundtrip () =
+  let tr = Trace.create () in
+  ignore
+    (Trace.with_span tr "compile" (fun () ->
+         Trace.with_span tr "lower" (fun () -> ());
+         Trace.with_span tr "detect" (fun () ->
+             Trace.with_span tr "contract" (fun () -> ()));
+         Trace.with_span tr "schedule" (fun () -> ())));
+  let parsed =
+    match Json.of_string (Json.to_string (Trace.to_chrome tr)) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chrome export does not reparse: %s" e
+  in
+  let events =
+    match Json.member "traceEvents" parsed with
+    | Some (Json.List evs) ->
+      List.filter (fun e -> Json.member "ph" e = Some (Json.Str "X")) evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let field name e =
+    match Json.member name e with
+    | Some (Json.Float f) -> f
+    | Some (Json.Int i) -> float_of_int i
+    | _ -> Alcotest.failf "event missing %s" name
+  in
+  let name e =
+    match Json.member "name" e with
+    | Some (Json.Str s) -> s
+    | _ -> Alcotest.fail "event missing name"
+  in
+  (* pre-order ids: 1..n in emission order *)
+  List.iteri
+    (fun k e -> checki "sequential id" (k + 1) (int_of_float (field "id" e)))
+    events;
+  check Alcotest.(list string) "pre-order names"
+    [ "compile"; "lower"; "detect"; "contract"; "schedule" ]
+    (List.map name events);
+  (* reconstruct the tree from interval containment and compare to the
+     recorded spans: same nesting, monotone child start times *)
+  let within child parent =
+    field "ts" child >= field "ts" parent
+    && field "ts" child +. field "dur" child
+       <= field "ts" parent +. field "dur" parent +. 1e-6
+  in
+  let compile_e = List.hd events in
+  let rest = List.tl events in
+  List.iter
+    (fun e -> checkb (name e ^ " within compile") true (within e compile_e))
+    rest;
+  let contract_e = List.find (fun e -> name e = "contract") events in
+  let detect_e = List.find (fun e -> name e = "detect") events in
+  checkb "contract within detect" true (within contract_e detect_e);
+  let starts =
+    List.map (fun e -> field "ts" e)
+      (List.filter (fun e -> name e <> "contract") rest)
+  in
+  checkb "sibling starts monotone" true
+    (List.sort compare starts = starts)
+
+(* ---- ledger + stats round-trip ---- *)
+
+let test_ledger_stats_roundtrip () =
+  let tr = Trace.create () in
+  ignore
+    (Trace.with_span tr "compile" (fun () ->
+         Trace.with_span tr "lower" (fun () -> ());
+         Trace.with_span tr "schedule" (fun () -> ())));
+  let root =
+    match Trace.last_span tr with
+    | Some s -> s
+    | None -> Alcotest.fail "no root span"
+  in
+  let m = Metrics.create () in
+  Metrics.incr m ~by:10 "commute.checks";
+  Metrics.incr m ~by:4 "commute.route.memo";
+  Metrics.incr m ~by:6 "commute.route.dense";
+  Metrics.incr m ~by:3 "qflow.route.structural";
+  let row1 =
+    Qobs.Ledger.row ~source_label:"t1" ~strategy:"cls" ~backend_digest:"b"
+      ~source_digest:"s" ~chain_digest:"c" ~latency_ns:100.
+      ~compile_time_s:0.5 ~cache_hits:2 ~cache_misses:1 ~trace:root
+      ~metrics:m ()
+  in
+  let row2 =
+    Qobs.Ledger.row ~source_label:"t2" ~strategy:"isa" ~backend_digest:"b"
+      ~source_digest:"s" ~chain_digest:"c2" ~latency_ns:50.
+      ~compile_time_s:0.25 ~cache_hits:0 ~cache_misses:3
+      ~metrics:(Metrics.create ()) ()
+  in
+  let path = Filename.temp_file "qobs_ledger" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let ledger = Qobs.Ledger.open_file path in
+      Qobs.Ledger.append ledger row1;
+      Qobs.Ledger.append ledger row2;
+      Qobs.Ledger.append ledger
+        (Json.Obj [ ("schema", Json.Str "not-a-ledger/9") ]);
+      Qobs.Ledger.close ledger;
+      let rows =
+        match Qobs.Ledger.read_file path with
+        | Ok rows -> rows
+        | Error e -> Alcotest.failf "read_file: %s" e
+      in
+      checki "three rows read back" 3 (List.length rows);
+      let t = Qobs.Stats.of_rows rows in
+      checki "ledger rows" 2 t.Qobs.Stats.rows;
+      checki "skipped foreign schema" 1 t.Qobs.Stats.skipped;
+      checki "cache hits" 2 t.Qobs.Stats.cache_hits;
+      checki "cache misses" 4 t.Qobs.Stats.cache_misses;
+      check Alcotest.(float 1e-9) "hit rate" (2. /. 6.) (Qobs.Stats.hit_rate t);
+      checki "commute checks" 10 t.Qobs.Stats.commute_checks;
+      (* route mix survives the round-trip and sums to the check count *)
+      let route name =
+        match List.assoc_opt name t.Qobs.Stats.routes with
+        | Some n -> n
+        | None -> Alcotest.failf "route %s missing" name
+      in
+      checki "memo route" 4 (route "commute.route.memo");
+      checki "dense route" 6 (route "commute.route.dense");
+      checki "qflow route" 3 (route "qflow.route.structural");
+      checki "route sum = checks" t.Qobs.Stats.commute_checks
+        (route "commute.route.memo" + route "commute.route.dense");
+      (* per-pass aggregation: both passes of row1, once each *)
+      List.iter
+        (fun pass ->
+          match
+            List.find_opt
+              (fun (p : Qobs.Stats.pass_stat) -> p.Qobs.Stats.pass = pass)
+              t.Qobs.Stats.passes
+          with
+          | Some p ->
+            checki (pass ^ " calls") 1 p.Qobs.Stats.calls;
+            checkb (pass ^ " wall >= 0") true (p.Qobs.Stats.wall_ns >= 0.)
+          | None -> Alcotest.failf "pass %s not aggregated" pass)
+        [ "lower"; "schedule" ];
+      (* stats json carries its schema marker *)
+      (match Json.member "schema" (Qobs.Stats.to_json t) with
+       | Some (Json.Str s) -> check Alcotest.string "stats schema" "qcc.stats/1" s
+       | _ -> Alcotest.fail "stats schema missing");
+      (* a self-diff is flat: every entry at ratio 1 *)
+      let d = Qobs.Stats.diff ~base:t ~cur:t in
+      List.iter
+        (fun (e : Qobs.Stats.diff_entry) ->
+          check Alcotest.(float 1e-9)
+            (e.Qobs.Stats.name ^ " self-ratio")
+            1.
+            (Qobs.Stats.ratio e))
+        d.Qobs.Stats.delta)
+
+(* every ledger row's schema field is the pinned constant *)
+let test_ledger_schema_pinned () =
+  check Alcotest.string "ledger schema" "qcc.ledger/1" Qobs.Ledger.schema;
+  let row =
+    Qobs.Ledger.row ~strategy:"isa" ~backend_digest:"b" ~source_digest:"s"
+      ~chain_digest:"c" ~latency_ns:1. ~compile_time_s:0.1 ~cache_hits:0
+      ~cache_misses:0 ~metrics:Metrics.disabled ()
+  in
+  match Json.member "schema" row with
+  | Some (Json.Str s) -> check Alcotest.string "row schema" "qcc.ledger/1" s
+  | _ -> Alcotest.fail "row schema missing"
+
+(* ---- route attribution invariant ---- *)
+
+let test_route_sum_invariant () =
+  let circuit = Qapps.Suite.lowered (Qapps.Suite.find "maxcut-line") in
+  let metrics = Metrics.create () in
+  ignore (Qcc.Compiler.compile ~metrics ~strategy:Qcc.Strategy.Cls_aggregation circuit);
+  let sum_routes prefix =
+    List.fold_left
+      (fun acc name ->
+        if
+          String.length name > String.length prefix
+          && String.sub name 0 (String.length prefix) = prefix
+          && not (Filename.check_suffix name ".ms")
+        then acc + Metrics.counter_value metrics name
+        else acc)
+      0 (Metrics.names metrics)
+  in
+  let checks = Metrics.counter_value metrics "commute.checks" in
+  checkb "commutation queries happened" true (checks > 0);
+  checki "commute routes sum to checks" checks (sum_routes "commute.route.");
+  let pair_checks = Metrics.counter_value metrics "qflow.pair.checks" in
+  checki "qflow routes sum to pair checks" pair_checks
+    (sum_routes "qflow.route.")
+
 (* ---- compile-with-trace acceptance ---- *)
 
 let compile_traced strategy circuit =
@@ -304,11 +590,20 @@ let suites =
        Alcotest.test_case "exception-safety" `Quick test_span_exception_safety ]);
     ("qobs.metrics",
      [ Alcotest.test_case "arithmetic" `Quick test_metrics_arithmetic;
+       Alcotest.test_case "quantiles" `Quick test_hist_quantiles;
+       Alcotest.test_case "span-alloc" `Quick test_span_alloc;
        Alcotest.test_case "disabled-noop" `Quick test_disabled_noop;
        Alcotest.test_case "ambient" `Quick test_ambient ]);
     ("qobs.json",
      [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
-       Alcotest.test_case "chrome-export" `Quick test_chrome_export ]);
+       Alcotest.test_case "chrome-export" `Quick test_chrome_export;
+       Alcotest.test_case "metrics-golden" `Quick test_metrics_json_golden;
+       Alcotest.test_case "chrome-golden" `Quick test_chrome_golden;
+       Alcotest.test_case "chrome-roundtrip" `Quick test_chrome_roundtrip ]);
+    ("qobs.ledger",
+     [ Alcotest.test_case "stats-roundtrip" `Quick test_ledger_stats_roundtrip;
+       Alcotest.test_case "schema-pinned" `Quick test_ledger_schema_pinned;
+       Alcotest.test_case "route-sum" `Quick test_route_sum_invariant ]);
     ("qobs.compile",
      [ Alcotest.test_case "passes-once-each" `Quick test_trace_passes_once_each;
        Alcotest.test_case "metrics-populated" `Quick

@@ -812,6 +812,106 @@ let certify_overhead () =
         Strategy.all)
     [ "maxcut-line"; "ising-n30"; "uccsd-n4" ]
 
+(* ------------------------------------------------------------------ *)
+(* Parallel smoke: 4 domains, disjoint benchmark×strategy compiles     *)
+
+(* Runtime proof behind the domlint gate: four domains compile disjoint
+   benchmark×strategy jobs concurrently — per-domain memos (Commute /
+   Summary / Latency_model), per-domain ambient metrics shards, and one
+   SHARED mutex-guarded stage cache — and every latency, merge count and
+   certificate digest must be byte-identical to a cold sequential run of
+   the same jobs. The lazy suite circuits are forced on the main domain
+   before any spawn (see the [@@domain_safety unsafe] note on
+   Qapps.Suite.all). *)
+let par_smoke () =
+  header "Parallel smoke: 4-domain compiles vs sequential (byte-identical)";
+  let circuits =
+    List.map
+      (fun b -> (b, Qapps.Suite.lowered (Qapps.Suite.find b)))
+      [ "maxcut-line"; "uccsd-n4" ]
+  in
+  let jobs =
+    Array.of_list
+      (List.concat_map
+         (fun (b, c) -> List.map (fun s -> (b, s, c)) Strategy.all)
+         circuits)
+  in
+  let fingerprint r =
+    let digest =
+      match r.Compiler.certificate with
+      | Some c ->
+        Digest.to_hex
+          (Digest.string (Qobs.Json.to_string (Qcert.Certificate.to_json c)))
+      | None -> "<uncertified>"
+    in
+    (Printf.sprintf "%h" r.Compiler.latency, r.Compiler.n_merges, digest)
+  in
+  (* sequential reference: every job from cold per-domain memos *)
+  let expected =
+    Array.map
+      (fun (_, strategy, circuit) ->
+        Compiler.reset_all_memos ();
+        fingerprint (Compiler.compile ~certify:true ~strategy circuit))
+      jobs
+  in
+  (* parallel: round-robin the jobs over 4 domains sharing one
+     mutex-guarded stage cache (a hit skips only the work, so results
+     and certificates are unchanged); each job compiles into its own
+     metrics shard, merged after the join *)
+  let n_domains = 4 in
+  let cache = Qcc.Pipeline.Cache.create () in
+  let worker d () =
+    let out = ref [] in
+    Array.iteri
+      (fun i (_, strategy, circuit) ->
+        if i mod n_domains = d then begin
+          Compiler.reset_all_memos ();
+          let metrics = Qobs.Metrics.create () in
+          let r =
+            Compiler.compile ~certify:true ~metrics ~cache ~strategy circuit
+          in
+          out := (i, fingerprint r, metrics) :: !out
+        end)
+      jobs;
+    !out
+  in
+  let domains =
+    List.init n_domains (fun d -> Domain.spawn (worker d))
+  in
+  let got = List.concat_map Domain.join domains in
+  let shards = List.map (fun (_, _, m) -> m) got in
+  let merged =
+    List.fold_left Qobs.Metrics.merge (Qobs.Metrics.create ()) shards
+  in
+  let failed = ref false in
+  List.iter
+    (fun (i, fp, _) ->
+      let bench, strategy, _ = jobs.(i) in
+      let (e_lat, e_merges, e_digest) = expected.(i)
+      and (g_lat, g_merges, g_digest) = fp in
+      if fp <> expected.(i) then begin
+        Printf.eprintf
+          "  FAIL %s/%s: parallel (lat %s, merges %d, cert %s) vs sequential \
+           (lat %s, merges %d, cert %s)\n%!"
+          bench (Strategy.to_string strategy) g_lat g_merges g_digest e_lat
+          e_merges e_digest;
+        failed := true
+      end)
+    got;
+  if List.length got <> Array.length jobs then begin
+    Printf.eprintf "  FAIL: %d results for %d jobs\n%!" (List.length got)
+      (Array.length jobs);
+    failed := true
+  end;
+  Printf.printf
+    "  %d jobs on %d domains: commute.checks %d | cache hits %d (misses %d) | %s\n%!"
+    (Array.length jobs) n_domains
+    (Qobs.Metrics.counter_value merged "commute.checks")
+    (Qcc.Pipeline.Cache.hits cache)
+    (Qcc.Pipeline.Cache.misses cache)
+    (if !failed then "MISMATCH" else "all byte-identical");
+  if !failed then exit 1
+
 let experiments =
   [ ("table1", table1);
     ("fig4", fig4);
@@ -826,6 +926,7 @@ let experiments =
     ("ablations", ablations);
     ("pipeline", pipeline);
     ("pipeline-smoke", pipeline_smoke);
+    ("par-smoke", par_smoke);
     ("perf-gate", perf_gate);
     ("obs-overhead", obs_overhead);
     ("certify-overhead", certify_overhead);

@@ -197,3 +197,13 @@ let blocks result =
 
 let speedup ~baseline result =
   if result.latency <= 0. then infinity else baseline.latency /. result.latency
+
+(* The single exhaustive memo-reset entry point: one call per memoized
+   subsystem the compiler warms. domlint's DS020 check pins the set —
+   every per-domain memo table must be reachable from a reset_* function,
+   and this is the one callers (tests, benchmarks, domain pools) use to
+   return the calling domain to a cold start. Idempotent. *)
+let reset_all_memos () =
+  Qgdg.Commute.reset_memos ();
+  Qflow.Summary.reset_memo ();
+  Qcontrol.Latency_model.reset_memos ()

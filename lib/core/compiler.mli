@@ -140,3 +140,11 @@ val blocks : result -> Qgate.Gate.t list list
 
 val speedup : baseline:result -> result -> float
 (** baseline latency / this latency. *)
+
+val reset_all_memos : unit -> unit
+(** Return the {e calling domain} to a cold start: clears the commutation
+    decision/unitary memos ([Qgdg.Commute]), the block-summary and pair
+    memos ([Qflow.Summary]) and the latency-cost memos
+    ([Qcontrol.Latency_model]) — all per-domain tables. Idempotent; a
+    compile after reset reports the same cache-miss counters as a fresh
+    process. *)

@@ -1,6 +1,8 @@
 exception
   Stage_mismatch of { pass : string; expected : string; got : string }
 
+(* module-init registration, never re-run: Printexc's printer list is
+   only extended here before any domain can spawn *)
 let () =
   Printexc.register_printer (function
     | Stage_mismatch { pass; expected; got } ->
@@ -9,25 +11,40 @@ let () =
            "Pipeline.Stage_mismatch: pass %S expects a %s artifact, got %s"
            pass expected got)
     | _ -> None)
+  [@@domain_safety frozen_after_init]
 
 module Cache = struct
   type entry = E : 'a Ir.stage * 'a -> entry
 
-  type t = {
+  type state = {
     tbl : (string, entry) Hashtbl.t;
     mutable hits : int;
     mutable misses : int;
   }
 
-  let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
-  let hits t = t.hits
-  let misses t = t.misses
-  let length t = Hashtbl.length t.tbl
+  (* Mutex-guarded (Qobs.Domain_safe.Guarded) rather than per-domain: a
+     cache exists to SHARE artifacts across compiles, including compiles
+     running on different domains. The lock is held only around table
+     lookups/inserts and counter bumps, never while a pass runs. *)
+  type t = state Qobs.Domain_safe.Guarded.t
+
+  let create () =
+    Qobs.Domain_safe.Guarded.make { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+  let hits t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.hits)
+  let misses t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.misses)
+  let length t = Qobs.Domain_safe.Guarded.with_ t (fun s -> Hashtbl.length s.tbl)
 
   let clear t =
-    Hashtbl.reset t.tbl;
-    t.hits <- 0;
-    t.misses <- 0
+    Qobs.Domain_safe.Guarded.with_ t (fun s ->
+        Hashtbl.reset s.tbl;
+        s.hits <- 0;
+        s.misses <- 0)
+
+  let find t k = Qobs.Domain_safe.Guarded.with_ t (fun s -> Hashtbl.find_opt s.tbl k)
+  let add t k e = Qobs.Domain_safe.Guarded.with_ t (fun s -> Hashtbl.replace s.tbl k e)
+  let note_hit t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.hits <- s.hits + 1)
+  let note_miss t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.misses <- s.misses + 1)
 end
 
 (* Keys chain provenance: the root digests the backend and the source
@@ -69,7 +86,7 @@ let exec :
   let lookup () : b option =
     match (cache, key) with
     | Some c, Some k ->
-      (match Hashtbl.find_opt c.Cache.tbl k with
+      (match Cache.find c k with
        | Some (Cache.E (st, v)) ->
          (match Ir.equal_stage st p.Pass.out with
           | Some Ir.Eq -> Some v
@@ -81,7 +98,7 @@ let exec :
     match lookup () with
     | Some b ->
       (match cache with
-       | Some c -> c.Cache.hits <- c.Cache.hits + 1
+       | Some c -> Cache.note_hit c
        | None -> ());
       Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.hit";
       Pass.with_span ctx p.Pass.name (fun () ->
@@ -91,7 +108,7 @@ let exec :
     | None ->
       (match cache with
        | Some c ->
-         c.Cache.misses <- c.Cache.misses + 1;
+         Cache.note_miss c;
          Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.miss"
        | None -> ());
       (* never mutate a cache-resident artifact: in-place passes get a
@@ -106,7 +123,7 @@ let exec :
             b)
       in
       (match (cache, key) with
-       | Some c, Some k -> Hashtbl.replace c.Cache.tbl k (Cache.E (p.Pass.out, b))
+       | Some c, Some k -> Cache.add c k (Cache.E (p.Pass.out, b))
        | _ -> ());
       b
   in

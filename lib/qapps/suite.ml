@@ -62,6 +62,11 @@ let all =
       purpose = "UCCSD ansatz for VQE";
       paper_qubits = 6;
       circuit = lazy (Uccsd.circuit 6) } ]
+  [@@domain_safety
+    unsafe
+      "shared lazy circuits: concurrent Lazy.force raises RacyLazy -- force \
+       on a single domain (e.g. before Domain.spawn); the suspensions are \
+       pure, only the force itself races"]
 
 let fig9 = List.filter (fun b -> b.name <> "ising-n60") all
 
@@ -82,6 +87,11 @@ let extended =
         purpose = "QAOA on a 20-vertex line (maxcut-line under its Fig. 4 name)";
         paper_qubits = 20;
         circuit = lazy (Qaoa.circuit (Graphs.line 20)) } ]
+  [@@domain_safety
+    unsafe
+      "shared lazy circuits: concurrent Lazy.force raises RacyLazy -- force \
+       on a single domain (e.g. before Domain.spawn); the suspensions are \
+       pure, only the force itself races"]
 
 let find name = List.find (fun b -> b.name = name) extended
 

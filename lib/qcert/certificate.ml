@@ -135,9 +135,11 @@ let to_json t =
       ("facts", Int t.facts);
       ("boundaries", List (List.map boundary_to_json t.boundaries)) ]
 
+(* module-init registration, never re-run after load *)
 let () =
   Printexc.register_printer (function
     | Certification_failed t ->
       Some (Printf.sprintf "Qcert.Certificate.Certification_failed (%s)"
               (summary_line t))
     | _ -> None)
+  [@@domain_safety frozen_after_init]

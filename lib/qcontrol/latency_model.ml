@@ -1,7 +1,29 @@
 open Qnum
 module Gate = Qgate.Gate
 
-let gate_memo : (Device.t * Gate.kind, float) Hashtbl.t = Hashtbl.create 64
+(* All three cost memos (per-gate-kind, per-segment-shape, per-block-
+   shape) live in one per-domain slot: every entry is a pure function
+   of its key, so per-domain re-warming keeps costs deterministic while
+   no write can race. *)
+type memo_state = {
+  gate : (Device.t * Gate.kind, float) Hashtbl.t;
+  segment : (Device.t * string, float) Hashtbl.t;
+  block : (Device.t * int * string, float) Hashtbl.t;
+}
+
+let memos =
+  Qobs.Domain_safe.Local.make (fun () ->
+      { gate = Hashtbl.create 64;
+        segment = Hashtbl.create 1024;
+        block = Hashtbl.create 256 })
+  [@@domain_safety domain_local]
+
+(* idempotent; clears the calling domain's tables only *)
+let reset_memos () =
+  let m = Qobs.Domain_safe.Local.get memos in
+  Hashtbl.reset m.gate;
+  Hashtbl.reset m.segment;
+  Hashtbl.reset m.block
 
 let one_qubit_unitary_time device u =
   if Cmat.rows u <> 2 || Cmat.cols u <> 2 then
@@ -69,6 +91,7 @@ let two_qubit_unitary_time device u =
 let rec gate_time device g =
   Qobs.Metrics.tick "latency_model.gate_queries";
   let kind = g.Gate.kind in
+  let gate_memo = (Qobs.Domain_safe.Local.get memos).gate in
   match Hashtbl.find_opt gate_memo (device, kind) with
   | Some t -> t
   | None ->
@@ -228,11 +251,11 @@ let block_shape support gates =
 (* irreducible time of a <=2-qubit segment: the Weyl interaction time of
    its composed unitary (2q) or the geodesic rotation time (1q) — what no
    pulse optimizer can undercut on that segment's qubits. Memoized by
-   relabelled shape: the Weyl decomposition is by far the most expensive
-   step of a block-cost query, and segment shapes recur constantly. *)
-let segment_memo : (Device.t * string, float) Hashtbl.t = Hashtbl.create 1024
-
+   relabelled shape ([memos].segment): the Weyl decomposition is by far
+   the most expensive step of a block-cost query, and segment shapes
+   recur constantly. *)
 let segment_irreducible device seg =
+  let segment_memo = (Qobs.Domain_safe.Local.get memos).segment in
   let support = List.sort_uniq compare (List.concat_map Gate.qubits seg) in
   let key = (device, block_shape support seg) in
   match Hashtbl.find_opt segment_memo key with
@@ -251,14 +274,12 @@ let segment_irreducible device seg =
     Hashtbl.replace segment_memo key t;
     t
 
-(* memo for whole-block costs, the analogue of gate_memo for aggregates,
-   under the same relabelled {!block_shape} key *)
-let block_memo : (Device.t * int * string, float) Hashtbl.t =
-  Hashtbl.create 256
-
+(* whole-block costs, the analogue of the gate memo for aggregates,
+   under the same relabelled {!block_shape} key ([memos].block) *)
 let rec block_time ?(width_limit = 10) device gates =
   Qobs.Metrics.tick "latency_model.block_queries";
   if gates = [] then invalid_arg "Latency_model.block_time: empty block";
+  let block_memo = (Qobs.Domain_safe.Local.get memos).block in
   let support = List.sort_uniq compare (List.concat_map Gate.qubits gates) in
   let key = (device, width_limit, block_shape support gates) in
   match Hashtbl.find_opt block_memo key with

@@ -49,3 +49,8 @@ val segments : Qgate.Gate.t list -> Qgate.Gate.t list list
     runs of gates confined to one qubit pair (or one qubit), split when an
     interleaved gate couples a run's qubit elsewhere. Exposed for tests
     and for the aggregation heuristic. *)
+
+val reset_memos : unit -> unit
+(** Clear the calling domain's gate/segment/block cost memos (they are
+    per-domain, see [Qobs.Domain_safe.Local]). Idempotent; subsequent
+    queries re-warm from cold with identical results. *)

@@ -25,10 +25,21 @@ let relabel_onto support gs =
 
 let support_of gs = List.sort_uniq compare (List.concat_map Gate.qubits gs)
 
-(* classification of a relabelled block, memoized on its digest — the
+(* Classification of a relabelled block is memoized on its digest — the
    payload depends only on the block's shape, never on where it sits on
-   the register *)
-let classify_memo : (string, klass * bool * bool) Hashtbl.t = Hashtbl.create 1024
+   the register — and pairwise algebraic commutation on the relabelled
+   pair. Both tables live in one per-domain slot (Domain.DLS): memo
+   entries are pure functions of their keys, so per-domain re-warming
+   keeps results deterministic while no write can race. *)
+type memo_state = {
+  classify : (string, klass * bool * bool) Hashtbl.t;
+  pair : (string, bool option) Hashtbl.t;
+}
+
+let memos =
+  Qobs.Domain_safe.Local.make (fun () ->
+      { classify = Hashtbl.create 1024; pair = Hashtbl.create 1024 })
+  [@@domain_safety domain_local]
 
 let classify ~n_qubits local =
   let pp = Qdomain.Phase_poly.of_gates ~n_qubits local in
@@ -64,15 +75,16 @@ let of_gates gs =
   let support = support_of gs in
   let local = relabel_onto support gs in
   let digest = Digest.to_hex (Digest.string (Marshal.to_string local [])) in
+  let m = Qobs.Domain_safe.Local.get memos in
   let klass, in_clifford, in_phase_poly =
-    match Hashtbl.find_opt classify_memo digest with
+    match Hashtbl.find_opt m.classify digest with
     | Some payload ->
       Qobs.Metrics.tick "qflow.summary.hit";
       payload
     | None ->
       Qobs.Metrics.tick "qflow.summary.miss";
       let payload = classify ~n_qubits:(List.length support) local in
-      Hashtbl.replace classify_memo digest payload;
+      Hashtbl.replace m.classify digest payload;
       payload
   in
   { digest; support; klass; in_clifford; in_phase_poly }
@@ -81,12 +93,11 @@ let of_inst (i : Qgdg.Inst.t) = of_gates i.Qgdg.Inst.gates
 
 let max_pair_width = 12
 
-(* algebraic-only commutation on the joint support, memoized under the
-   relabelled pair (the joint overlap pattern matters, so the single-
-   block digests are not a sufficient key) *)
-let pair_memo : (string, bool option) Hashtbl.t = Hashtbl.create 1024
+(* Algebraic-only pairwise commutation is memoized under the relabelled
+   pair, in [memos].pair (the joint overlap pattern matters, so the
+   single-block digests are not a sufficient key).
 
-(* Route attribution, mirroring Qgdg.Commute: every [commutes] query
+   Route attribution, mirroring Qgdg.Commute: every [commutes] query
    ticks "qflow.pair.checks" and exactly one "qflow.route.<r>" counter
    (structural / oversize / memo / phase_poly / tableau / undecided),
    plus the matching per-route time histogram. The clock is read only
@@ -165,7 +176,8 @@ let commutes ~a ~b sa sb =
     else begin
       let la = relabel_onto joint a and lb = relabel_onto joint b in
       let key = Marshal.to_string (la, lb) [] in
-      match Hashtbl.find_opt pair_memo key with
+      let m = Qobs.Domain_safe.Local.get memos in
+      match Hashtbl.find_opt m.pair key with
       | Some r ->
         Qobs.Metrics.tick "qflow.summary.hit";
         route route_memo t0;
@@ -173,12 +185,14 @@ let commutes ~a ~b sa sb =
       | None ->
         Qobs.Metrics.tick "qflow.summary.miss";
         let r, route_taken = decide_pair ~n_qubits la lb in
-        Hashtbl.replace pair_memo key r;
+        Hashtbl.replace m.pair key r;
         route route_taken t0;
         r
     end
   end
 
+(* idempotent; clears the calling domain's tables only *)
 let reset_memo () =
-  Hashtbl.reset classify_memo;
-  Hashtbl.reset pair_memo
+  let m = Qobs.Domain_safe.Local.get memos in
+  Hashtbl.reset m.classify;
+  Hashtbl.reset m.pair

@@ -71,27 +71,43 @@ let route (name, hist) t0 =
    reading it through [Cmat.commute_embedded]'s structural embedding
    reproduces the [Unitary.of_gates]-on-the-joint-support comparison
    entry for entry. Bounded by total cached entries; cleared wholesale
-   when full. *)
-let unitary_memo : (string, Qnum.Cmat.t) Hashtbl.t = Hashtbl.create 256
-let unitary_memo_cells = ref 0
+   when full.
+
+   Both memo tables live in one per-domain slot: a memo hit returns
+   exactly what a recomputation would, so per-domain re-warming keeps
+   results deterministic while no write can ever race. *)
+type memo_state = {
+  unitary : (string, Qnum.Cmat.t) Hashtbl.t;
+  mutable unitary_cells : int;
+  decision : (string, bool) Hashtbl.t;
+}
+
+let memos =
+  Qobs.Domain_safe.Local.make (fun () ->
+      { unitary = Hashtbl.create 256;
+        unitary_cells = 0;
+        decision = Hashtbl.create 4096 })
+  [@@domain_safety domain_local]
+
 let unitary_memo_cell_cap = 4_000_000
 
 let unitary_on_own gates =
+  let m = Qobs.Domain_safe.Local.get memos in
   let own = List.sort_uniq compare (List.concat_map Gate.qubits gates) in
   let k = List.length own in
   let local = relabel_onto own gates in
   let key = Marshal.to_string local [] in
   let u =
-    match Hashtbl.find_opt unitary_memo key with
+    match Hashtbl.find_opt m.unitary key with
     | Some u -> u
     | None ->
       let u = Qgate.Unitary.of_gates ~n_qubits:k local in
-      if !unitary_memo_cells > unitary_memo_cell_cap then begin
-        Hashtbl.reset unitary_memo;
-        unitary_memo_cells := 0
+      if m.unitary_cells > unitary_memo_cell_cap then begin
+        Hashtbl.reset m.unitary;
+        m.unitary_cells <- 0
       end;
-      unitary_memo_cells := !unitary_memo_cells + (1 lsl (2 * k));
-      Hashtbl.replace unitary_memo key u;
+      m.unitary_cells <- m.unitary_cells + (1 lsl (2 * k));
+      Hashtbl.replace m.unitary key u;
       u
   in
   (own, u)
@@ -155,16 +171,16 @@ let tableau_commute ~n_qubits a b =
     end
   | _ -> None
 
-(* content-addressed memo over relabelled queries: the decision depends
-   only on the two gate lists up to a common qubit relabelling, and
-   repetitive circuits (the same excitation or adder template stamped
-   onto different qubit sets) re-ask structurally identical questions
-   constantly — each distinct shape pays the algebraic/dense check once
-   per process ("commute.memo_hits" counts the reuse) *)
-let decision_memo : (string, bool) Hashtbl.t = Hashtbl.create 4096
+(* The decision memo ([memos].decision) is content-addressed over
+   relabelled queries: the decision depends only on the two gate lists
+   up to a common qubit relabelling, and repetitive circuits (the same
+   excitation or adder template stamped onto different qubit sets)
+   re-ask structurally identical questions constantly — each distinct
+   shape pays the algebraic/dense check once per domain
+   ("commute.memo_hits" counts the reuse).
 
-(* shared slow path: support width gate, then algebraic domains, then the
-   dense comparison. Callers have already dispatched the structural
+   Shared slow path: support width gate, then algebraic domains, then
+   the dense comparison. Callers have already dispatched the structural
    shortcuts. *)
 let decide ~t0 a_gates b_gates =
   let support =
@@ -181,7 +197,8 @@ let decide ~t0 a_gates b_gates =
     let a = relabel_onto support a_gates in
     let b = relabel_onto support b_gates in
     let key = Marshal.to_string (a, b) [] in
-    match Hashtbl.find_opt decision_memo key with
+    let m = Qobs.Domain_safe.Local.get memos in
+    match Hashtbl.find_opt m.decision key with
     | Some r ->
       Qobs.Metrics.tick "commute.memo_hits";
       fast_path ();
@@ -206,7 +223,7 @@ let decide ~t0 a_gates b_gates =
             route route_dense t0;
             r)
       in
-      Hashtbl.replace decision_memo key r;
+      Hashtbl.replace m.decision key r;
       r
   end
 
@@ -257,7 +274,9 @@ let gates a b =
 
 let insts a b = blocks a.Inst.gates b.Inst.gates
 
+(* idempotent; clears the calling domain's tables only *)
 let reset_memos () =
-  Hashtbl.reset decision_memo;
-  Hashtbl.reset unitary_memo;
-  unitary_memo_cells := 0
+  let m = Qobs.Domain_safe.Local.get memos in
+  Hashtbl.reset m.decision;
+  Hashtbl.reset m.unitary;
+  m.unitary_cells <- 0

@@ -13,7 +13,8 @@ let families =
     ("aggregation", "aggregation policy");
     ("semantic", "semantic circuit lints (abstract interpretation)");
     ("aggop", "aggregation-opportunity lints");
-    ("pipeline", "pass-sequence composition") ]
+    ("pipeline", "pass-sequence composition");
+    ("domain-safety", "ambient mutable state / multi-domain safety (domlint)") ]
 
 let family_title key = List.assoc key families
 
@@ -21,7 +22,17 @@ let e code family severity summary = { code; family; severity; summary }
 
 let all =
   let open Diagnostic in
-  [ e "QL010" "circuit" Error "gate qubit index outside the register";
+  [ e "DS010" "domain-safety" Error
+      "unclassified ambient mutable state at module toplevel";
+    e "DS011" "domain-safety" Error
+      "toplevel mutable state escaping the module unclassified";
+    e "DS020" "domain-safety" Error
+      "memo table without a reset_* entry point";
+    e "DS030" "domain-safety" Error
+      "domain-unsafe stdlib use at module toplevel";
+    e "DS040" "domain-safety" Error
+      "stale or malformed [@@domain_safety] classification";
+    e "QL010" "circuit" Error "gate qubit index outside the register";
     e "QL011" "circuit" Error "duplicate qubit operands in one gate";
     e "QL012" "circuit" Error "operand count does not match the gate's arity";
     e "QL013" "circuit" Warning "register qubit never used";

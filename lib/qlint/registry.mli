@@ -7,7 +7,26 @@
     output, the SARIF rule catalog ({!Sarif}), and the
     registry-vs-[.mli]-doc consistency test. A code that is not in
     this table cannot appear in documentation without the test suite
-    noticing. *)
+    noticing.
+
+    Besides the QL0xx codes emitted by the [Check_*] modules here, the
+    table registers the DS0xx domain-safety family emitted by
+    [tools/domlint], the static analyzer that inventories ambient
+    mutable state at module toplevel and gates [dune runtest] on its
+    classification:
+
+    - DS010: unclassified ambient mutable state (a module-toplevel ref,
+      table, buffer, array or mutable record with no [@@domain_safety]
+      attribute).
+    - DS011: the same, but the binding escapes the module through its
+      interface — every external writer must be audited.
+    - DS020: a memo table classified [domain_local] or [reset_per_run]
+      with no [reset_*] entry point referencing it in its module, so
+      cold-start measurement and tests cannot clear it.
+    - DS030: domain-unsafe stdlib use at module init
+      ([Random.self_init], global [Format] mutation, …).
+    - DS040: a [@@domain_safety] classification that no longer matches
+      the code it annotates (stale or malformed). *)
 
 type entry = {
   code : string;  (** "QL010" … *)

@@ -76,9 +76,11 @@ let to_json r =
 
 let pp_json ppf r = Format.fprintf ppf "%s@." (to_json r)
 
+(* module-init registration, never re-run after load *)
 let () =
   Printexc.register_printer (function
     | Check_failed r ->
       Some
         (Printf.sprintf "Qlint.Report.Check_failed (%s)" (summary r))
     | _ -> None)
+  [@@domain_safety frozen_after_init]

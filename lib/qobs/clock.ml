@@ -1,9 +1,17 @@
 let t0 = Unix.gettimeofday ()
-let last = ref 0.
+
+(* monotonicity clamp: per-domain, so concurrent readers never race on
+   the high-water mark (each domain's spans are already ordered by its
+   own reads; cross-domain ordering is the joiner's problem) *)
+let last = Domain_safe.Local.make (fun () -> 0.) [@@domain_safety domain_local]
 
 let now_ns () =
   let t = (Unix.gettimeofday () -. t0) *. 1e9 in
-  if t > !last then last := t;
-  !last
+  let prev = Domain_safe.Local.get last in
+  if t > prev then begin
+    Domain_safe.Local.set last t;
+    t
+  end
+  else prev
 
 let elapsed_ns start = now_ns () -. start

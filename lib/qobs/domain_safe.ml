@@ -1,0 +1,17 @@
+module Local = struct
+  type 'a t = 'a Domain.DLS.key
+
+  let make init = Domain.DLS.new_key init
+  let get = Domain.DLS.get
+  let set = Domain.DLS.set
+end
+
+module Guarded = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    value : 'a;
+  }
+
+  let make value = { mutex = Mutex.create (); value }
+  let with_ t f = Mutex.protect t.mutex (fun () -> f t.value)
+end

@@ -1,0 +1,47 @@
+(** The two domain-safety building blocks the [@@domain_safety]
+    discipline (tools/domlint, README "Domain safety") is built on.
+
+    Ambient mutable state — memo tables, the ambient metrics registry,
+    the monotonic-clock clamp — must be one of: frozen after module
+    init, {e per-domain} (this module's {!Local}), or {e shared behind
+    a mutex} (this module's {!Guarded}). domlint recognises
+    [Local.make]/[Guarded.make] (and the raw [Domain.DLS.new_key] /
+    [Mutex.create] they wrap) as the [domain_local] / [guarded] site
+    forms and keeps the classification honest: a [domain_local]
+    attribute on a binding that is not a DLS slot is a DS040 error. *)
+
+module Local : sig
+  (** One instance per domain, via [Domain.DLS]. The right shape for
+      memo tables: caches re-warm independently per domain, no write
+      can race, and results stay deterministic because a memo hit
+      returns exactly what a recomputation would. *)
+
+  type 'a t
+
+  val make : (unit -> 'a) -> 'a t
+  (** [make init] — [init] runs once per domain, on that domain's first
+      {!get}. Like all ambient state, slots must be bound at module
+      toplevel (and classified [[@@domain_safety domain_local]]). *)
+
+  val get : 'a t -> 'a
+
+  val set : 'a t -> 'a -> unit
+  (** Replace the calling domain's instance (used by reset entry points
+      and ambient-registry swaps; other domains are unaffected). *)
+end
+
+module Guarded : sig
+  (** A value shared across domains behind its own mutex — the mutex
+      and the value live in one binding so domlint can see they travel
+      together. For low-frequency critical sections (a stage-cache
+      probe, a ledger append), not per-gate hot paths. *)
+
+  type 'a t
+
+  val make : 'a -> 'a t
+
+  val with_ : 'a t -> ('a -> 'b) -> 'b
+  (** [with_ t f] runs [f value] holding the mutex ([Mutex.protect]:
+      released on exceptions too). Do not call {!with_} re-entrantly
+      from [f] — stdlib mutexes are not recursive. *)
+end

@@ -3,18 +3,26 @@ let schema = "qcc.ledger/1"
 type t = {
   path : string;
   oc : out_channel;
+  lock : Mutex.t;
 }
 
 let open_file path =
-  { path; oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path }
+  { path;
+    oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path;
+    lock = Mutex.create () }
 
 let path t = t.path
-let close t = close_out t.oc
+let close t = Mutex.protect t.lock (fun () -> close_out t.oc)
 
+(* Channel primitives are atomic per call in OCaml 5, but a row is one
+   write + newline + flush — three calls that can interleave across
+   domains and tear rows. Serialize outside the lock, then emit the
+   whole line (and flush) in one critical section. *)
 let append t row =
-  output_string t.oc (Json.to_string row);
-  output_char t.oc '\n';
-  flush t.oc
+  let line = Json.to_string row ^ "\n" in
+  Mutex.protect t.lock (fun () ->
+      output_string t.oc line;
+      flush t.oc)
 
 (* one row per pass span directly under the compile root; certify-* and
    any other instrumented children count too, which is what a latency

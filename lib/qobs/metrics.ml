@@ -41,7 +41,11 @@ type t = {
 }
 
 let create () = { enabled = true; table = Hashtbl.create 64 }
+
+(* the null collector: every writer checks [enabled] first, so this
+   table is never written after init *)
 let disabled = { enabled = false; table = Hashtbl.create 0 }
+  [@@domain_safety frozen_after_init]
 let enabled t = t.enabled
 let reset t = Hashtbl.reset t.table
 
@@ -167,25 +171,73 @@ let pp_text ppf t =
 
 let write_file path t = Json.write_file path (to_json t)
 
+(* ---- merge (per-domain shard join) ---- *)
+
+(* Pointwise, commutative and associative (qcheck-pinned): counters
+   add; histograms add counts/sums/buckets and widen min/max; gauges
+   keep the max (last-write order across shards is meaningless). On a
+   name bound to different metric kinds in the two shards, the winner
+   is picked by fixed kind priority (Hist > Gauge > Counter) so the
+   result does not depend on argument order. *)
+
+let copy_metric = function
+  | Counter c -> Counter { count = c.count }
+  | Gauge g -> Gauge { value = g.value }
+  | Hist h -> Hist { h with buckets = Array.copy h.buckets }
+
+let merge_metric a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter { count = x.count + y.count }
+  | Gauge x, Gauge y -> Gauge { value = Float.max x.value y.value }
+  | Hist x, Hist y ->
+    Hist
+      { n = x.n + y.n;
+        sum = x.sum +. y.sum;
+        min = Float.min x.min y.min;
+        max = Float.max x.max y.max;
+        buckets = Array.init n_buckets (fun k -> x.buckets.(k) + y.buckets.(k))
+      }
+  | (Hist _ as h), _ | _, (Hist _ as h) -> copy_metric h
+  | (Gauge _ as g), _ | _, (Gauge _ as g) -> copy_metric g
+
+let merge a b =
+  let t = { enabled = true; table = Hashtbl.create 64 } in
+  let absorb src =
+    Hashtbl.iter
+      (fun name m ->
+        match Hashtbl.find_opt t.table name with
+        | None -> Hashtbl.replace t.table name (copy_metric m)
+        | Some existing -> Hashtbl.replace t.table name (merge_metric existing m))
+      src.table
+  in
+  absorb a;
+  absorb b;
+  t
+
 (* ---- ambient registry ---- *)
 
-let ambient_ref = ref disabled
-let ambient () = !ambient_ref
-let set_ambient t = ambient_ref := t
+(* per-domain: each domain installs its own registry (a shard), and the
+   spawner merges the shards at join — concurrent [tick]s can never
+   race because no two domains ever share a table *)
+let ambient_slot = Domain_safe.Local.make (fun () -> disabled)
+  [@@domain_safety domain_local]
+
+let ambient () = Domain_safe.Local.get ambient_slot
+let set_ambient t = Domain_safe.Local.set ambient_slot t
 
 let with_ambient t f =
-  let saved = !ambient_ref in
-  ambient_ref := t;
-  Fun.protect ~finally:(fun () -> ambient_ref := saved) f
+  let saved = ambient () in
+  set_ambient t;
+  Fun.protect ~finally:(fun () -> set_ambient saved) f
 
 let tick ?by name =
-  let t = !ambient_ref in
+  let t = ambient () in
   if t.enabled then incr t ?by name
 
 let record name v =
-  let t = !ambient_ref in
+  let t = ambient () in
   if t.enabled then observe t name v
 
 let set name v =
-  let t = !ambient_ref in
+  let t = ambient () in
   if t.enabled then gauge t name v

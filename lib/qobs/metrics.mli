@@ -61,10 +61,27 @@ val to_json : t -> Json.t
 val pp_text : Format.formatter -> t -> unit
 val write_file : string -> t -> unit
 
-(** {2 Ambient registry} *)
+val merge : t -> t -> t
+(** Pointwise shard join (fresh registry; the arguments are not
+    mutated): counters add, histograms add counts/sums/buckets and
+    widen min/max, gauges keep the max. Commutative and associative —
+    a domain pool can join per-domain shards in any order and get the
+    same snapshot ({!to_json} byte-identical), which the qcheck laws in
+    the test suite pin. On a name bound to different metric kinds the
+    winner is chosen by fixed kind priority (histogram > gauge >
+    counter), independent of argument order. *)
+
+(** {2 Ambient registry}
+
+    Per-domain ([Domain.DLS]): each domain sees (and installs) its own
+    ambient registry, starting at {!disabled}. Concurrent compiles on a
+    domain pool therefore tick into disjoint shards, which the spawner
+    {!merge}s at join — no cross-domain write can race. *)
 
 val ambient : unit -> t
 val set_ambient : t -> unit
+(** Install for the {e calling domain} only. *)
+
 val with_ambient : t -> (unit -> 'a) -> 'a
 (** Install, run, restore (also on exceptions). *)
 

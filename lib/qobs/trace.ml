@@ -10,7 +10,10 @@ type t = {
 }
 
 let create () = { enabled = true; stack = []; rev_roots = []; last = None }
+(* the null trace: every writer checks [enabled] first, so these
+   mutable fields are never written after init *)
 let disabled = { enabled = false; stack = []; rev_roots = []; last = None }
+  [@@domain_safety frozen_after_init]
 let enabled t = t.enabled
 
 let close t span =

@@ -1,8 +1,10 @@
 module Pulse = Qcontrol.Pulse
 
+(* read-only colour table *)
 let palette =
   [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#76b7b2"; "#edc948";
      "#b07aa1"; "#9c755f" |]
+  [@@domain_safety frozen_after_init]
 
 let to_svg ?(width = 860) ?(height = 360) ?(title = "control pulses") p =
   let margin_l = 60 and margin_r = 140 and margin_t = 30 and margin_b = 30 in

@@ -34,9 +34,11 @@ let to_json (s : Schedule.t) =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+(* read-only colour table *)
 let palette =
   [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#76b7b2"; "#edc948";
      "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac" |]
+  [@@domain_safety frozen_after_init]
 
 let to_svg ?(width = 900) ?(lane_height = 26) (s : Schedule.t) =
   let n = max 1 s.Schedule.n_qubits in

@@ -1,0 +1,125 @@
+(* DS0xx checks over the scan results.
+
+   DS010  unclassified ambient mutable state (module-private)
+   DS011  unclassified toplevel mutable state escaping the module
+   DS020  memo table classified domain_local/reset_per_run with no
+          reset_* entry point referencing it in the same file
+   DS030  domain-unsafe stdlib use without a classification
+   DS040  [@@domain_safety] attribute that no longer matches the code
+
+   Every diagnostic is an error: the gate's contract is "zero
+   unclassified or stale sites", not a severity ladder. *)
+
+type diag = {
+  code : string;
+  file : string;
+  line : int;
+  binding : string;
+  message : string;
+}
+
+let plain_mutable = function
+  | Site.Ref_cell | Site.Table | Site.Buffer_like | Site.Array_value
+  | Site.Mutable_record | Site.Lazy_block ->
+    true
+  | Site.Dls_slot | Site.Guard_slot | Site.Unsafe_stdlib _ -> false
+
+let short_name binding =
+  match String.rindex_opt binding '.' with
+  | None -> binding
+  | Some i -> String.sub binding (i + 1) (String.length binding - i - 1)
+
+let kinds_brief kinds =
+  String.concat "," (List.map Site.kind_to_string kinds)
+
+let diagnose_file (fr : Scan.file_result) =
+  let resettable name =
+    List.exists (fun (_, idents) -> Scan.SS.mem name idents) fr.Scan.resets
+  in
+  let site_diags (s : Site.t) =
+    let d code message =
+      { code; file = s.Site.file; line = s.Site.line; binding = s.Site.binding;
+        message }
+    in
+    let unsafe_stdlib_diags () =
+      List.filter_map
+        (function
+          | Site.Unsafe_stdlib what ->
+            Some
+              (d "DS030"
+                 (Printf.sprintf
+                    "domain-unsafe stdlib use (%s) in `%s` — classify the \
+                     binding or remove the call"
+                    what s.Site.binding))
+          | _ -> None)
+        s.Site.kinds
+    in
+    match s.Site.classification with
+    | None ->
+      let mutable_kinds = List.filter plain_mutable s.Site.kinds in
+      let slotted =
+        List.exists (fun k -> k = Site.Dls_slot || k = Site.Guard_slot) s.Site.kinds
+      in
+      (if mutable_kinds <> [] || slotted then
+         if s.Site.escapes && not slotted then
+           [ d "DS011"
+               (Printf.sprintf
+                  "toplevel mutable state `%s` (%s) escapes the module — \
+                   classify it with [@@domain_safety …] and audit every \
+                   external writer"
+                  s.Site.binding (kinds_brief s.Site.kinds)) ]
+         else
+           [ d "DS010"
+               (Printf.sprintf
+                  "unclassified ambient mutable state `%s` (%s) — add \
+                   [@@domain_safety frozen_after_init | domain_local | \
+                   guarded | reset_per_run | unsafe \"reason\"]"
+                  s.Site.binding (kinds_brief s.Site.kinds)) ]
+       else [])
+      @ unsafe_stdlib_diags ()
+    | Some (Error msg) ->
+      [ d "DS040" (Printf.sprintf "malformed [@@domain_safety] payload: %s" msg) ]
+    | Some (Ok c) ->
+      let stale why = [ d "DS040" ("stale [@@domain_safety] classification: " ^ why) ] in
+      let has = Fun.flip Site.has_kind s in
+      if s.Site.kinds = [] then
+        stale
+          (Printf.sprintf
+             "`%s` owns no ambient mutable state the scanner recognises — \
+              drop the attribute or use a recognised allocation form"
+             s.Site.binding)
+      else if c = Site.Domain_local && not (has Site.Dls_slot) then
+        stale
+          "domain_local requires the binding to be a Domain.DLS slot \
+           (Domain.DLS.new_key / Domain_safe.Local.make)"
+      else if c = Site.Guarded && not (has Site.Guard_slot) then
+        stale
+          "guarded requires a mutex bundled in the same binding \
+           (Mutex.create / Domain_safe.Guarded.make)"
+      else if has Site.Dls_slot && c <> Site.Domain_local then
+        stale "a Domain.DLS slot must be classified domain_local"
+      else if (has Site.Guard_slot && not (has Site.Dls_slot))
+              && c <> Site.Guarded then
+        stale "a mutex-bundled binding must be classified guarded"
+      else if
+        (c = Site.Domain_local || c = Site.Reset_per_run)
+        && s.Site.has_table_anywhere
+        && not (resettable (short_name s.Site.binding))
+      then
+        [ d "DS020"
+            (Printf.sprintf
+               "memo table `%s` has no reset_* entry point referencing it \
+                in this module — cold-start measurement and tests cannot \
+                clear it"
+               s.Site.binding) ]
+      else []
+  in
+  List.concat_map site_diags fr.Scan.sites
+
+let diagnose frs =
+  List.sort
+    (fun a b ->
+      match compare a.file b.file with
+      | 0 -> (match compare a.line b.line with 0 -> compare a.code b.code | c -> c)
+      | c -> c)
+    (List.concat_map diagnose_file frs)

@@ -1,0 +1,95 @@
+(* domlint — domain-safety static analysis over the repo's own sources.
+
+     domlint [--format text|json|sarif] [PATH…]
+
+   PATHs are .ml files or directories (recursed, skipping _build and
+   dot-directories); default is `lib`. Exit 1 on any DS0xx diagnostic,
+   2 on a parse/IO failure. See README "Domain safety" for the code
+   glossary and the [@@domain_safety] attribute vocabulary. *)
+
+open Domlint_lib
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    let base = Filename.basename path in
+    if base = "_build" || (String.length base > 0 && base.[0] = '.') then acc
+    else
+      Array.fold_left
+        (fun acc entry -> collect acc (Filename.concat path entry))
+        acc
+        (let entries = Sys.readdir path in
+         Array.sort compare entries;
+         entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path =
+  let source = read_file path in
+  let intf_path = Filename.remove_extension path ^ ".mli" in
+  let intf =
+    if Sys.file_exists intf_path then
+      Scan.intf_vals (Scan.parse_interface ~path:intf_path (read_file intf_path))
+    else Scan.No_intf
+  in
+  Scan.scan_structure ~file:path ~intf
+    (Scan.parse_implementation ~path source)
+
+let () =
+  let format = ref "text" in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--format" :: f :: rest ->
+      if not (List.mem f [ "text"; "json"; "sarif" ]) then begin
+        Printf.eprintf "domlint: unknown format %S (text|json|sarif)\n" f;
+        exit 2
+      end;
+      format := f;
+      parse_args rest
+    | "--format" :: [] ->
+      Printf.eprintf "domlint: --format needs an argument\n";
+      exit 2
+    | p :: rest ->
+      paths := p :: !paths;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots = if !paths = [] then [ "lib" ] else List.rev !paths in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "domlint: no such file or directory: %s\n" p;
+        exit 2
+      end)
+    roots;
+  let files = List.sort compare (List.fold_left collect [] roots) in
+  let results =
+    List.map
+      (fun path ->
+        try scan_file path
+        with exn ->
+          Printf.eprintf "domlint: %s: %s\n" path (Printexc.to_string exn);
+          exit 2)
+      files
+  in
+  let sites = List.concat_map (fun r -> r.Scan.sites) results in
+  let diags = Check.diagnose results in
+  (match !format with
+   | "json" ->
+     print_string
+       (Qobs.Json.to_string
+          (Ds_report.to_json ~files_scanned:(List.length files) ~sites ~diags));
+     print_newline ()
+   | "sarif" ->
+     print_string (Qobs.Json.to_string (Ds_report.to_sarif ~diags));
+     print_newline ()
+   | _ ->
+     Ds_report.pp_text Format.std_formatter ~files_scanned:(List.length files)
+       ~sites ~diags);
+  if diags <> [] then exit 1

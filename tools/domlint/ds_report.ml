@@ -1,0 +1,150 @@
+(* Deterministic rendering of the inventory + diagnostics: text for
+   humans, `qcc.domlint/1` JSON for tooling, SARIF 2.1.0 for code
+   scanners — the same three surfaces qlint reports on, with the rule
+   catalog read from the shared Qlint.Registry so DS codes are
+   documented in exactly one place. *)
+
+module J = Qobs.Json
+
+let schema = "qcc.domlint/1"
+
+let sort_sites sites =
+  List.sort
+    (fun (a : Site.t) (b : Site.t) ->
+      match compare a.Site.file b.Site.file with
+      | 0 -> (
+        match compare a.Site.line b.Site.line with
+        | 0 -> compare a.Site.binding b.Site.binding
+        | c -> c)
+      | c -> c)
+    sites
+
+let classification_field (s : Site.t) =
+  match s.Site.classification with
+  | None -> "UNCLASSIFIED"
+  | Some (Error _) -> "MALFORMED"
+  | Some (Ok c) -> Site.classification_to_string c
+
+let site_json (s : Site.t) =
+  J.Obj
+    [ ("binding", J.Str s.Site.binding);
+      ("classification", J.Str (classification_field s));
+      ("escapes", J.Bool s.Site.escapes);
+      ("file", J.Str s.Site.file);
+      ("kinds", J.List (List.map (fun k -> J.Str (Site.kind_to_string k)) s.Site.kinds));
+      ("line", J.Int s.Site.line) ]
+
+let diag_json (d : Check.diag) =
+  J.Obj
+    [ ("binding", J.Str d.Check.binding);
+      ("code", J.Str d.Check.code);
+      ("file", J.Str d.Check.file);
+      ("line", J.Int d.Check.line);
+      ("message", J.Str d.Check.message) ]
+
+let to_json ~files_scanned ~sites ~diags =
+  let classified =
+    List.length
+      (List.filter
+         (fun (s : Site.t) ->
+           match s.Site.classification with Some (Ok _) -> true | _ -> false)
+         sites)
+  in
+  J.Obj
+    [ ("diagnostics", J.List (List.map diag_json diags));
+      ("errors", J.Int (List.length diags));
+      ("files_scanned", J.Int files_scanned);
+      ("schema", J.Str schema);
+      ("sites", J.List (List.map site_json (sort_sites sites)));
+      ("sites_classified", J.Int classified);
+      ("sites_total", J.Int (List.length sites)) ]
+
+let pp_text ppf ~files_scanned ~sites ~diags =
+  let sites = sort_sites sites in
+  Format.fprintf ppf
+    "domlint: %d files scanned, %d ambient mutable-state sites, %d diagnostics@."
+    files_scanned (List.length sites) (List.length diags);
+  List.iter
+    (fun (s : Site.t) ->
+      Format.fprintf ppf "  %s:%-4d %-42s [%s]%s %s@." s.Site.file s.Site.line
+        s.Site.binding
+        (String.concat "," (List.map Site.kind_to_string s.Site.kinds))
+        (if s.Site.escapes then " escapes" else "")
+        (classification_field s))
+    sites;
+  List.iter
+    (fun (d : Check.diag) ->
+      Format.fprintf ppf "%s:%d: %s error: %s@." d.Check.file d.Check.line
+        d.Check.code d.Check.message)
+    diags
+
+(* ---- SARIF 2.1.0 --------------------------------------------------- *)
+
+let rule_of code =
+  let base = [ ("id", J.Str code) ] in
+  match Qlint.Registry.find code with
+  | None -> J.Obj base
+  | Some entry ->
+    J.Obj
+      (base
+       @ [ ( "shortDescription",
+             J.Obj [ ("text", J.Str entry.Qlint.Registry.summary) ] );
+           ( "defaultConfiguration",
+             J.Obj [ ("level", J.Str "error") ] );
+           ( "properties",
+             J.Obj
+               [ ( "family",
+                   J.Str (Qlint.Registry.family_title entry.Qlint.Registry.family)
+                 ) ] ) ])
+
+let sarif_result ~rule_index (d : Check.diag) =
+  J.Obj
+    [ ("ruleId", J.Str d.Check.code);
+      ("ruleIndex", J.Int (rule_index d.Check.code));
+      ("level", J.Str "error");
+      ("message", J.Obj [ ("text", J.Str d.Check.message) ]);
+      ( "locations",
+        J.List
+          [ J.Obj
+              [ ( "physicalLocation",
+                  J.Obj
+                    [ ( "artifactLocation",
+                        J.Obj [ ("uri", J.Str d.Check.file) ] );
+                      ( "region",
+                        J.Obj [ ("startLine", J.Int d.Check.line) ] ) ] );
+                ( "logicalLocations",
+                  J.List
+                    [ J.Obj
+                        [ ("fullyQualifiedName", J.Str d.Check.binding);
+                          ("kind", J.Str "member") ] ] ) ] ] ) ]
+
+let to_sarif ~diags =
+  let codes =
+    List.sort_uniq compare (List.map (fun d -> d.Check.code) diags)
+  in
+  let rule_index code =
+    let rec go k = function
+      | [] -> -1
+      | c :: _ when c = code -> k
+      | _ :: rest -> go (k + 1) rest
+    in
+    go 0 codes
+  in
+  J.Obj
+    [ ("version", J.Str "2.1.0");
+      ( "$schema",
+        J.Str
+          "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+      );
+      ( "runs",
+        J.List
+          [ J.Obj
+              [ ( "tool",
+                  J.Obj
+                    [ ( "driver",
+                        J.Obj
+                          [ ("name", J.Str "domlint");
+                            ("informationUri", J.Str "README.md");
+                            ("rules", J.List (List.map rule_of codes)) ] ) ] );
+                ("results", J.List (List.map (sarif_result ~rule_index) diags))
+              ] ] ) ]

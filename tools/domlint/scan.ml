@@ -1,0 +1,349 @@
+(* Parsetree scan for ambient mutable state.
+
+   One file at a time: parse the .ml with compiler-libs
+   ([Parse.implementation]), walk every module-toplevel value binding
+   (including bindings inside toplevel [module M = struct … end]), and
+   record a {!Site.t} for each binding whose *evaluated-at-init* region
+   allocates mutable state. Expressions under [fun]/[function]/[lazy]
+   run per call, not at module init, so the walker switches to a
+   "later" mode there and only keeps looking for the hard-unsafe stdlib
+   calls (global PRNG seeding, global formatter mutation) that are
+   wrong whenever they run.
+
+   The scan is purely syntactic — no typing pass — so it recognises
+   the standard allocation spellings ([ref], [Hashtbl.create],
+   [Array.make], [\[| … |\]], record literals with fields declared
+   [mutable] in the same file, [lazy], [Domain.DLS.new_key],
+   [Domain_safe.Local.make], [Mutex.create]) rather than chasing
+   aliases. That is the point: the attribute discipline keeps ambient
+   state in these recognisable forms, and anything cleverer fails the
+   gate until it is rewritten into one of them. *)
+
+module SS = Set.Make (String)
+
+type intf = No_intf | Vals of SS.t
+
+type file_result = {
+  sites : Site.t list;
+  (* toplevel [reset_*] function name -> idents its body references *)
+  resets : (string * SS.t) list;
+}
+
+let last_of_longident li = Longident.last li
+
+let rec flatten_longident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (p, s) -> flatten_longident p @ [ s ]
+  | Longident.Lapply (a, _) -> flatten_longident a
+
+(* ---- what a call allocates ---------------------------------------- *)
+
+(* (module, function) suffixes that build a fresh mutable container *)
+let call_site path =
+  match List.rev (flatten_longident path) with
+  | [ "ref" ] -> Some Site.Ref_cell
+  | "create" :: m :: _ when m = "Hashtbl" || m = "Queue" || m = "Stack"
+                            || m = "Weak" || m = "Ephemeron" ->
+    Some Site.Table
+  | "create" :: "Buffer" :: _ -> Some Site.Buffer_like
+  | ("make" | "create" | "init" | "create_float" | "make_matrix") :: "Array" :: _
+  | ("make" | "create" | "init") :: "Bytes" :: _ | ("make" | "init") :: "Float" :: _ ->
+    Some Site.Array_value
+  | ("new_key" :: "DLS" :: _) | ("make" :: "Local" :: _) -> Some Site.Dls_slot
+  | ("create" :: "Mutex" :: _) | ("make" :: "Guarded" :: _) ->
+    Some Site.Guard_slot
+  | _ -> None
+
+(* stdlib entry points that mutate global/program-wide state no matter
+   where they are called from *)
+let hard_unsafe_call path =
+  match flatten_longident path with
+  | [ "Random"; ("self_init" | "init" | "full_init" | "set_state") as f ] ->
+    Some ("Random." ^ f)
+  | "Format"
+    :: (( "set_formatter_out_channel" | "set_formatter_out_functions"
+        | "set_margin" | "set_max_indent" | "set_max_boxes"
+        | "set_ellipsis_text" | "set_tags" | "set_formatter_tag_functions" ) as
+        f)
+    :: _ ->
+    Some ("Format." ^ f)
+  | [ "Printexc"; "register_printer" ] -> Some "Printexc.register_printer"
+  | [ "Callback"; "register" ] -> Some "Callback.register"
+  | _ -> None
+
+(* ---- attribute parsing -------------------------------------------- *)
+
+let attribute_name = "domain_safety"
+
+let parse_payload (payload : Parsetree.payload) :
+    (Site.classification, string) result =
+  let open Parsetree in
+  let bad () =
+    Error
+      "expected frozen_after_init | domain_local | guarded | reset_per_run | \
+       unsafe \"reason\""
+  in
+  match payload with
+  | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> (
+    match e.pexp_desc with
+    | Pexp_ident { txt = Longident.Lident kw; _ } -> (
+      match kw with
+      | "frozen_after_init" -> Ok Site.Frozen_after_init
+      | "domain_local" -> Ok Site.Domain_local
+      | "guarded" -> Ok Site.Guarded
+      | "reset_per_run" -> Ok Site.Reset_per_run
+      | "unsafe" -> Error "unsafe needs a reason: [@@domain_safety unsafe \"…\"]"
+      | _ -> bad ())
+    | Pexp_apply
+        ( { pexp_desc = Pexp_ident { txt = Longident.Lident "unsafe"; _ }; _ },
+          [ ( Asttypes.Nolabel,
+              { pexp_desc = Pexp_constant (Pconst_string (reason, _, _)); _ } )
+          ] ) ->
+      Ok (Site.Unsafe reason)
+    | _ -> bad ())
+  | _ -> bad ()
+
+let find_attribute (attrs : Parsetree.attributes) =
+  List.find_opt
+    (fun (a : Parsetree.attribute) -> a.attr_name.txt = attribute_name)
+    attrs
+
+(* ---- mutable record fields declared in this file ------------------- *)
+
+let mutable_fields_of structure =
+  let acc = ref SS.empty in
+  let add_labels labels =
+    List.iter
+      (fun (ld : Parsetree.label_declaration) ->
+        if ld.pld_mutable = Asttypes.Mutable then
+          acc := SS.add ld.pld_name.txt !acc)
+      labels
+  in
+  let open Ast_iterator in
+  let it =
+    { default_iterator with
+      type_declaration =
+        (fun it td ->
+          (match td.Parsetree.ptype_kind with
+           | Parsetree.Ptype_record labels -> add_labels labels
+           | _ -> ());
+          default_iterator.type_declaration it td);
+      constructor_declaration =
+        (fun it cd ->
+          (match cd.Parsetree.pcd_args with
+           | Parsetree.Pcstr_record labels -> add_labels labels
+           | _ -> ());
+          default_iterator.constructor_declaration it cd) }
+  in
+  it.structure it structure;
+  !acc
+
+(* ---- the binding walker ------------------------------------------- *)
+
+type found = {
+  mutable kinds : Site.kind list;  (* reverse scan order *)
+  mutable table_anywhere : bool;
+}
+
+let add_kind found k = if not (List.mem k found.kinds) then found.kinds <- k :: found.kinds
+
+(* Walk one binding's RHS. [eval_now] starts true and drops to false
+   under function/lazy bodies; allocation kinds are recorded only in
+   eval-now position, hard-unsafe calls always, and [table_anywhere]
+   always (so DS020 sees tables born inside DLS initializers). *)
+let analyze_rhs ~mutable_fields (rhs : Parsetree.expression) =
+  let found = { kinds = []; table_anywhere = false } in
+  let eval_now = ref true in
+  let later f =
+    let saved = !eval_now in
+    eval_now := false;
+    f ();
+    eval_now := saved
+  in
+  let open Ast_iterator in
+  let it =
+    { default_iterator with
+      expr =
+        (fun iter e ->
+          match e.Parsetree.pexp_desc with
+          | Parsetree.Pexp_fun (_, default, _, body) ->
+            Option.iter (iter.expr iter) default;
+            later (fun () -> iter.expr iter body)
+          | Parsetree.Pexp_function cases ->
+            later (fun () -> List.iter (iter.case iter) cases)
+          | Parsetree.Pexp_lazy inner ->
+            if !eval_now then add_kind found Site.Lazy_block;
+            later (fun () -> iter.expr iter inner)
+          | Parsetree.Pexp_apply
+              ({ pexp_desc = Parsetree.Pexp_ident { txt = path; _ }; _ }, args)
+            ->
+            (match call_site path with
+             | Some k ->
+               if !eval_now then add_kind found k;
+               if k = Site.Table then found.table_anywhere <- true
+             | None -> ());
+            (match hard_unsafe_call path with
+             | Some what -> add_kind found (Site.Unsafe_stdlib what)
+             | None -> ());
+            List.iter (fun (_, a) -> iter.expr iter a) args
+          | Parsetree.Pexp_record (fields, base) ->
+            if
+              !eval_now
+              && List.exists
+                   (fun ((lbl : Longident.t Asttypes.loc), _) ->
+                     SS.mem (last_of_longident lbl.txt) mutable_fields)
+                   fields
+            then add_kind found Site.Mutable_record;
+            Option.iter (iter.expr iter) base;
+            List.iter (fun (_, v) -> iter.expr iter v) fields
+          | Parsetree.Pexp_array _ ->
+            if !eval_now then add_kind found Site.Array_value;
+            default_iterator.expr iter e
+          | _ -> default_iterator.expr iter e) }
+  in
+  it.expr it rhs;
+  { found with kinds = List.rev found.kinds }
+
+let idents_of (e : Parsetree.expression) =
+  let acc = ref SS.empty in
+  let open Ast_iterator in
+  let it =
+    { default_iterator with
+      expr =
+        (fun iter e ->
+          (match e.Parsetree.pexp_desc with
+           | Parsetree.Pexp_ident { txt; _ } ->
+             acc := SS.add (last_of_longident txt) !acc
+           | _ -> ());
+          default_iterator.expr iter e) }
+  in
+  it.expr it e;
+  !acc
+
+let rec binding_names (p : Parsetree.pattern) =
+  match p.Parsetree.ppat_desc with
+  | Parsetree.Ppat_var { txt; _ } -> [ txt ]
+  | Parsetree.Ppat_constraint (p, _) | Parsetree.Ppat_alias (p, _) ->
+    binding_names p
+  | Parsetree.Ppat_tuple ps -> List.concat_map binding_names ps
+  | Parsetree.Ppat_construct ({ txt = Longident.Lident "()"; _ }, None) ->
+    [ "()" ]
+  | Parsetree.Ppat_any -> [ "_" ]
+  | _ -> []
+
+let rec is_function (e : Parsetree.expression) =
+  match e.Parsetree.pexp_desc with
+  | Parsetree.Pexp_fun _ | Parsetree.Pexp_function _ -> true
+  | Parsetree.Pexp_constraint (e, _) | Parsetree.Pexp_newtype (_, e) ->
+    is_function e
+  | _ -> false
+
+(* ---- one file ------------------------------------------------------ *)
+
+let parse_implementation ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  Parse.implementation lexbuf
+
+let parse_interface ~path source =
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf path;
+  Parse.interface lexbuf
+
+let intf_vals signature =
+  let acc = ref SS.empty in
+  let open Ast_iterator in
+  let it =
+    { default_iterator with
+      value_description =
+        (fun iter vd ->
+          acc := SS.add vd.Parsetree.pval_name.txt !acc;
+          default_iterator.value_description iter vd) }
+  in
+  it.signature it signature;
+  Vals !acc
+
+let scan_structure ~file ~intf structure =
+  let mutable_fields = mutable_fields_of structure in
+  let sites = ref [] in
+  let resets = ref [] in
+  let escapes name =
+    match intf with
+    | No_intf -> true
+    | Vals vs -> SS.mem name vs
+  in
+  let rec structure_items prefix items =
+    List.iter (structure_item prefix) items
+  and structure_item prefix (si : Parsetree.structure_item) =
+    match si.Parsetree.pstr_desc with
+    | Parsetree.Pstr_value (_, vbs) -> List.iter (value_binding prefix) vbs
+    | Parsetree.Pstr_module mb -> module_binding prefix mb
+    | Parsetree.Pstr_recmodule mbs -> List.iter (module_binding prefix) mbs
+    | Parsetree.Pstr_include { pincl_mod = m; _ } -> module_expr prefix m
+    | _ -> ()
+  and module_binding prefix (mb : Parsetree.module_binding) =
+    let name = Option.value ~default:"_" mb.Parsetree.pmb_name.txt in
+    module_expr (prefix @ [ name ]) mb.Parsetree.pmb_expr
+  and module_expr prefix (m : Parsetree.module_expr) =
+    match m.Parsetree.pmod_desc with
+    | Parsetree.Pmod_structure items -> structure_items prefix items
+    | Parsetree.Pmod_constraint (m, _) -> module_expr prefix m
+    | _ -> ()
+  and value_binding prefix (vb : Parsetree.value_binding) =
+    let names = binding_names vb.Parsetree.pvb_pat in
+    let name = String.concat "," names in
+    let qualified =
+      String.concat "." (prefix @ [ (if name = "" then "_" else name) ])
+    in
+    let line = vb.Parsetree.pvb_loc.Location.loc_start.Lexing.pos_lnum in
+    let attr =
+      Option.map
+        (fun (a : Parsetree.attribute) -> parse_payload a.attr_payload)
+        (find_attribute vb.Parsetree.pvb_attributes)
+    in
+    let rhs = vb.Parsetree.pvb_expr in
+    if is_function rhs then begin
+      (* functions allocate per call — never ambient. Still: remember
+         reset_* entry points, and a [@@domain_safety] attribute on a
+         plain function is stale by definition (reported by Check). *)
+      List.iter
+        (fun n ->
+          if String.length n >= 5 && String.sub n 0 5 = "reset" then
+            resets := (n, idents_of rhs) :: !resets)
+        names;
+      match attr with
+      | None -> ()
+      | Some classification ->
+        sites :=
+          { Site.file;
+            line;
+            binding = qualified;
+            kinds = [];
+            classification = Some classification;
+            escapes = List.exists escapes names;
+            has_table_anywhere = false }
+          :: !sites
+    end
+    else begin
+      let found = analyze_rhs ~mutable_fields rhs in
+      if found.kinds <> [] || attr <> None then
+        sites :=
+          { Site.file;
+            line;
+            binding = qualified;
+            kinds = found.kinds;
+            classification = attr;
+            escapes =
+              (* toplevel names are checked against the .mli's vals; for
+                 bindings nested in submodules the .mli governs through
+                 its module signature, which we do not resolve — treat
+                 them as private whenever an .mli exists at all *)
+              (match prefix with
+               | [] -> List.exists escapes names
+               | _ -> intf = No_intf);
+            has_table_anywhere = found.table_anywhere }
+          :: !sites
+    end
+  in
+  structure_items [] structure;
+  { sites = List.rev !sites; resets = List.rev !resets }

@@ -1,0 +1,69 @@
+(* A "site" is one module-toplevel binding that owns ambient mutable
+   state: a value that exists once per process (or once per domain) and
+   is reachable from every compile that runs in it. Sites are what the
+   [@@domain_safety] attribute classifies and what the DS0xx checks
+   gate. *)
+
+type classification =
+  | Frozen_after_init
+      (* written only during module initialization (single-threaded, before
+         any [Domain.spawn]); all later access is read-only *)
+  | Domain_local
+      (* one instance per domain via [Domain.DLS]; never shared, so writes
+         cannot race (memo tables re-warm per domain) *)
+  | Guarded
+      (* shared across domains behind a mutex bundled in the same binding *)
+  | Reset_per_run
+      (* process-wide cache cleared by an explicit [reset_*] entry point;
+         single-domain only until migrated to [Domain_local]/[Guarded] *)
+  | Unsafe of string
+      (* known-unsafe under domains, with the reason; a TODO the gate keeps
+         visible instead of letting it hide *)
+
+let classification_to_string = function
+  | Frozen_after_init -> "frozen_after_init"
+  | Domain_local -> "domain_local"
+  | Guarded -> "guarded"
+  | Reset_per_run -> "reset_per_run"
+  | Unsafe reason -> Printf.sprintf "unsafe %S" reason
+
+(* What the scanner recognised inside the binding's evaluated-at-init
+   region (or, for [Unsafe_stdlib], anywhere in the binding). *)
+type kind =
+  | Ref_cell  (* ref ... *)
+  | Table  (* Hashtbl/Queue/Stack/Weak.create, …  *)
+  | Buffer_like  (* Buffer.create *)
+  | Array_value  (* Array.make / [| … |] / Bytes.create *)
+  | Mutable_record  (* record literal with a known-mutable field *)
+  | Lazy_block  (* toplevel lazy: forcing is a write, and racy forcing raises *)
+  | Dls_slot  (* Domain.DLS.new_key / Domain_safe.Local.make *)
+  | Guard_slot  (* Mutex.create / Domain_safe.Guarded.make *)
+  | Unsafe_stdlib of string
+      (* global-effect stdlib entry point: Random.self_init, global Format
+         state, Printexc.register_printer, … *)
+
+let kind_to_string = function
+  | Ref_cell -> "ref"
+  | Table -> "table"
+  | Buffer_like -> "buffer"
+  | Array_value -> "array"
+  | Mutable_record -> "mutable-record"
+  | Lazy_block -> "lazy"
+  | Dls_slot -> "dls-slot"
+  | Guard_slot -> "guard-slot"
+  | Unsafe_stdlib what -> Printf.sprintf "stdlib:%s" what
+
+type t = {
+  file : string;
+  line : int;
+  binding : string;  (* dotted path inside the file, e.g. "Cache.tbl" *)
+  kinds : kind list;  (* non-empty, deduplicated, scan order *)
+  classification : (classification, string) result option;
+      (* [None]: no attribute; [Some (Error msg)]: malformed payload *)
+  escapes : bool;  (* exported through the .mli (or no .mli exists) *)
+  has_table_anywhere : bool;
+      (* a table allocation occurs anywhere in the binding, including
+         behind function/lazy/DLS-init bodies — what DS020 keys on *)
+}
+
+let has_kind k t = List.mem k t.kinds

@@ -884,6 +884,26 @@ let par_smoke () =
     List.fold_left Qobs.Metrics.merge (Qobs.Metrics.create ()) shards
   in
   let failed = ref false in
+  (* the index multiset comes first: the per-job comparison below indexes
+     [expected] by whatever indices the workers returned, so a dropped or
+     double-assigned job would otherwise pass it silently *)
+  let indices = List.sort compare (List.map (fun (i, _, _) -> i) got) in
+  if indices <> List.init (Array.length jobs) Fun.id then begin
+    let count i = List.length (List.filter (Int.equal i) indices) in
+    let show l = String.concat ", " (List.map string_of_int l) in
+    let missing =
+      List.filter (fun i -> count i = 0)
+        (List.init (Array.length jobs) Fun.id)
+    in
+    let duplicated =
+      List.sort_uniq compare (List.filter (fun i -> count i > 1) indices)
+    in
+    Printf.eprintf
+      "  FAIL: job index multiset mismatch (%d results for %d jobs; \
+       missing [%s]; duplicated [%s])\n%!"
+      (List.length got) (Array.length jobs) (show missing) (show duplicated);
+    failed := true
+  end;
   List.iter
     (fun (i, fp, _) ->
       let bench, strategy, _ = jobs.(i) in
@@ -898,11 +918,6 @@ let par_smoke () =
         failed := true
       end)
     got;
-  if List.length got <> Array.length jobs then begin
-    Printf.eprintf "  FAIL: %d results for %d jobs\n%!" (List.length got)
-      (Array.length jobs);
-    failed := true
-  end;
   Printf.printf
     "  %d jobs on %d domains: commute.checks %d | cache hits %d (misses %d) | %s\n%!"
     (Array.length jobs) n_domains
@@ -910,6 +925,116 @@ let par_smoke () =
     (Qcc.Pipeline.Cache.hits cache)
     (Qcc.Pipeline.Cache.misses cache)
     (if !failed then "MISMATCH" else "all byte-identical");
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scaling: jobs ∈ {1,2,4,8} over the full matrix             *)
+
+(* The real driver end-to-end: [Compiler.compile_matrix] over the whole
+   benchmark×strategy matrix at each pool size, through the Parallel
+   executor, the shared compute-once stage cache and per-job metrics
+   shards — certification on, so the byte-identity assertion covers the
+   certificate digests too. The jobs=1 sweep is the pooled sequential
+   reference every other pool size must match cell for cell. *)
+let par_scale () =
+  header "Parallel scaling: jobs in {1,2,4,8} over the benchmark matrix \
+          (BENCH_par.json)";
+  let named =
+    (* force the lazy suite circuits on the main domain before any spawn *)
+    List.map
+      (fun b -> (b, Qapps.Suite.lowered (Qapps.Suite.find b)))
+      pipeline_benchmarks
+  in
+  let fingerprint r =
+    let digest =
+      match r.Compiler.certificate with
+      | Some c ->
+        Digest.to_hex
+          (Digest.string (Qobs.Json.to_string (Qcert.Certificate.to_json c)))
+      | None -> "<uncertified>"
+    in
+    (Printf.sprintf "%h" r.Compiler.latency, r.Compiler.n_merges, digest)
+  in
+  let sweep jobs =
+    let t0 = Qobs.Clock.now_ns () in
+    let rows = Compiler.compile_matrix ~certify:true ~jobs named in
+    let wall_s = (Qobs.Clock.now_ns () -. t0) /. 1e9 in
+    let cells =
+      List.concat_map
+        (fun (bench, results) ->
+          List.map
+            (fun (s, r) ->
+              ((bench, Strategy.to_string s), fingerprint r,
+               r.Compiler.compile_time))
+            results)
+        rows
+    in
+    (wall_s, cells)
+  in
+  let quantile q times =
+    let a = Array.of_list (List.sort compare times) in
+    let n = Array.length a in
+    if n = 0 then 0.
+    else a.(max 0 (min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1)))
+  in
+  let sweeps =
+    List.map
+      (fun jobs ->
+        Printf.printf "  jobs=%d: compiling %d cells...\n%!" jobs
+          (List.length named * List.length Strategy.all);
+        let wall_s, cells = sweep jobs in
+        (jobs, wall_s, cells))
+      [ 1; 2; 4; 8 ]
+  in
+  let _, ref_wall, ref_cells = List.hd sweeps in
+  let failed = ref false in
+  List.iter
+    (fun (jobs, _, cells) ->
+      List.iter2
+        (fun (key, e_fp, _) (key', g_fp, _) ->
+          assert (key = key');
+          if g_fp <> e_fp then begin
+            let bench, strategy = key in
+            let (e_lat, e_merges, e_digest) = e_fp
+            and (g_lat, g_merges, g_digest) = g_fp in
+            Printf.eprintf
+              "  FAIL %s/%s at jobs=%d: (lat %s, merges %d, cert %s) vs \
+               jobs=1 (lat %s, merges %d, cert %s)\n%!"
+              bench strategy jobs g_lat g_merges g_digest e_lat e_merges
+              e_digest;
+            failed := true
+          end)
+        ref_cells cells)
+    (List.tl sweeps);
+  let sweep_json (jobs, wall_s, cells) =
+    let job_times = List.map (fun (_, _, t) -> t) cells in
+    Printf.printf
+      "  jobs=%d: wall %6.2f s | speedup %5.2fx | job p50 %6.1f ms, p99 \
+       %6.1f ms\n%!"
+      jobs wall_s (ref_wall /. wall_s)
+      (quantile 0.5 job_times *. 1e3)
+      (quantile 0.99 job_times *. 1e3);
+    Qobs.Json.Obj
+      [ ("jobs", Qobs.Json.Int jobs);
+        ("wall_s", Qobs.Json.Float wall_s);
+        ("speedup", Qobs.Json.Float (ref_wall /. wall_s));
+        ("job_wall_p50_s", Qobs.Json.Float (quantile 0.5 job_times));
+        ("job_wall_p99_s", Qobs.Json.Float (quantile 0.99 job_times)) ]
+  in
+  let doc =
+    Qobs.Json.Obj
+      [ ("schema", Qobs.Json.Str "qcc.bench.par/1");
+        ("benchmarks",
+         Qobs.Json.List
+           (List.map (fun b -> Qobs.Json.Str b) pipeline_benchmarks));
+        ("strategies", Qobs.Json.Int (List.length Strategy.all));
+        ("cells", Qobs.Json.Int (List.length ref_cells));
+        ("identical", Qobs.Json.Bool (not !failed));
+        ("sweeps", Qobs.Json.List (List.map sweep_json sweeps)) ]
+  in
+  Qobs.Json.write_file "BENCH_par.json" doc;
+  Printf.printf "  wrote BENCH_par.json (%s)\n%!"
+    (if !failed then "MISMATCH" else "all pool sizes byte-identical");
   if !failed then exit 1
 
 let experiments =
@@ -927,6 +1052,7 @@ let experiments =
     ("pipeline", pipeline);
     ("pipeline-smoke", pipeline_smoke);
     ("par-smoke", par_smoke);
+    ("par-scale", par_scale);
     ("perf-gate", perf_gate);
     ("obs-overhead", obs_overhead);
     ("certify-overhead", certify_overhead);

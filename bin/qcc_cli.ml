@@ -148,6 +148,21 @@ let ledger_arg =
            ~doc:"Append one qcc.ledger/1 row per compilation to this JSONL \
                  flight-recorder file (aggregate with qcc stats).")
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Run up to N benchmark×strategy jobs in parallel on an \
+                 OCaml domain pool. Deterministic: results are \
+                 byte-identical to -j 1 (the sequential driver) at any N \
+                 — only wall time changes. On a single compilation \
+                 (compile) the whole pipeline is one job, so the flag is \
+                 validated and has no effect.")
+
+let check_jobs jobs =
+  if jobs < 1 then
+    failwith (Printf.sprintf "--jobs: %d is not a positive worker count" jobs);
+  jobs
+
 let with_ledger path f =
   match path with
   | None -> f None
@@ -165,8 +180,9 @@ let wrote path = Printf.printf "wrote %s\n%!" path
 
 let compile_cmd =
   let run qasm bench strategy topology width arch trace_file metrics_file
-      json_file ledger_file verbosity =
+      json_file ledger_file jobs verbosity =
     or_die @@ fun () ->
+    let _ = check_jobs jobs in
     let verbosity = List.length verbosity in
     setup_logs verbosity;
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
@@ -213,11 +229,12 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc:"Compile a circuit under one strategy.")
     Term.(const run $ qasm_arg $ bench_arg $ strategy_arg $ topology_arg
           $ width_arg $ arch_arg $ trace_arg $ metrics_arg $ json_arg
-          $ ledger_arg $ verbosity_arg)
+          $ ledger_arg $ jobs_arg $ verbosity_arg)
 
 let compare_cmd =
-  let run qasm benches topology width arch json_file ledger_file =
+  let run qasm benches topology width arch json_file ledger_file jobs =
     or_die @@ fun () ->
+    let jobs = check_jobs jobs in
     let cfg = config topology width arch in
     let rows =
       with_ledger ledger_file @@ fun ledger ->
@@ -225,17 +242,30 @@ let compare_cmd =
       | Some _, _ :: _ ->
         failwith "give either a QASM file or benchmarks, not both"
       | None, (_ :: _ as benches) ->
-        List.map
-          (fun name ->
-            let circuit = load_circuit ~qasm_file:None ~benchmark:(Some name) in
-            ( name,
-              Qcc.Compiler.compile_all ~config:cfg ?ledger ~source_label:name
-                circuit ))
-          benches
+        if jobs <= 1 then
+          List.map
+            (fun name ->
+              let circuit =
+                load_circuit ~qasm_file:None ~benchmark:(Some name)
+              in
+              ( name,
+                Qcc.Compiler.compile_all ~config:cfg ?ledger
+                  ~source_label:name circuit ))
+            benches
+        else
+          (* every benchmark×strategy cell becomes a pool job; circuits
+             are loaded (and the lazy suite entries forced) here on the
+             caller's domain, before any worker spawns *)
+          Qcc.Compiler.compile_matrix ~config:cfg ?ledger ~jobs
+            (List.map
+               (fun name ->
+                 (name, load_circuit ~qasm_file:None ~benchmark:(Some name)))
+               benches)
       | _ ->
         [ ( "circuit",
             Qcc.Compiler.compile_all ~config:cfg ?ledger
               ?source_label:(source_label ~qasm_file:qasm ~benchmark:None)
+              ?jobs:(if jobs > 1 then Some jobs else None)
               (load_circuit ~qasm_file:qasm ~benchmark:None) ) ]
     in
     Qcc.Report.print_speedup_table ~header:"normalized latency (isa = 1.0)"
@@ -249,14 +279,15 @@ let compare_cmd =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare all strategies on one or more circuits.")
     Term.(const run $ qasm_arg $ benches $ topology_arg $ width_arg
-          $ arch_arg $ json_arg $ ledger_arg)
+          $ arch_arg $ json_arg $ ledger_arg $ jobs_arg)
 
 (* per-pass wall-time matrix: compile each benchmark under each strategy
    with tracing on, then read the pass spans back out of result.trace *)
 let profile_cmd =
   let canonical_passes = Qcc.Compiler.canonical_passes () in
-  let run benches strategies topology width arch format =
+  let run benches strategies topology width arch format jobs =
     or_die @@ fun () ->
+    let jobs = check_jobs jobs in
     let benches = if benches = [] then [ "maxcut-line" ] else benches in
     let strategies =
       match strategies with
@@ -272,15 +303,45 @@ let profile_cmd =
     in
     (* one compile per (benchmark, strategy) cell, tracing + metrics on;
        the json rendering reads the same spans the text table does, plus
-       the per-pass GC allocation columns *)
+       the per-pass GC allocation columns. All cells are computed up
+       front — with -j N, as jobs on the domain pool (private per-cell
+       collectors, no shared cache: each cell is an independent measured
+       compile) — and regrouped per benchmark for rendering. *)
+    let bench_cells =
+      let circuits =
+        List.map (fun b -> (b, Qapps.Suite.lowered (find_bench b))) benches
+      in
+      let n_strat = List.length strategies in
+      let cells =
+        Array.of_list
+          (List.concat_map
+             (fun (_, circuit) ->
+               List.map (fun s -> (circuit, s)) strategies)
+             circuits)
+      in
+      let compile_cell (circuit, strategy) =
+        let obs = Qobs.Trace.create () in
+        let metrics = Qobs.Metrics.create () in
+        let r = Qcc.Compiler.compile ~config ~obs ~metrics ~strategy circuit in
+        (strategy, r, metrics)
+      in
+      let results =
+        if jobs <= 1 then Array.map compile_cell cells
+        else
+          Qcc.Parallel.map ~jobs ~init:Qcc.Compiler.reset_all_memos
+            (fun _ cell -> compile_cell cell)
+            cells
+      in
+      List.mapi
+        (fun bi (bname, circuit) ->
+          (bname, circuit,
+           List.init n_strat (fun si -> results.((bi * n_strat) + si))))
+        circuits
+    in
     let profile_json () =
       let open Qobs.Json in
-      let bench_obj bname =
-        let circuit = Qapps.Suite.lowered (find_bench bname) in
-        let strategy_obj strategy =
-          let obs = Qobs.Trace.create () in
-          let metrics = Qobs.Metrics.create () in
-          let r = Qcc.Compiler.compile ~config ~obs ~metrics ~strategy circuit in
+      let bench_obj (bname, circuit, compiled) =
+        let strategy_obj (strategy, r, metrics) =
           let passes =
             match r.Qcc.Compiler.trace with
             | None -> []
@@ -300,33 +361,20 @@ let profile_cmd =
           [ ("benchmark", Str bname);
             ("n_qubits", Int (Qgate.Circuit.n_qubits circuit));
             ("n_gates", Int (Qgate.Circuit.n_gates circuit));
-            ("strategies", List (List.map strategy_obj strategies)) ]
+            ("strategies", List (List.map strategy_obj compiled)) ]
       in
       print_endline
         (to_string
            (Obj
               [ ("schema", Str "qcc.profile/1");
-                ("benchmarks", List (List.map bench_obj benches)) ]))
+                ("benchmarks", List (List.map bench_obj bench_cells)) ]))
     in
     let profile_text () =
     List.iter
-      (fun bname ->
-        let b = find_bench bname in
-        let circuit = Qapps.Suite.lowered b in
+      (fun (bname, circuit, compiled) ->
         Printf.printf "\n==== %s (%d qubits, %d gates) ====\n" bname
           (Qgate.Circuit.n_qubits circuit)
           (Qgate.Circuit.n_gates circuit);
-        let compiled =
-          List.map
-            (fun strategy ->
-              let obs = Qobs.Trace.create () in
-              let metrics = Qobs.Metrics.create () in
-              let r =
-                Qcc.Compiler.compile ~config ~obs ~metrics ~strategy circuit
-              in
-              (strategy, r, metrics))
-            strategies
-        in
         let shown_passes =
           List.filter
             (fun p ->
@@ -392,7 +440,7 @@ let profile_cmd =
         metric_row "agg accepted" (counter "agg.accepted");
         metric_row "agg vetoed" (counter "agg.vetoed_monotonic");
         Printf.printf "%!")
-      benches
+      bench_cells
     in
     match format with
     | "text" -> profile_text ()
@@ -421,7 +469,7 @@ let profile_cmd =
        ~doc:"Compile a benchmark/strategy matrix with tracing on and print \
              the per-pass wall-time breakdown plus headline metrics.")
     Term.(const run $ benches $ strategies $ topology_arg $ width_arg
-          $ arch_arg $ format)
+          $ arch_arg $ format $ jobs_arg)
 
 let stats_cmd =
   let run files base format top =
@@ -725,8 +773,9 @@ let analyze_cmd =
           $ arch_arg $ format)
 
 let certify_cmd =
-  let run qasm bench strategies topology width arch format =
+  let run qasm bench strategies topology width arch format jobs =
     or_die @@ fun () ->
+    let jobs = check_jobs jobs in
     let circuit = load_circuit ~qasm_file:qasm ~benchmark:bench in
     let strategies =
       match strategies with
@@ -734,15 +783,22 @@ let certify_cmd =
       | names -> List.map Qcc.Strategy.of_string names
     in
     let cfg = config topology width arch in
+    (* a refuted boundary is a per-strategy verdict, not a pool failure:
+       catch it inside the job so every strategy still reports *)
+    let cert_of strategy =
+      match
+        Qcc.Compiler.compile ~config:cfg ~certify:true ~strategy circuit
+      with
+      | r -> Option.get r.Qcc.Compiler.certificate
+      | exception Qcert.Certificate.Certification_failed c -> c
+    in
     let certs =
-      List.map
-        (fun strategy ->
-          match
-            Qcc.Compiler.compile ~config:cfg ~certify:true ~strategy circuit
-          with
-          | r -> Option.get r.Qcc.Compiler.certificate
-          | exception Qcert.Certificate.Certification_failed c -> c)
-        strategies
+      if jobs <= 1 then List.map cert_of strategies
+      else
+        Array.to_list
+          (Qcc.Parallel.map ~jobs ~init:Qcc.Compiler.reset_all_memos
+             (fun _ strategy -> cert_of strategy)
+             (Array.of_list strategies))
     in
     (match format with
      | "text" ->
@@ -773,7 +829,7 @@ let certify_cmd =
              end-to-end) and print the per-boundary certificate; exit 1 on \
              any refuted boundary.")
     Term.(const run $ qasm_arg $ bench_arg $ strategies $ topology_arg
-          $ width_arg $ arch_arg $ format)
+          $ width_arg $ arch_arg $ format $ jobs_arg)
 
 let verify_cmd =
   let run qasm bench topology width arch samples format =

@@ -74,8 +74,10 @@ let chain_digest strategy =
        (String.concat "\x00"
           (List.map Pass.fingerprint (Strategy.passes strategy))))
 
+(* canonical QASM bytes, not Marshal: structurally equal circuits get
+   equal digests, stable across runs (same fix as Pipeline.root_key) *)
 let source_digest circuit =
-  Digest.to_hex (Digest.string (Marshal.to_string circuit []))
+  Digest.to_hex (Digest.string (Qgate.Qasm.to_string circuit))
 
 let compile ?(config = default_config) ?(check = false) ?(certify = false)
     ?obs ?metrics ?cache ?ledger ?source_label ~strategy circuit =
@@ -169,6 +171,7 @@ let compile ?(config = default_config) ?(check = false) ?(certify = false)
      in
      Qobs.Ledger.append l
        (Qobs.Ledger.row ?source_label
+          ~domain:(Domain.self () :> int)
           ~strategy:(Strategy.to_string strategy)
           ~backend_digest:(Digest.to_hex (Backend.fingerprint config))
           ~source_digest:(source_digest circuit)
@@ -176,27 +179,6 @@ let compile ?(config = default_config) ?(check = false) ?(certify = false)
           ~compile_time_s:result.compile_time ~cache_hits ~cache_misses
           ?trace:result.trace ~metrics ()));
   result
-
-let compile_all ?config ?check ?certify ?obs ?metrics ?cache ?ledger
-    ?source_label circuit =
-  (* one shared stage cache: the strategies fork from common prefixes
-     (all five lower identically; isa and aggregation also share
-     placement and routing), so the prefix is computed once *)
-  let cache =
-    match cache with Some c -> c | None -> Pipeline.Cache.create ()
-  in
-  List.map
-    (fun strategy ->
-      ( strategy,
-        compile ?config ?check ?certify ?obs ?metrics ~cache ?ledger
-          ?source_label ~strategy circuit ))
-    Strategy.all
-
-let blocks result =
-  List.map (fun (i : Inst.t) -> i.Inst.gates) (Gdg.insts result.gdg)
-
-let speedup ~baseline result =
-  if result.latency <= 0. then infinity else baseline.latency /. result.latency
 
 (* The single exhaustive memo-reset entry point: one call per memoized
    subsystem the compiler warms. domlint's DS020 check pins the set —
@@ -207,3 +189,101 @@ let reset_all_memos () =
   Qgdg.Commute.reset_memos ();
   Qflow.Summary.reset_memo ();
   Qcontrol.Latency_model.reset_memos ()
+
+(* Pooled jobs tick into per-job metrics shards, merged into the
+   caller's registry in job-index order after the join — the merge law
+   (Qobs.Metrics.merge) is commutative/associative, so the landed
+   snapshot does not depend on which worker ran which job. *)
+let make_shards metrics n =
+  let shard_enabled =
+    match metrics with Some m -> Qobs.Metrics.enabled m | None -> false
+  in
+  let shards =
+    Array.init n (fun _ ->
+        if shard_enabled then Qobs.Metrics.create () else Qobs.Metrics.disabled)
+  in
+  let shard_for i = if shard_enabled then Some shards.(i) else metrics in
+  let land_shards () =
+    if shard_enabled then
+      Option.iter
+        (fun m -> Array.iter (fun s -> Qobs.Metrics.absorb ~into:m s) shards)
+        metrics
+  in
+  (shard_for, land_shards)
+
+let compile_all ?config ?check ?certify ?obs ?metrics ?cache ?ledger
+    ?source_label ?jobs circuit =
+  (* one shared stage cache: the strategies fork from common prefixes
+     (all five lower identically; isa and aggregation also share
+     placement and routing), so the prefix is computed once *)
+  let cache =
+    match cache with Some c -> c | None -> Pipeline.Cache.create ()
+  in
+  match jobs with
+  | None ->
+    (* the sequential driver: caller's collectors, caller's warm memos *)
+    List.map
+      (fun strategy ->
+        ( strategy,
+          compile ?config ?check ?certify ?obs ?metrics ~cache ?ledger
+            ?source_label ~strategy circuit ))
+      Strategy.all
+  | Some jobs ->
+    let strategies = Array.of_list Strategy.all in
+    let shard_for, land_shards = make_shards metrics (Array.length strategies) in
+    let results =
+      Parallel.map ~jobs ~init:reset_all_memos
+        (fun i strategy ->
+          (* an enabled caller trace cannot take concurrent spans; give
+             each job a private collector so result.trace still lands *)
+          let obs =
+            match obs with
+            | Some o when Qobs.Trace.enabled o -> Some (Qobs.Trace.create ())
+            | other -> other
+          in
+          compile ?config ?check ?certify ?obs ?metrics:(shard_for i) ~cache
+            ?ledger ?source_label ~strategy circuit)
+        strategies
+    in
+    land_shards ();
+    List.combine (Array.to_list strategies) (Array.to_list results)
+
+let compile_matrix ?config ?check ?certify ?metrics ?cache ?ledger ?(jobs = 1)
+    named =
+  (* one shared stage cache across the whole benchmark×strategy matrix:
+     within a circuit the strategies fork from common prefixes exactly
+     as in [compile_all]; across circuits the keys differ at the root *)
+  let cache =
+    match cache with Some c -> c | None -> Pipeline.Cache.create ()
+  in
+  let strategies = Array.of_list Strategy.all in
+  let n_strat = Array.length strategies in
+  let job_arr =
+    Array.of_list
+      (List.concat_map
+         (fun (name, circuit) ->
+           List.map (fun s -> (name, s, circuit)) Strategy.all)
+         named)
+  in
+  let shard_for, land_shards = make_shards metrics (Array.length job_arr) in
+  let results =
+    Parallel.map ~jobs ~init:reset_all_memos
+      (fun i (label, strategy, circuit) ->
+        compile ?config ?check ?certify ?metrics:(shard_for i) ~cache ?ledger
+          ~source_label:label ~strategy circuit)
+      job_arr
+  in
+  land_shards ();
+  List.mapi
+    (fun bi (name, _) ->
+      ( name,
+        List.mapi
+          (fun si s -> (s, results.((bi * n_strat) + si)))
+          (Array.to_list strategies) ))
+    named
+
+let blocks result =
+  List.map (fun (i : Inst.t) -> i.Inst.gates) (Gdg.insts result.gdg)
+
+let speedup ~baseline result =
+  if result.latency <= 0. then infinity else baseline.latency /. result.latency

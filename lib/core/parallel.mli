@@ -1,0 +1,31 @@
+(** Fixed-size domain-pool executor for the parallel compile drivers.
+
+    The determinism contract: results are slotted by job index, so
+    [map ~jobs:n f arr] returns byte-for-byte what [map ~jobs:1 f arr]
+    returns, for any [n] — provided [f] is deterministic per job and
+    any state it shares across jobs is merge-order-independent (the
+    compute-once {!Pipeline.Cache}, index-order-merged
+    {!Qobs.Metrics} shards, the mutex-guarded {!Qobs.Ledger}). Only
+    scheduling — which worker runs which job, and when — varies with
+    the pool size. *)
+
+val map :
+  ?jobs:int -> ?init:(unit -> unit) -> (int -> 'a -> 'b) -> 'a array ->
+  'b array
+(** [map ~jobs ~init f arr] computes [|f 0 arr.(0); f 1 arr.(1); ...|]
+    on a pool of [min jobs (Array.length arr)] fresh domains that pull
+    job indices from a shared atomic counter.
+
+    [jobs <= 1] (the default) runs on the calling domain — same code
+    path a pooled worker executes, including the [init] call, so it is
+    the sequential reference the pooled runs are byte-identical to.
+
+    [init] (default: nothing) runs once per worker domain before its
+    first job — the drivers pass [Compiler.reset_all_memos] so every
+    worker starts from the same cold per-domain memo state.
+
+    If [f] (or [init]) raises on any worker, every domain is still
+    joined — no orphans — and then the recorded exception with the
+    {e lowest} job index is re-raised on the calling domain with its
+    original backtrace. Workers stop pulling new jobs once a failure
+    is recorded, but jobs already in flight run to completion. *)

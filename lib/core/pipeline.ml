@@ -14,46 +14,110 @@ let () =
   [@@domain_safety frozen_after_init]
 
 module Cache = struct
+  module Monitor = Qobs.Domain_safe.Monitor
+
   type entry = E : 'a Ir.stage * 'a -> entry
 
+  (* a slot is either a landed artifact or an in-flight claim: the
+     first prober to miss a key marks it [Pending] and computes; later
+     probers park on the monitor instead of duplicating the work, so
+     each distinct artifact is computed exactly once no matter how many
+     domains race on the same key *)
+  type slot =
+    | Ready of entry
+    | Pending
+
   type state = {
-    tbl : (string, entry) Hashtbl.t;
+    tbl : (string, slot) Hashtbl.t;
     mutable hits : int;
     mutable misses : int;
   }
 
-  (* Mutex-guarded (Qobs.Domain_safe.Guarded) rather than per-domain: a
+  (* Monitor-guarded (mutex + condition) rather than per-domain: a
      cache exists to SHARE artifacts across compiles, including compiles
      running on different domains. The lock is held only around table
-     lookups/inserts and counter bumps, never while a pass runs. *)
-  type t = state Qobs.Domain_safe.Guarded.t
+     lookups/inserts and counter bumps — or parked in [Monitor.wait],
+     which releases it — never while a pass runs. *)
+  type t = state Qobs.Domain_safe.Monitor.t
 
   let create () =
-    Qobs.Domain_safe.Guarded.make { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+    Monitor.make { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
 
-  let hits t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.hits)
-  let misses t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.misses)
-  let length t = Qobs.Domain_safe.Guarded.with_ t (fun s -> Hashtbl.length s.tbl)
+  let hits t = Monitor.with_ t (fun s -> s.hits)
+  let misses t = Monitor.with_ t (fun s -> s.misses)
 
+  let length t =
+    Monitor.with_ t (fun s ->
+        Hashtbl.fold
+          (fun _ slot acc ->
+            match slot with Ready _ -> acc + 1 | Pending -> acc)
+          s.tbl 0)
+
+  (* not safe against compiles in flight on other domains: a parked
+     waiter is woken (and will recompute), but a claim fulfilled after
+     the reset re-lands its artifact. For tests and between runs. *)
   let clear t =
-    Qobs.Domain_safe.Guarded.with_ t (fun s ->
+    Monitor.with_ t (fun s ->
         Hashtbl.reset s.tbl;
         s.hits <- 0;
-        s.misses <- 0)
+        s.misses <- 0);
+    Monitor.broadcast t
 
-  let find t k = Qobs.Domain_safe.Guarded.with_ t (fun s -> Hashtbl.find_opt s.tbl k)
-  let add t k e = Qobs.Domain_safe.Guarded.with_ t (fun s -> Hashtbl.replace s.tbl k e)
-  let note_hit t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.hits <- s.hits + 1)
-  let note_miss t = Qobs.Domain_safe.Guarded.with_ t (fun s -> s.misses <- s.misses + 1)
+  (* The one atomic probe: the lookup and the matching counter bump
+     happen in a single critical section, so [hits + misses] always
+     equals the number of probes — the separate find/note_hit/note_miss
+     trio this replaces was a check-then-act race that let the counters
+     drift from the lookups they were supposed to describe under
+     domains. [None] means the caller now HOLDS the [Pending] claim for
+     [k] and must either {!fulfil} or {!cancel} it; [Some e] after a
+     park still counts as one hit (the artifact was shared, just not
+     yet landed when we probed). *)
+  let find_or_note t k =
+    Monitor.with_ t (fun s ->
+        let rec go () =
+          match Hashtbl.find_opt s.tbl k with
+          | Some (Ready e) ->
+            s.hits <- s.hits + 1;
+            Some e
+          | Some Pending ->
+            Monitor.wait t;
+            go ()
+          | None ->
+            s.misses <- s.misses + 1;
+            Hashtbl.replace s.tbl k Pending;
+            None
+        in
+        go ())
+
+  let fulfil t k e =
+    Monitor.with_ t (fun s -> Hashtbl.replace s.tbl k (Ready e));
+    Monitor.broadcast t
+
+  (* release a claim whose compute raised, waking parked waiters so one
+     of them re-probes, misses and becomes the new computer *)
+  let cancel t k =
+    Monitor.with_ t (fun s ->
+        match Hashtbl.find_opt s.tbl k with
+        | Some Pending -> Hashtbl.remove s.tbl k
+        | Some (Ready _) | None -> ());
+    Monitor.broadcast t
 end
 
 (* Keys chain provenance: the root digests the backend and the source
    circuit (both plain data), and each pass extends the chain with its
    fingerprint. Two strategies that share a prefix of passes therefore
    share exactly that prefix of keys — and nothing past the first
-   divergence. *)
+   divergence.
+
+   The source bytes must be canonical. Marshal is sharing-sensitive:
+   two structurally equal circuits built by different code paths (one
+   sharing a gate value, one rebuilding it) marshal to different bytes,
+   silently splitting the cache — and the bytes are not stable across
+   runs. Digest the canonical QASM serialization instead: it depends
+   only on circuit structure. *)
 let root_key backend source =
-  Digest.string (Backend.fingerprint backend ^ Marshal.to_string source [])
+  Digest.string
+    (Backend.fingerprint backend ^ "\x00" ^ Qgate.Qasm.to_string source)
 
 let chain key fingerprint = Digest.string (key ^ "\x00" ^ fingerprint)
 
@@ -83,49 +147,53 @@ let exec :
     type a b. Pass.ctx -> Cache.t option -> string option -> (a, b) Pass.t ->
     a -> b =
  fun ctx cache key p a ->
-  let lookup () : b option =
-    match (cache, key) with
-    | Some c, Some k ->
-      (match Cache.find c k with
-       | Some (Cache.E (st, v)) ->
-         (match Ir.equal_stage st p.Pass.out with
-          | Some Ir.Eq -> Some v
-          | None -> None)
-       | None -> None)
-    | _ -> None
+  let compute () : b =
+    (* never mutate a cache-resident artifact: in-place passes get a
+       private copy of the graph when sharing is on *)
+    let a = if p.Pass.mutates && cache <> None then Ir.clone p.Pass.inp a
+      else a
+    in
+    Pass.with_span ctx p.Pass.name (fun () ->
+        let b = p.Pass.run ctx a in
+        (match p.Pass.note with Some f -> f ctx a b | None -> ());
+        b)
+  in
+  let hit (b : b) : b =
+    Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.hit";
+    Pass.with_span ctx p.Pass.name (fun () ->
+        Qobs.Trace.attr_str ctx.Pass.obs "cache" "hit";
+        (match p.Pass.note with Some f -> f ctx a b | None -> ());
+        b)
   in
   let produce () =
-    match lookup () with
-    | Some b ->
-      (match cache with
-       | Some c -> Cache.note_hit c
-       | None -> ());
-      Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.hit";
-      Pass.with_span ctx p.Pass.name (fun () ->
-          Qobs.Trace.attr_str ctx.Pass.obs "cache" "hit";
-          (match p.Pass.note with Some f -> f ctx a b | None -> ());
-          b)
-    | None ->
-      (match cache with
-       | Some c ->
-         Cache.note_miss c;
-         Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.miss"
-       | None -> ());
-      (* never mutate a cache-resident artifact: in-place passes get a
-         private copy of the graph when sharing is on *)
-      let a = if p.Pass.mutates && cache <> None then Ir.clone p.Pass.inp a
-        else a
-      in
-      let b =
-        Pass.with_span ctx p.Pass.name (fun () ->
-            let b = p.Pass.run ctx a in
-            (match p.Pass.note with Some f -> f ctx a b | None -> ());
+    match (cache, key) with
+    | None, _ | _, None -> compute ()
+    | Some c, Some k ->
+      (match Cache.find_or_note c k with
+       | Some (Cache.E (st, v)) ->
+         (match Ir.equal_stage st p.Pass.out with
+          | Some Ir.Eq -> hit v
+          | None ->
+            (* a wrong-stage artifact under a provenance-chained key is
+               impossible short of a fingerprint collision; recompute
+               and land the corrected entry (counted as the hit the
+               probe recorded) *)
+            Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.hit";
+            let b = compute () in
+            Cache.fulfil c k (Cache.E (p.Pass.out, b));
             b)
-      in
-      (match (cache, key) with
-       | Some c, Some k -> Cache.add c k (Cache.E (p.Pass.out, b))
-       | _ -> ());
-      b
+       | None ->
+         (* we hold the Pending claim: fulfil on success, cancel on
+            failure so parked waiters never deadlock *)
+         Qobs.Metrics.incr ctx.Pass.metrics "pipeline.cache.miss";
+         (match compute () with
+          | b ->
+            Cache.fulfil c k (Cache.E (p.Pass.out, b));
+            b
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Cache.cancel c k;
+            Printexc.raise_with_backtrace e bt))
   in
   let hooked b =
     (match p.Pass.note_after with Some f -> f ctx a b | None -> ());

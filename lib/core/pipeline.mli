@@ -23,7 +23,17 @@
     when sharing is on ({!Ir.clone}).
 
     Hits and misses are counted on the cache and ticked as the
-    [pipeline.cache.hit] / [pipeline.cache.miss] metrics. *)
+    [pipeline.cache.hit] / [pipeline.cache.miss] metrics. The probe is
+    one atomic critical section (lookup + counter bump together), so
+    [hits + misses] always equals the number of probes, even with
+    compiles racing on a domain pool. The cache is also {e compute-once}
+    under concurrency: the first prober to miss a key claims it, and
+    probers arriving while the artifact is in flight park on the cache's
+    condition variable and receive the shared artifact when it lands
+    (counted as hits) — so the hit/miss totals for a fixed job set are
+    deterministic at any pool size. The root key digests the canonical
+    QASM serialization of the source (not its [Marshal] bytes, which are
+    sharing-sensitive), so structurally equal circuits share keys. *)
 
 exception
   Stage_mismatch of { pass : string; expected : string; got : string }

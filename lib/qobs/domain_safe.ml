@@ -15,3 +15,18 @@ module Guarded = struct
   let make value = { mutex = Mutex.create (); value }
   let with_ t f = Mutex.protect t.mutex (fun () -> f t.value)
 end
+
+module Monitor = struct
+  type 'a t = {
+    mutex : Mutex.t;
+    cond : Condition.t;
+    value : 'a;
+  }
+
+  let make value =
+    { mutex = Mutex.create (); cond = Condition.create (); value }
+
+  let with_ t f = Mutex.protect t.mutex (fun () -> f t.value)
+  let wait t = Condition.wait t.cond t.mutex
+  let broadcast t = Condition.broadcast t.cond
+end

@@ -45,3 +45,29 @@ module Guarded : sig
       released on exceptions too). Do not call {!with_} re-entrantly
       from [f] — stdlib mutexes are not recursive. *)
 end
+
+module Monitor : sig
+  (** {!Guarded} plus a condition variable: a shared value whose
+      critical sections can also {e wait} for another domain to change
+      it (and be woken by {!broadcast}). The shape for compute-once
+      caches: a prober that finds an in-flight entry parks on the
+      condition instead of duplicating the work. *)
+
+  type 'a t
+
+  val make : 'a -> 'a t
+
+  val with_ : 'a t -> ('a -> 'b) -> 'b
+  (** As {!Guarded.with_}: runs [f value] holding the mutex, released
+      on exceptions. Not re-entrant. *)
+
+  val wait : 'a t -> unit
+  (** Park until the next {!broadcast}. Must be called from inside
+      {!with_} (the condition atomically releases and reacquires the
+      monitor's mutex); re-check the predicate after waking — wakeups
+      can be spurious. *)
+
+  val broadcast : 'a t -> unit
+  (** Wake every domain parked in {!wait}. Callable with or without the
+      mutex held. *)
+end

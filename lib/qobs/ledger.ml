@@ -40,7 +40,7 @@ let pass_row span =
       ("major_words", Json.Float gc.Span.major_words);
       ("major_collections", Json.Int gc.Span.major_collections) ]
 
-let row ?(source_label = "") ~strategy ~backend_digest ~source_digest
+let row ?(source_label = "") ?domain ~strategy ~backend_digest ~source_digest
     ~chain_digest ~latency_ns ~compile_time_s ~cache_hits ~cache_misses ?trace
     ~metrics () =
   let passes =
@@ -48,10 +48,15 @@ let row ?(source_label = "") ~strategy ~backend_digest ~source_digest
     | None -> []
     | Some root -> List.map pass_row (Span.children root)
   in
+  let domain_field =
+    match domain with None -> [] | Some d -> [ ("domain", Json.Int d) ]
+  in
   Json.Obj
-    [ ("schema", Json.Str schema);
-      ("source", Json.Str source_label);
-      ("strategy", Json.Str strategy);
+    ([ ("schema", Json.Str schema);
+       ("source", Json.Str source_label);
+       ("strategy", Json.Str strategy) ]
+     @ domain_field
+     @ [
       ("backend_digest", Json.Str backend_digest);
       ("source_digest", Json.Str source_digest);
       ("chain_digest", Json.Str chain_digest);
@@ -61,7 +66,7 @@ let row ?(source_label = "") ~strategy ~backend_digest ~source_digest
        Json.Obj
          [ ("hits", Json.Int cache_hits); ("misses", Json.Int cache_misses) ]);
       ("passes", Json.List passes);
-      ("metrics", Metrics.to_json metrics) ]
+      ("metrics", Metrics.to_json metrics) ])
 
 let read_file path =
   let ic = open_in path in

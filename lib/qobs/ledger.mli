@@ -30,6 +30,7 @@ val pass_row : Span.t -> Json.t
 
 val row :
   ?source_label:string ->
+  ?domain:int ->
   strategy:string ->
   backend_digest:string ->
   source_digest:string ->
@@ -45,7 +46,10 @@ val row :
 (** Build a [qcc.ledger/1] row. [trace] is the compilation's root span;
     its direct children become the [passes] array (wall time plus GC
     delta each). [cache_hits]/[cache_misses] are the {e deltas} for this
-    run, not cache lifetime totals. Digests are hex strings. *)
+    run, not cache lifetime totals. Digests are hex strings. [domain]
+    is the integer id of the domain that ran the compile (the worker,
+    under a parallel driver) — omitted, the row carries no [domain]
+    field; [qcc stats] aggregates rows per domain when present. *)
 
 val read_file : string -> (Json.t list, string) result
 (** Parse a JSONL ledger (blank lines skipped); [Error] carries

@@ -200,18 +200,20 @@ let merge_metric a b =
   | (Hist _ as h), _ | _, (Hist _ as h) -> copy_metric h
   | (Gauge _ as g), _ | _, (Gauge _ as g) -> copy_metric g
 
-let merge a b =
-  let t = { enabled = true; table = Hashtbl.create 64 } in
-  let absorb src =
+let absorb ~into src =
+  if into.enabled then
     Hashtbl.iter
       (fun name m ->
-        match Hashtbl.find_opt t.table name with
-        | None -> Hashtbl.replace t.table name (copy_metric m)
-        | Some existing -> Hashtbl.replace t.table name (merge_metric existing m))
+        match Hashtbl.find_opt into.table name with
+        | None -> Hashtbl.replace into.table name (copy_metric m)
+        | Some existing ->
+          Hashtbl.replace into.table name (merge_metric existing m))
       src.table
-  in
-  absorb a;
-  absorb b;
+
+let merge a b =
+  let t = { enabled = true; table = Hashtbl.create 64 } in
+  absorb ~into:t a;
+  absorb ~into:t b;
   t
 
 (* ---- ambient registry ---- *)

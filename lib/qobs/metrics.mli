@@ -61,6 +61,13 @@ val to_json : t -> Json.t
 val pp_text : Format.formatter -> t -> unit
 val write_file : string -> t -> unit
 
+val absorb : into:t -> t -> unit
+(** In-place shard join: fold [src] into [into] under the same pointwise
+    law as {!merge} ([into] ⊕ [src] per name; [src] is not mutated).
+    The parallel drivers use it to land per-job shards — merged in job
+    index order — in the caller's registry without replacing the
+    caller's [t]. No-op when [into] is disabled. *)
+
 val merge : t -> t -> t
 (** Pointwise shard join (fresh registry; the arguments are not
     mutated): counters add, histograms add counts/sums/buckets and

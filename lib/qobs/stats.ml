@@ -18,6 +18,7 @@ type t = {
   passes : pass_stat list;  (* wall time descending, then name *)
   routes : (string * int) list;  (* sorted by metric name *)
   commute_checks : int;
+  domains : (int * int) list;  (* domain id -> rows, sorted by id *)
 }
 
 (* ---- row field access ---- *)
@@ -43,6 +44,7 @@ let is_route name =
 let of_rows rows =
   let passes = Hashtbl.create 32 in
   let routes = Hashtbl.create 16 in
+  let domains = Hashtbl.create 8 in
   let n = ref 0 and skipped = ref 0 in
   let compile_time = ref 0. in
   let hits = ref 0 and misses = ref 0 in
@@ -52,6 +54,11 @@ let of_rows rows =
       if str_mem "schema" row <> Some "qcc.ledger/1" then incr skipped
       else begin
         incr n;
+        (match int_mem "domain" row with
+         | Some d ->
+           Hashtbl.replace domains d
+             (1 + Option.value ~default:0 (Hashtbl.find_opt domains d))
+         | None -> ());
         compile_time :=
           !compile_time +. Option.value ~default:0. (num_mem "compile_time_s" row);
         (match Json.member "cache" row with
@@ -121,7 +128,10 @@ let of_rows rows =
         (Hashtbl.fold (fun _ p acc -> p :: acc) passes []);
     routes =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) routes []);
-    commute_checks = !checks }
+    commute_checks = !checks;
+    domains =
+      List.sort compare
+        (Hashtbl.fold (fun d c acc -> (d, c) :: acc) domains []) }
 
 let hit_rate t =
   let total = t.cache_hits + t.cache_misses in
@@ -147,7 +157,10 @@ let body_json t =
          ("hit_rate", Json.Float (hit_rate t)) ]);
     ("passes", Json.List (List.map pass_json t.passes));
     ("routes", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.routes));
-    ("commute_checks", Json.Int t.commute_checks) ]
+    ("commute_checks", Json.Int t.commute_checks);
+    ("domains",
+     Json.Obj
+       (List.map (fun (d, c) -> (string_of_int d, Json.Int c)) t.domains)) ]
 
 let to_json t =
   Json.Obj (("schema", Json.Str schema) :: ("mode", Json.Str "aggregate")
@@ -159,6 +172,12 @@ let pp_text ?(top = 10) ppf t =
   Format.fprintf ppf "compile     %.3f s total@." t.compile_time_s;
   Format.fprintf ppf "cache       %d hits / %d misses (%.0f%% hit rate)@."
     t.cache_hits t.cache_misses (100. *. hit_rate t);
+  if t.domains <> [] then
+    Format.fprintf ppf "domains     %d (%s)@." (List.length t.domains)
+      (String.concat ", "
+         (List.map
+            (fun (d, c) -> Printf.sprintf "d%d: %d rows" d c)
+            t.domains));
   if t.passes <> [] then begin
     Format.fprintf ppf "@.%-26s %9s %12s %12s %12s@." "pass (top by wall)"
       "calls" "wall ms" "minor kw" "major kw";

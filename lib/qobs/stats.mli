@@ -28,6 +28,10 @@ type t = {
   passes : pass_stat list;  (** wall time descending, then name *)
   routes : (string * int) list;  (** sorted by metric name *)
   commute_checks : int;  (** sum of the [commute.checks] counter *)
+  domains : (int * int) list;
+      (** rows per worker-domain id (rows without a [domain] field
+          contribute nothing), sorted by id — shows how a parallel
+          driver spread the jobs *)
 }
 
 val of_rows : Json.t list -> t

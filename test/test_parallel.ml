@@ -1,0 +1,236 @@
+(* The parallel compile drivers: Parallel.map's slotting and failure
+   contract, the determinism of the pooled drivers against their
+   sequential reference, and the canonical (sharing-insensitive) stage
+   cache root key. *)
+
+open Util
+module Gate = Qgate.Gate
+module Circuit = Qgate.Circuit
+module Compiler = Qcc.Compiler
+module Strategy = Qcc.Strategy
+module Parallel = Qcc.Parallel
+module Cache = Qcc.Pipeline.Cache
+module Metrics = Qobs.Metrics
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.map: slotting, init, failure propagation                   *)
+
+let map_matches_mapi () =
+  let arr = Array.init 100 (fun i -> i * 3) in
+  let f i x = (i, x + 1) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array (pair int int)))
+        (Printf.sprintf "map ~jobs:%d slots by index" jobs)
+        (Array.mapi f arr)
+        (Parallel.map ~jobs f arr))
+    [ 1; 2; 3; 8; 200 ]
+
+let map_empty_and_init () =
+  check_int "empty input, no work" 0
+    (Array.length (Parallel.map ~jobs:4 (fun _ x -> x) [||]));
+  (* init runs once per worker, before any job on that worker *)
+  let inits = Atomic.make 0 in
+  let out =
+    Parallel.map ~jobs:3 ~init:(fun () -> Atomic.incr inits)
+      (fun i x -> i + x)
+      (Array.make 12 0)
+  in
+  check_int "12 jobs ran" 12 (Array.length out);
+  let n = Atomic.get inits in
+  check_bool
+    (Printf.sprintf "init ran once per worker (got %d, want 1..3)" n)
+    true
+    (n >= 1 && n <= 3)
+
+let map_reraises_lowest_failure () =
+  (* several workers can fail; the caller must see the lowest job index's
+     exception, deterministically, with all domains joined *)
+  (match
+     Parallel.map ~jobs:4
+       (fun i _ -> if i mod 3 = 2 then failwith (Printf.sprintf "job %d" i))
+       (Array.make 16 ())
+   with
+  | _ -> Alcotest.fail "expected a re-raised worker exception"
+  | exception Failure msg -> Alcotest.(check string) "lowest failing job" "job 2" msg);
+  (* init failures outrank any job failure *)
+  (match
+     Parallel.map ~jobs:2 ~init:(fun () -> failwith "init down")
+       (fun i _ -> i)
+       (Array.make 4 ())
+   with
+  | _ -> Alcotest.fail "expected the init exception"
+  | exception Failure msg -> Alcotest.(check string) "init failure wins" "init down" msg);
+  (* the pool was joined cleanly both times: a fresh map still works *)
+  Alcotest.(check (array int))
+    "pool reusable after failure" [| 0; 2; 4; 6 |]
+    (Parallel.map ~jobs:4 (fun i _ -> 2 * i) (Array.make 4 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics shards: absorb/merge law                                    *)
+
+let absorb_folds_shards () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr a "jobs" ~by:2;
+  Metrics.gauge a "peak" 1.5;
+  Metrics.incr b "jobs" ~by:3;
+  Metrics.gauge b "peak" 0.5;
+  Metrics.observe b "t" 4.0;
+  let into = Metrics.create () in
+  Metrics.incr into "jobs";
+  Metrics.absorb ~into a;
+  Metrics.absorb ~into b;
+  check_int "counters add" 6 (Metrics.counter_value into "jobs");
+  (match Metrics.gauge_value into "peak" with
+  | Some v -> check_float "gauges keep the max" 1.5 v
+  | None -> Alcotest.fail "gauge lost in absorb");
+  (match Metrics.hist_value into "t" with
+  | Some h -> check_int "hist count crossed over" 1 h.Metrics.n
+  | None -> Alcotest.fail "hist lost in absorb");
+  (* the shard order a pool joins in cannot matter *)
+  Alcotest.(check string)
+    "merge commutes (snapshot bytes)"
+    (Qobs.Json.to_string (Metrics.to_json (Metrics.merge a b)))
+    (Qobs.Json.to_string (Metrics.to_json (Metrics.merge b a)));
+  Metrics.absorb ~into:Metrics.disabled a (* must not raise *)
+
+(* ------------------------------------------------------------------ *)
+(* Stage-cache root key: canonical bytes, not Marshal sharing          *)
+
+let root_key_ignores_sharing () =
+  (* one gate value used twice marshals with a back-reference; two
+     independently built (structurally equal) gates marshal as two
+     blocks. The old Marshal-based root key split these into distinct
+     cache keys; the canonical-QASM key must not. *)
+  let g = Gate.rz 0.5 0 in
+  let shared = Circuit.make 2 [ g; g; Gate.cnot 0 1 ] in
+  let rebuilt = Circuit.make 2 [ Gate.rz 0.5 0; Gate.rz 0.5 0; Gate.cnot 0 1 ] in
+  check_bool "Marshal bytes differ (sharing), so the old key split"
+    false
+    (String.equal (Marshal.to_string shared []) (Marshal.to_string rebuilt []));
+  let cache = Cache.create () in
+  let r1 = Compiler.compile ~cache ~strategy:Strategy.Isa shared in
+  let misses = Cache.misses cache in
+  check_bool "first compile populated the cache" true (misses > 0);
+  let hits = Cache.hits cache in
+  let r2 = Compiler.compile ~cache ~strategy:Strategy.Isa rebuilt in
+  check_int "equal circuit adds no misses" misses (Cache.misses cache);
+  check_bool "equal circuit re-reads every stage" true (Cache.hits cache > hits);
+  check_float "identical latency through the shared entries"
+    r1.Compiler.latency r2.Compiler.latency
+
+(* ------------------------------------------------------------------ *)
+(* Pooled drivers: byte-identical to the sequential reference          *)
+
+let fingerprint (r : Compiler.result) =
+  let digest =
+    match r.Compiler.certificate with
+    | Some c ->
+      Digest.to_hex
+        (Digest.string (Qobs.Json.to_string (Qcert.Certificate.to_json c)))
+    | None -> "<uncertified>"
+  in
+  (Printf.sprintf "%h" r.Compiler.latency, r.Compiler.n_merges, digest)
+
+(* the deterministic slice of the merged snapshot: totals that depend
+   only on the job set, not on scheduling. Wall-time gauges/hists and
+   the memo-warmth-sensitive route counters — commute.route.* and
+   qflow.summary.* — legitimately vary with the pool size; the
+   compute-once cache and the per-query commute/agg/qcert totals must
+   not. *)
+let deterministic_counters m =
+  List.map
+    (fun name -> (name, Metrics.counter_value m name))
+    [ "pipeline.cache.hit"; "pipeline.cache.miss"; "commute.checks";
+      "agg.attempted"; "agg.accepted"; "agg.vetoed_monotonic";
+      "qcert.proved"; "qcert.refuted"; "qcert.skipped"; "qcert.facts" ]
+
+let small_circuits =
+  lazy
+    (let rng = Qgraph.Rand.create 7 in
+     let open Gate in
+     [ Circuit.make 3
+         [ h 0; cnot 0 1; rz 0.7 1; cnot 1 2; rz 0.3 2; cnot 0 1; rx 0.2 0 ];
+       Circuit.make 4 (random_unitary_gates rng 4 10) ])
+
+let run_subset ~jobs subset =
+  let arr = Array.of_list subset in
+  let merged = Metrics.create () in
+  let shards = Array.map (fun _ -> Metrics.create ()) arr in
+  let cache = Cache.create () in
+  let results =
+    Parallel.map ~jobs ~init:Compiler.reset_all_memos
+      (fun i (strategy, circuit) ->
+        Compiler.compile ~certify:true ~metrics:shards.(i) ~cache ~strategy
+          circuit)
+      arr
+  in
+  Array.iter (fun s -> Metrics.absorb ~into:merged s) shards;
+  (Array.map fingerprint results, deterministic_counters merged)
+
+let qcheck_pool_determinism =
+  let circuits = Lazy.force small_circuits in
+  let all_jobs =
+    List.concat_map
+      (fun c -> List.map (fun s -> (s, c)) Strategy.all)
+      circuits
+  in
+  qcheck ~count:5 "pooled compile subsets are byte-identical to jobs:1"
+    QCheck.(pair (int_range 2 8) (int_range 1 1023))
+    (fun (pool, mask) ->
+      let subset =
+        List.filteri (fun i _ -> mask land (1 lsl i) <> 0) all_jobs
+      in
+      subset = [] || run_subset ~jobs:1 subset = run_subset ~jobs:pool subset)
+
+let compile_all_jobs_matches_sequential () =
+  let circuit = List.hd (Lazy.force small_circuits) in
+  let reference =
+    List.map
+      (fun (s, r) -> (s, fingerprint r))
+      (Compiler.compile_all ~certify:true circuit)
+  in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list (pair string (triple string int string))))
+        (Printf.sprintf "compile_all ~jobs:%d" jobs)
+        (List.map (fun (s, fp) -> (Strategy.to_string s, fp)) reference)
+        (List.map
+           (fun (s, r) -> (Strategy.to_string s, fingerprint r))
+           (Compiler.compile_all ~certify:true ~jobs circuit)))
+    [ 1; 3 ]
+
+let compile_matrix_regroups () =
+  let named =
+    List.mapi
+      (fun i c -> (Printf.sprintf "c%d" i, c))
+      (Lazy.force small_circuits)
+  in
+  let seq = Compiler.compile_matrix ~certify:true named in
+  let par = Compiler.compile_matrix ~certify:true ~jobs:4 named in
+  List.iter2
+    (fun (name, rs) (name', rs') ->
+      Alcotest.(check string) "benchmark order" name name';
+      List.iter2
+        (fun (s, r) (s', r') ->
+          Alcotest.(check string) "strategy order" (Strategy.to_string s)
+            (Strategy.to_string s');
+          Alcotest.(check (triple string int string))
+            (Printf.sprintf "%s/%s identical" name (Strategy.to_string s))
+            (fingerprint r) (fingerprint r'))
+        rs rs')
+    seq par
+
+let suites =
+  [ ( "parallel",
+      [ case "map matches Array.mapi at every pool size" map_matches_mapi;
+        case "map on empty input; init once per worker" map_empty_and_init;
+        case "lowest-index worker failure re-raises; pool joins"
+          map_reraises_lowest_failure;
+        case "metrics shards absorb under the merge law" absorb_folds_shards;
+        case "cache root key ignores Marshal sharing" root_key_ignores_sharing;
+        qcheck_pool_determinism;
+        slow_case "compile_all ?jobs matches the sequential driver"
+          compile_all_jobs_matches_sequential;
+        slow_case "compile_matrix regroups benchmark-major"
+          compile_matrix_regroups ] ) ]

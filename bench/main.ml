@@ -504,6 +504,102 @@ let pipeline_smoke () =
   if !failed then exit 1
 
 (* ------------------------------------------------------------------ *)
+(* Detect speed: oracle scanner vs the retained reference fixpoint     *)
+
+(* CI guard for the windowed, oracle-backed detect rewrite: on each
+   circuit the production path must perform the same merges and leave a
+   structurally identical graph, and must not be slower. Route counters
+   come from the ambient registry, so the printed breakdown is exactly
+   what [qcc stats] aggregates from ledgers. *)
+let detect_speed () =
+  header "Detect speed: oracle scanner vs reference fixpoint";
+  let cost gs = block_time gs in
+  let shape g =
+    List.map
+      (fun (i : Qgdg.Inst.t) -> (i.Qgdg.Inst.id, i.Qgdg.Inst.qubits, i.Qgdg.Inst.gates))
+      (Qgdg.Gdg.insts g)
+  in
+  let failed = ref false in
+  List.iter
+    (fun name ->
+      let circuit = Qapps.Suite.lowered (Qapps.Suite.find name) in
+      let metrics = Qobs.Metrics.create () in
+      Qcc.Compiler.reset_all_memos ();
+      let g_new = Qgdg.Gdg.of_circuit ~latency:cost circuit in
+      let t0 = Qobs.Clock.now_ns () in
+      let merges_new =
+        Qobs.Metrics.with_ambient metrics (fun () ->
+            Qgdg.Diagonal.detect_and_contract ~latency:cost g_new)
+      in
+      let new_ms = (Qobs.Clock.now_ns () -. t0) /. 1e6 in
+      let g_ref = Qgdg.Gdg.of_circuit ~latency:cost circuit in
+      let t1 = Qobs.Clock.now_ns () in
+      let merges_ref =
+        Qgdg.Diagonal.detect_and_contract_reference ~latency:cost g_ref
+      in
+      let ref_ms = (Qobs.Clock.now_ns () -. t1) /. 1e6 in
+      let identical =
+        merges_new = merges_ref
+        && Digest.string (Marshal.to_string (shape g_new) [])
+           = Digest.string (Marshal.to_string (shape g_ref) [])
+      in
+      let route r =
+        Qobs.Metrics.counter_value metrics (Printf.sprintf "detect.route.%s" r)
+      in
+      Printf.printf
+        "  %-14s reference %8.1f ms | oracle %8.1f ms | x%5.1f | merges %4d | \
+         routes s/m/pp/d/o %d/%d/%d/%d/%d\n%!"
+        name ref_ms new_ms
+        (if new_ms > 0. then ref_ms /. new_ms else infinity)
+        merges_new (route "structural") (route "memo") (route "phase_poly")
+        (route "dense") (route "oversize");
+      List.iter
+        (fun r ->
+          match
+            Qobs.Metrics.hist_value metrics
+              (Printf.sprintf "detect.route.%s.ms" r)
+          with
+          | Some h -> Printf.printf "    %-12s %6d checks %8.2f ms\n" r h.Qobs.Metrics.n h.Qobs.Metrics.sum
+          | None -> ())
+        [ "structural"; "memo"; "phase_poly"; "dense"; "oversize" ];
+      if not identical then begin
+        Printf.eprintf
+          "  FAIL %s: oracle detect diverges from reference (merges %d vs %d)\n%!"
+          name merges_new merges_ref;
+        let a = shape g_new and b = shape g_ref in
+        Printf.eprintf "    sizes %d vs %d\n%!" (List.length a) (List.length b);
+        (try
+           List.iteri
+             (fun i ((ida, qa, ga), (idb, qb, gb)) ->
+               if ida <> idb || qa <> qb || ga <> gb then begin
+                 Printf.eprintf
+                   "    first diff at %d: id %d vs %d, qubits [%s] vs [%s], \
+                    gates %d vs %d\n%!"
+                   i ida idb
+                   (String.concat ";" (List.map string_of_int qa))
+                   (String.concat ";" (List.map string_of_int qb))
+                   (List.length ga) (List.length gb);
+                 raise Exit
+               end)
+             (List.combine a b)
+         with Exit -> ());
+        failed := true
+      end;
+      let checks = Qobs.Metrics.counter_value metrics "detect.checks" in
+      let routed =
+        route "structural" + route "memo" + route "phase_poly" + route "dense"
+        + route "oversize"
+      in
+      if checks <> routed then begin
+        Printf.eprintf
+          "  FAIL %s: detect.route.* sums to %d but detect.checks is %d\n%!"
+          name routed checks;
+        failed := true
+      end)
+    [ "maxcut-reg4"; "sqrt-n3"; "uccsd-n6" ];
+  if !failed then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Perf gate: fresh per-pass times vs the committed baseline           *)
 
 (* Compares a fresh min-of-N run against BENCH_pipeline.json with a
@@ -518,6 +614,11 @@ let pipeline_smoke () =
      QCC_PERF_GATE_REPS     fresh repetitions, min taken (3)
      QCC_PERF_GATE_BENCHMARKS  comma-separated subset of the baseline's
                                benchmarks (maxcut-line,sqrt-n3,uccsd-n4)
+     QCC_PERF_GATE_REQUIRE  comma-separated pass names that must each
+                            contribute at least one qualifying gated row
+                            (detect,schedule) — catches a baseline whose
+                            hot passes all fell below the floor, which
+                            would silently un-gate them
      QCC_PERF_GATE_HANDICAP pass=factor: multiply that pass's fresh time
                             (self-test hook: a seeded 2x slowdown must
                             fail the gate) *)
@@ -533,6 +634,11 @@ let perf_gate () =
   let benches =
     String.split_on_char ','
       (getenv "QCC_PERF_GATE_BENCHMARKS" "maxcut-line,sqrt-n3,uccsd-n4")
+  in
+  let required =
+    List.filter
+      (fun s -> s <> "")
+      (String.split_on_char ',' (getenv "QCC_PERF_GATE_REQUIRE" "detect,schedule"))
   in
   let handicap =
     match Sys.getenv_opt "QCC_PERF_GATE_HANDICAP" with
@@ -642,6 +748,20 @@ let perf_gate () =
       (Printf.sprintf
          "perf gate: no passes at or above the %.1f ms floor — regenerate \
           the baseline (bench/main.exe pipeline)" floor_ms);
+  (* every required pass must actually be gated by at least one row:
+     a pass whose baseline dropped below the floor everywhere would
+     otherwise silently stop being measured *)
+  List.iter
+    (fun pass ->
+      if not (List.exists (fun ((_, _, p), _, _) -> p = pass) rows) then
+        failwith
+          (Printf.sprintf
+             "perf gate: required pass %S has no qualifying row (floor %.1f \
+              ms) — lower QCC_PERF_GATE_FLOOR_MS, widen \
+              QCC_PERF_GATE_BENCHMARKS, or drop it from \
+              QCC_PERF_GATE_REQUIRE"
+             pass floor_ms))
+    required;
   let ratios = List.sort compare (List.map (fun (_, b, f) -> f /. b) rows) in
   let median = List.nth ratios (List.length ratios / 2) in
   (* calibration is itself clamped so a pathological baseline cannot
@@ -1051,6 +1171,7 @@ let experiments =
     ("ablations", ablations);
     ("pipeline", pipeline);
     ("pipeline-smoke", pipeline_smoke);
+    ("detect-speed", detect_speed);
     ("par-smoke", par_smoke);
     ("par-scale", par_scale);
     ("perf-gate", perf_gate);

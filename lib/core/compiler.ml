@@ -186,6 +186,7 @@ let compile ?(config = default_config) ?(check = false) ?(certify = false)
    and this is the one callers (tests, benchmarks, domain pools) use to
    return the calling domain to a cold start. Idempotent. *)
 let reset_all_memos () =
+  Qgdg.Oracle.reset_memos ();
   Qgdg.Commute.reset_memos ();
   Qflow.Summary.reset_memo ();
   Qcontrol.Latency_model.reset_memos ()

@@ -176,6 +176,12 @@ let gdg_of_routed ~cost ~lint =
              route = Some a.route }
          | Ir.Insts _ -> invalid_arg "Stages.gdg_of_routed: instruction input"))
 
+(* Diagonal-block contraction on the commutation oracle's windowed
+   scanner: every detection query ticks [detect.checks] plus exactly one
+   [detect.route.*] counter (structural / memo / phase_poly / dense /
+   oversize, with a matching [.ms] histogram), mirroring the
+   [commute.route.*] attribution — [qcc stats] aggregates both and
+   checks the partition. *)
 let detect ~cost =
   Pass.P
     (Pass.make ~name:"detect"

@@ -1,20 +1,21 @@
 module Gate = Qgate.Gate
 
-type klass = Identity | Diagonal | Clifford | Phase_linear | General
+type klass = Qgdg.Oracle.klass =
+  | Identity
+  | Diagonal
+  | Clifford
+  | Phase_linear
+  | General
 
-let klass_to_string = function
-  | Identity -> "identity"
-  | Diagonal -> "diagonal"
-  | Clifford -> "clifford"
-  | Phase_linear -> "phase-linear"
-  | General -> "general"
+let klass_to_string = Qgdg.Oracle.klass_to_string
 
-type t = {
+type t = Qgdg.Oracle.t = {
   digest : string;
   support : int list;
   klass : klass;
   in_clifford : bool;
   in_phase_poly : bool;
+  all_diagonal : bool;
 }
 
 (* order-preserving relabelling of a gate list onto 0..|support|-1 *)
@@ -23,81 +24,29 @@ let relabel_onto support gs =
   List.iteri (fun k q -> Hashtbl.replace local q k) support;
   List.map (Gate.map_qubits (fun q -> Hashtbl.find local q)) gs
 
-let support_of gs = List.sort_uniq compare (List.concat_map Gate.qubits gs)
-
-(* Classification of a relabelled block is memoized on its digest — the
-   payload depends only on the block's shape, never on where it sits on
-   the register — and pairwise algebraic commutation on the relabelled
-   pair. Both tables live in one per-domain slot (Domain.DLS): memo
-   entries are pure functions of their keys, so per-domain re-warming
+(* Classification lives in the GDG-layer oracle (Qgdg.Oracle) so the
+   detect pass, CLS grouping and this summary layer share one
+   digest-keyed table; this module keeps only the algebraic pairwise memo
+   (the joint overlap pattern matters, so the single-block digests are
+   not a sufficient key). Memo entries are pure functions of their keys
+   and the table is per-domain (Domain.DLS), so per-domain re-warming
    keeps results deterministic while no write can race. *)
-type memo_state = {
-  classify : (string, klass * bool * bool) Hashtbl.t;
-  pair : (string, bool option) Hashtbl.t;
-}
+type memo_state = { pair : (string, bool option) Hashtbl.t }
 
 let memos =
-  Qobs.Domain_safe.Local.make (fun () ->
-      { classify = Hashtbl.create 1024; pair = Hashtbl.create 1024 })
+  Qobs.Domain_safe.Local.make (fun () -> { pair = Hashtbl.create 1024 })
   [@@domain_safety domain_local]
 
-let classify ~n_qubits local =
-  let pp = Qdomain.Phase_poly.of_gates ~n_qubits local in
-  let tb = Qdomain.Tableau.of_gates ~n_qubits local in
-  let in_phase_poly = pp <> None in
-  let in_clifford = tb <> None in
-  let identity =
-    (match tb with
-     | Some t -> Qdomain.Tableau.equal t (Qdomain.Tableau.identity n_qubits)
-     | None -> false)
-    ||
-    match pp with
-    | Some p -> Qdomain.Phase_poly.equal p (Qdomain.Phase_poly.identity n_qubits)
-    | None -> false
-  in
-  let diagonal =
-    List.for_all (fun g -> Gate.is_diagonal_kind g.Gate.kind) local
-    ||
-    match pp with
-    | Some p -> Qdomain.Phase_poly.is_linear_identity p
-    | None -> false
-  in
-  let klass =
-    if identity then Identity
-    else if diagonal then Diagonal
-    else if in_clifford then Clifford
-    else if in_phase_poly then Phase_linear
-    else General
-  in
-  (klass, in_clifford, in_phase_poly)
-
 let of_gates gs =
-  let support = support_of gs in
-  let local = relabel_onto support gs in
-  let digest = Digest.to_hex (Digest.string (Marshal.to_string local [])) in
-  let m = Qobs.Domain_safe.Local.get memos in
-  let klass, in_clifford, in_phase_poly =
-    match Hashtbl.find_opt m.classify digest with
-    | Some payload ->
-      Qobs.Metrics.tick "qflow.summary.hit";
-      payload
-    | None ->
-      Qobs.Metrics.tick "qflow.summary.miss";
-      let payload = classify ~n_qubits:(List.length support) local in
-      Hashtbl.replace m.classify digest payload;
-      payload
-  in
-  { digest; support; klass; in_clifford; in_phase_poly }
+  let s, hit = Qgdg.Oracle.of_gates gs in
+  Qobs.Metrics.tick (if hit then "qflow.summary.hit" else "qflow.summary.miss");
+  s
 
 let of_inst (i : Qgdg.Inst.t) = of_gates i.Qgdg.Inst.gates
 
 let max_pair_width = 12
 
-(* Algebraic-only pairwise commutation is memoized under the relabelled
-   pair, in [memos].pair (the joint overlap pattern matters, so the
-   single-block digests are not a sufficient key).
-
-   Route attribution, mirroring Qgdg.Commute: every [commutes] query
+(* Route attribution, mirroring Qgdg.Commute: every [commutes] query
    ticks "qflow.pair.checks" and exactly one "qflow.route.<r>" counter
    (structural / oversize / memo / phase_poly / tableau / undecided),
    plus the matching per-route time histogram. The clock is read only
@@ -120,37 +69,6 @@ let route (name, hist) t0 =
   | Some t0 ->
     Qobs.Metrics.tick name;
     Qobs.Metrics.record hist (Qobs.Clock.elapsed_ns t0 /. 1e6)
-
-let decide_pair ~n_qubits a b =
-  match
-    ( Qdomain.Phase_poly.of_gates ~n_qubits (a @ b),
-      Qdomain.Phase_poly.of_gates ~n_qubits (b @ a) )
-  with
-  | Some p_ab, Some p_ba ->
-    (Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba, route_phase_poly)
-  | _ -> (
-    match
-      ( Qdomain.Tableau.of_gates ~n_qubits (a @ b),
-        Qdomain.Tableau.of_gates ~n_qubits (b @ a) )
-    with
-    | Some t_ab, Some t_ba ->
-      let r =
-        if not (Qdomain.Tableau.equal t_ab t_ba) then Some false
-        else begin
-          (* tableau equality is up to global phase; one statevector
-             column decides the residual *)
-          let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
-          let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
-          let ok = ref true in
-          Array.iteri
-            (fun i z ->
-              if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then ok := false)
-            s_ab;
-          Some !ok
-        end
-      in
-      (r, route_tableau)
-    | _ -> (None, route_undecided))
 
 let commutes ~a ~b sa sb =
   Qobs.Metrics.tick "qflow.pair.checks";
@@ -184,15 +102,26 @@ let commutes ~a ~b sa sb =
         r
       | None ->
         Qobs.Metrics.tick "qflow.summary.miss";
-        let r, route_taken = decide_pair ~n_qubits la lb in
+        let r, taken =
+          Qgdg.Oracle.algebraic_pair
+            ~in_phase_poly:(sa.in_phase_poly && sb.in_phase_poly)
+            ~in_clifford:(sa.in_clifford && sb.in_clifford)
+            ~n_qubits la lb
+        in
+        let route_taken =
+          match taken with
+          | Qgdg.Oracle.Pair_phase_poly -> route_phase_poly
+          | Qgdg.Oracle.Pair_tableau -> route_tableau
+          | Qgdg.Oracle.Pair_undecided -> route_undecided
+        in
         Hashtbl.replace m.pair key r;
         route route_taken t0;
         r
     end
   end
 
-(* idempotent; clears the calling domain's tables only *)
+(* idempotent; clears the calling domain's pair table only — the shared
+   classification memo is the oracle's ({!Qgdg.Oracle.reset_memos}) *)
 let reset_memo () =
   let m = Qobs.Domain_safe.Local.get memos in
-  Hashtbl.reset m.classify;
   Hashtbl.reset m.pair

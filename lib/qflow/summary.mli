@@ -4,19 +4,16 @@
     domain that pins its semantics — identity, diagonal, Clifford
     (Pauli tableau), CNOT+diagonal (phase polynomial) — together with
     its support and a content digest of the block relabelled onto its
-    own support. Classification is memoized on the digest: congruent
+    own support. Classification lives in the GDG-layer commutation
+    oracle ({!Qgdg.Oracle}) and is memoized on the digest: congruent
     blocks anywhere on the register (the same excitation or adder
     template stamped onto different qubit sets) are classified once per
-    process. Cache traffic is observable through the ambient metrics
+    domain, and the detect pass, CLS grouping and this layer share the
+    table. Cache traffic is observable through the ambient metrics
     registry as [qflow.summary.hit] / [qflow.summary.miss]
-    (see {!Qobs.Metrics}).
+    (see {!Qobs.Metrics}). *)
 
-    This is the summary layer the ROADMAP's `detect`-pass rewrite is
-    meant to reuse: the digest gives a stable key for memoizing
-    commutation and diagonal-block decisions across repeated
-    subcircuits. *)
-
-type klass =
+type klass = Qgdg.Oracle.klass =
   | Identity  (** provably identity up to global phase *)
   | Diagonal  (** diagonal in the computational basis *)
   | Clifford  (** inside the Pauli-tableau fragment *)
@@ -26,12 +23,13 @@ type klass =
 val klass_to_string : klass -> string
 (** Lower-case name: ["identity"] … ["general"]. *)
 
-type t = {
+type t = Qgdg.Oracle.t = {
   digest : string;  (** hex digest of the relabelled member list *)
   support : int list;  (** sorted qubit support *)
   klass : klass;
   in_clifford : bool;  (** tableau domain applies (independent of klass) *)
   in_phase_poly : bool;  (** phase-polynomial domain applies *)
+  all_diagonal : bool;  (** every member gate is syntactically diagonal *)
 }
 
 val of_gates : Qgate.Gate.t list -> t
@@ -56,4 +54,6 @@ val max_pair_width : int
 (** Joint-support cap for pairwise algebraic checks (12). *)
 
 val reset_memo : unit -> unit
-(** Clear the process-wide classification and pair memos (tests). *)
+(** Clear the process-wide pair memo (tests). The shared classification
+    memo is cleared by {!Qgdg.Oracle.reset_memos} /
+    {!Qgdg.Commute.reset_memos}. *)

@@ -58,7 +58,29 @@ let refresh ?(commute = Commute.insts) t g ~qubits =
     (fun q -> set_qubit t q (groups_of_chain commute g (Gdg.chain g q)))
     (List.sort_uniq compare qubits)
 
-let build ?(commute = Commute.insts) g =
+(* The default build routes every pairwise check through the oracle with
+   a per-build summary cache keyed by instruction id — ids are unique and
+   blocks immutable, so caching per id is sound, and each instruction's
+   digest/classification is computed once per build instead of once per
+   pair probe. *)
+let oracle_commute () =
+  let summaries : (int, Oracle.t) Hashtbl.t = Hashtbl.create 256 in
+  let summary_of (i : Inst.t) =
+    match Hashtbl.find_opt summaries i.Inst.id with
+    | Some s -> s
+    | None ->
+      let s = fst (Oracle.of_gates i.Inst.gates) in
+      Hashtbl.replace summaries i.Inst.id s;
+      s
+  in
+  fun a b ->
+    Oracle.blocks ~sa:(summary_of a) ~sb:(summary_of b) a.Inst.gates
+      b.Inst.gates
+
+let build ?commute g =
+  let commute =
+    match commute with Some c -> c | None -> oracle_commute ()
+  in
   let n = Gdg.n_qubits g in
   let nq = max 1 n in
   let t =
@@ -68,6 +90,8 @@ let build ?(commute = Commute.insts) g =
   in
   refresh ~commute t g ~qubits:(List.init n (fun q -> q));
   t
+
+let build_reference g = build ~commute:Commute.insts_reference g
 
 let groups_on t q = t.per_qubit.(q)
 

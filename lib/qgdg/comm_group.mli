@@ -10,10 +10,18 @@
 type t
 
 val build : ?commute:(Inst.t -> Inst.t -> bool) -> Gdg.t -> t
-(** Pairwise operator-commutation checks along every chain. [commute]
-    defaults to {!Commute.insts}; callers that rebuild groups repeatedly
-    (the aggregator) pass a memoized check — instruction ids are unique
-    and blocks immutable, so caching by id pair is sound. *)
+(** Pairwise operator-commutation checks along every chain. By default
+    every check goes through the commutation oracle ({!Oracle.blocks})
+    with a per-build summary cache keyed by instruction id — ids are
+    unique and blocks immutable, so caching by id is sound, and each
+    instruction is digested and classified once per build instead of
+    once per pair probe. Callers that rebuild groups repeatedly (the
+    aggregator) pass their own memoized [commute]. *)
+
+val build_reference : Gdg.t -> t
+(** {!build} over the memo-free pre-oracle decision chain
+    ({!Commute.insts_reference}); the qcheck suite pins the default
+    build's partitions against it on every suite circuit. *)
 
 val refresh :
   ?commute:(Inst.t -> Inst.t -> bool) -> t -> Gdg.t -> qubits:int list -> unit
@@ -27,6 +35,10 @@ val groups_on : t -> int -> int list list
 val group_index : t -> qubit:int -> int -> int
 (** Position of an instruction's group on a qubit.
     Raises [Not_found] when the instruction is not on that qubit. *)
+
+val lookup : t -> qubit:int -> int -> int
+(** Total {!group_index}: [-1] when the instruction is not on the
+    qubit — the O(1) membership probe schedulers sit on. *)
 
 val same_group : t -> qubit:int -> int -> int -> bool
 

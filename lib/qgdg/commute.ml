@@ -1,6 +1,6 @@
 module Gate = Qgate.Gate
 
-let max_check_width = 8
+let max_check_width = Oracle.max_check_width
 
 let all_diagonal gs = List.for_all (fun g -> Gate.is_diagonal_kind g.Gate.kind) gs
 
@@ -28,97 +28,6 @@ let is_diagonal_block gs =
       let _, u = Qgate.Unitary.on_support gs in
       Qnum.Cmat.is_diagonal ~eps:1e-9 u)
 
-(* observability: every commutation query ticks "commute.checks"; queries
-   resolved structurally (identical gates, disjoint supports, both sides
-   diagonal) tick "commute.fast_path", as do the algebraic decisions,
-   which additionally tick "commute.phase_poly" or "commute.tableau";
-   joint supports too wide to check tick "commute.oversize"; only queries
-   that actually build dense unitaries tick "commute.unitary" — the
-   fast-path ratio is the headline number for the detection cost (no-ops
-   unless a metrics registry is ambient, see Qobs.Metrics) *)
-let fast_path () = Qobs.Metrics.tick "commute.fast_path"
-
-(* Route attribution: on top of the legacy counters above, every query
-   that ticks "commute.checks" resolves through exactly one route —
-   structural / memo / phase_poly / tableau / dense / oversize — ticking
-   "commute.route.<r>" and recording the query's wall time in
-   "commute.route.<r>.ms". The per-route counters therefore sum to the
-   decision count, which [qcc stats] checks and reports as the route mix.
-   The clock is read only when a metrics registry is ambient, so the
-   disabled path stays one branch. *)
-let now_if_metrics () =
-  if Qobs.Metrics.enabled (Qobs.Metrics.ambient ()) then
-    Some (Qobs.Clock.now_ns ())
-  else None
-
-let route_structural = ("commute.route.structural", "commute.route.structural.ms")
-let route_memo = ("commute.route.memo", "commute.route.memo.ms")
-let route_phase_poly = ("commute.route.phase_poly", "commute.route.phase_poly.ms")
-let route_tableau = ("commute.route.tableau", "commute.route.tableau.ms")
-let route_dense = ("commute.route.dense", "commute.route.dense.ms")
-let route_oversize = ("commute.route.oversize", "commute.route.oversize.ms")
-
-let route (name, hist) t0 =
-  match t0 with
-  | None -> ()
-  | Some t0 ->
-    Qobs.Metrics.tick name;
-    Qobs.Metrics.record hist (Qobs.Clock.elapsed_ns t0 /. 1e6)
-
-(* Content-addressed cache of block unitaries on their own support. A
-   block is re-checked against many partners, each time on a different
-   joint support; building its unitary once on its own support and
-   reading it through [Cmat.commute_embedded]'s structural embedding
-   reproduces the [Unitary.of_gates]-on-the-joint-support comparison
-   entry for entry. Bounded by total cached entries; cleared wholesale
-   when full.
-
-   Both memo tables live in one per-domain slot: a memo hit returns
-   exactly what a recomputation would, so per-domain re-warming keeps
-   results deterministic while no write can ever race. *)
-type memo_state = {
-  unitary : (string, Qnum.Cmat.t) Hashtbl.t;
-  mutable unitary_cells : int;
-  decision : (string, bool) Hashtbl.t;
-}
-
-let memos =
-  Qobs.Domain_safe.Local.make (fun () ->
-      { unitary = Hashtbl.create 256;
-        unitary_cells = 0;
-        decision = Hashtbl.create 4096 })
-  [@@domain_safety domain_local]
-
-let unitary_memo_cell_cap = 4_000_000
-
-let unitary_on_own gates =
-  let m = Qobs.Domain_safe.Local.get memos in
-  let own = List.sort_uniq compare (List.concat_map Gate.qubits gates) in
-  let k = List.length own in
-  let local = relabel_onto own gates in
-  let key = Marshal.to_string local [] in
-  let u =
-    match Hashtbl.find_opt m.unitary key with
-    | Some u -> u
-    | None ->
-      let u = Qgate.Unitary.of_gates ~n_qubits:k local in
-      if m.unitary_cells > unitary_memo_cell_cap then begin
-        Hashtbl.reset m.unitary;
-        m.unitary_cells <- 0
-      end;
-      m.unitary_cells <- m.unitary_cells + (1 lsl (2 * k));
-      Hashtbl.replace m.unitary key u;
-      u
-  in
-  (own, u)
-
-(* the dense comparison on already-relabelled gates, support 0..n-1 *)
-let dense_on ~n_qubits a_gates b_gates =
-  Qobs.Metrics.tick "commute.unitary";
-  let targets_a, ua = unitary_on_own a_gates in
-  let targets_b, ub = unitary_on_own b_gates in
-  Qnum.Cmat.commute_embedded ~eps:1e-9 ~n_qubits ~targets_a ua ~targets_b ub
-
 let dense_commute a_gates b_gates =
   let support =
     List.sort_uniq compare
@@ -129,154 +38,67 @@ let dense_commute a_gates b_gates =
     false
   end
   else
-    dense_on ~n_qubits:(List.length support)
+    Oracle.dense_on ~n_qubits:(List.length support)
       (relabel_onto support a_gates)
       (relabel_onto support b_gates)
 
-(* CNOT+diagonal fragment: the phase polynomials of a·b and b·a pin both
-   operators exactly (global phase included), so strict equality decides
-   commutation with no dense algebra at all *)
-let phase_poly_commute ~n_qubits a b =
-  match
-    ( Qdomain.Phase_poly.of_gates ~n_qubits (a @ b),
-      Qdomain.Phase_poly.of_gates ~n_qubits (b @ a) )
-  with
-  | Some p_ab, Some p_ba ->
-    Qobs.Metrics.tick "commute.phase_poly";
-    Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba
-  | _ -> None
-
-(* Clifford fragment: tableau equality decides equality of a·b and b·a up
-   to global phase; when the tableaus agree the residual global phase is
-   read off one statevector column (|0…0⟩), far cheaper than the 2^n×2^n
-   products. Genuine phase mismatches are multiples of π/4 on amplitudes
-   of modulus ≥ 2^{-n/2}, so the 1e-6 tolerance only absorbs float
-   noise. *)
-let tableau_commute ~n_qubits a b =
-  match
-    ( Qdomain.Tableau.of_gates ~n_qubits (a @ b),
-      Qdomain.Tableau.of_gates ~n_qubits (b @ a) )
-  with
-  | Some t_ab, Some t_ba ->
-    Qobs.Metrics.tick "commute.tableau";
-    if not (Qdomain.Tableau.equal t_ab t_ba) then Some false
-    else begin
-      let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
-      let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
-      let ok = ref true in
-      Array.iteri
-        (fun i z -> if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then ok := false)
-        s_ab;
-      Some !ok
-    end
-  | _ -> None
-
-(* The decision memo ([memos].decision) is content-addressed over
-   relabelled queries: the decision depends only on the two gate lists
-   up to a common qubit relabelling, and repetitive circuits (the same
-   excitation or adder template stamped onto different qubit sets)
-   re-ask structurally identical questions constantly — each distinct
-   shape pays the algebraic/dense check once per domain
-   ("commute.memo_hits" counts the reuse).
-
-   Shared slow path: support width gate, then algebraic domains, then
-   the dense comparison. Callers have already dispatched the structural
-   shortcuts. *)
-let decide ~t0 a_gates b_gates =
-  let support =
-    List.sort_uniq compare
-      (List.concat_map Gate.qubits a_gates @ List.concat_map Gate.qubits b_gates)
-  in
-  if List.length support > max_check_width then begin
-    Qobs.Metrics.tick "commute.oversize";
-    route route_oversize t0;
-    false
-  end
-  else begin
-    let n_qubits = List.length support in
-    let a = relabel_onto support a_gates in
-    let b = relabel_onto support b_gates in
-    let key = Marshal.to_string (a, b) [] in
-    let m = Qobs.Domain_safe.Local.get memos in
-    match Hashtbl.find_opt m.decision key with
-    | Some r ->
-      Qobs.Metrics.tick "commute.memo_hits";
-      fast_path ();
-      route route_memo t0;
-      r
-    | None ->
-      let r =
-        match phase_poly_commute ~n_qubits a b with
-        | Some r ->
-          fast_path ();
-          route route_phase_poly t0;
-          r
-        | None -> (
-          match tableau_commute ~n_qubits a b with
-          | Some r ->
-            fast_path ();
-            route route_tableau t0;
-            r
-          | None ->
-            Qobs.Metrics.record "commute.dense.width" (float_of_int n_qubits);
-            let r = dense_on ~n_qubits a b in
-            route route_dense t0;
-            r)
-      in
-      Hashtbl.replace m.decision key r;
-      r
-  end
-
-let blocks a b =
-  Qobs.Metrics.tick "commute.checks";
-  let t0 = now_if_metrics () in
+(* The pre-oracle decision chain, retained memo-free as the reference the
+   qcheck suite pins {!blocks} against: structural shortcuts, support
+   width gate, then the attempt-and-fail algebraic dispatch (phase
+   polynomial, then tableau), then the dense comparison. No metrics, no
+   decision memo — results must be reproducible independently of any
+   cache the oracle keeps (the unitary cache underneath [dense_on] is
+   content-addressed and pure, so sharing it is sound). *)
+let blocks_reference a b =
   match (a, b) with
-  | [], _ | _, [] ->
-    fast_path ();
-    route route_structural t0;
-    true
+  | [], _ | _, [] -> true
   | _ ->
     let qa = List.sort_uniq compare (List.concat_map Gate.qubits a) in
     let qb = List.sort_uniq compare (List.concat_map Gate.qubits b) in
     let disjoint = not (List.exists (fun q -> List.mem q qb) qa) in
-    if disjoint then begin
-      fast_path ();
-      route route_structural t0;
-      true
+    if disjoint then true
+    else if all_diagonal a && all_diagonal b then true
+    else begin
+      let support = List.sort_uniq compare (qa @ qb) in
+      if List.length support > max_check_width then false
+      else begin
+        let n_qubits = List.length support in
+        let a = relabel_onto support a and b = relabel_onto support b in
+        match
+          ( Qdomain.Phase_poly.of_gates ~n_qubits (a @ b),
+            Qdomain.Phase_poly.of_gates ~n_qubits (b @ a) )
+        with
+        | Some p_ab, Some p_ba -> (
+          match Qdomain.Phase_poly.strict_equal ~eps:1e-9 p_ab p_ba with
+          | Some r -> r
+          | None -> Oracle.dense_on ~n_qubits a b)
+        | _ -> (
+          match
+            ( Qdomain.Tableau.of_gates ~n_qubits (a @ b),
+              Qdomain.Tableau.of_gates ~n_qubits (b @ a) )
+          with
+          | Some t_ab, Some t_ba ->
+            if not (Qdomain.Tableau.equal t_ab t_ba) then false
+            else begin
+              let s_ab = Qgate.Unitary.state_of_gates ~n_qubits (a @ b) in
+              let s_ba = Qgate.Unitary.state_of_gates ~n_qubits (b @ a) in
+              let ok = ref true in
+              Array.iteri
+                (fun i z ->
+                  if Qnum.Cx.abs (Qnum.Cx.sub z s_ba.(i)) > 1e-6 then
+                    ok := false)
+                s_ab;
+              !ok
+            end
+          | _ -> Oracle.dense_on ~n_qubits a b)
+      end
     end
-    else if all_diagonal a && all_diagonal b then begin
-      fast_path ();
-      route route_structural t0;
-      true
-    end
-    else decide ~t0 a b
 
-let gates a b =
-  Qobs.Metrics.tick "commute.checks";
-  let t0 = now_if_metrics () in
-  if Gate.equal a b then begin
-    fast_path ();
-    route route_structural t0;
-    true
-  end
-  else if not (Gate.shares_qubit a b) then begin
-    fast_path ();
-    route route_structural t0;
-    true
-  end
-  else if Gate.is_diagonal_kind a.Gate.kind && Gate.is_diagonal_kind b.Gate.kind
-  then begin
-    fast_path ();
-    route route_structural t0;
-    true
-  end
-  else decide ~t0 [ a ] [ b ]
+let blocks a b = Oracle.blocks a b
+let gates a b = Oracle.gates a b
+let insts a b = Oracle.blocks a.Inst.gates b.Inst.gates
 
-let insts a b = blocks a.Inst.gates b.Inst.gates
+let insts_reference a b = blocks_reference a.Inst.gates b.Inst.gates
 
-(* idempotent; clears the calling domain's tables only *)
-let reset_memos () =
-  let m = Qobs.Domain_safe.Local.get memos in
-  Hashtbl.reset m.decision;
-  Hashtbl.reset m.unitary;
-  m.unitary_cells <- 0
+(* idempotent; clears the calling domain's oracle tables *)
+let reset_memos () = Oracle.reset_memos ()

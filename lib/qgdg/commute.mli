@@ -23,9 +23,21 @@ val gates : Qgate.Gate.t -> Qgate.Gate.t -> bool
 val blocks : Qgate.Gate.t list -> Qgate.Gate.t list -> bool
 (** Do two member-gate blocks commute as whole operators? Joint supports
     larger than {!max_check_width} qubits conservatively return [false]
-    (unless disjoint or both diagonal). *)
+    (unless disjoint or both diagonal). Since the oracle rewrite this is
+    {!Oracle.blocks}: summaries are digest-memoized, the slow path
+    dispatches on klass pairs and is memoized on digest pairs, and dense
+    unitaries are the last resort. *)
 
 val insts : Inst.t -> Inst.t -> bool
+
+val blocks_reference : Qgate.Gate.t list -> Qgate.Gate.t list -> bool
+(** The pre-oracle decision chain, retained memo-free (structural
+    shortcuts, width gate, attempt-and-fail phase-polynomial then
+    tableau dispatch, dense fallback) — the qcheck suite pins {!blocks}
+    against it on random blocks and on every suite circuit. *)
+
+val insts_reference : Inst.t -> Inst.t -> bool
+(** {!blocks_reference} on the instructions' member gates. *)
 
 val max_check_width : int
 (** Support-size cap (8) above which the dense check is not attempted. *)
@@ -36,9 +48,11 @@ val dense_commute : Qgate.Gate.t list -> Qgate.Gate.t list -> bool
     can cross-check the fast paths against it. *)
 
 val reset_memos : unit -> unit
-(** Clear the process-wide decision and unitary memos. Benchmarks use
-    this to measure cold-path timings reproducibly; results are
-    unaffected (the memos are pure caches). *)
+(** Clear the calling domain's oracle memos (classification, pair,
+    diagonal and unitary tables — an alias of
+    {!Oracle.reset_memos}). Benchmarks use this to measure cold-path
+    timings reproducibly; results are unaffected (the memos are pure
+    caches). *)
 
 val is_diagonal_block : Qgate.Gate.t list -> bool
 (** Is the composed unitary diagonal in the computational basis? True

@@ -18,6 +18,8 @@ let fresh_id g =
   g.next <- id + 1;
   id
 
+let next_id g = g.next
+
 let of_insts ~n_qubits insts =
   let nodes = Hashtbl.create 64 in
   let chains = Array.make (max 1 n_qubits) [] in

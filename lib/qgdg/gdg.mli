@@ -32,6 +32,12 @@ val iter_insts : t -> (Inst.t -> unit) -> unit
 val fresh_id : t -> int
 (** A node id never used in this graph (monotonically increasing). *)
 
+val next_id : t -> int
+(** The id {!fresh_id} would return, without allocating it — the
+    capacity probe for flat [id]-indexed side tables. Callers sizing
+    tables must use this (not {!fresh_id}) so probing does not perturb
+    the merged-node id stream. *)
+
 val chain : t -> int -> Inst.t list
 (** The instruction chain on a qubit, in order. *)
 

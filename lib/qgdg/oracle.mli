@@ -1,0 +1,115 @@
+(** The commutation oracle: one summary-keyed entry point for every
+    commutativity-detection decision (ROADMAP Open item 2).
+
+    A block's {e summary} is its content digest (relabelled onto its own
+    support), its sorted support, and its classification by the cheapest
+    abstract domain that pins its semantics — identity / diagonal /
+    Clifford / phase-linear / general — plus the raw fragment-membership
+    flags the dispatcher routes on. Classification is memoized on the
+    digest, so congruent blocks anywhere on the register (the same
+    excitation or adder template stamped onto different qubit sets) are
+    classified once per domain.
+
+    Three consumers sit on top of the oracle: pairwise commutation
+    ({!blocks} / {!gates}, re-exported by {!Commute}), diagonal-prefix
+    recognition for the detect pass ({!scan_push} / {!scan_is_diagonal},
+    consumed by {!Diagonal}), and CLS group construction
+    ({!Comm_group.build} passes per-instruction summaries back into
+    {!blocks}). All memo tables are per-domain (Domain.DLS) and cleared
+    by {!reset_memos}, so [-j N] runs stay byte-identical. *)
+
+type klass = Identity | Diagonal | Clifford | Phase_linear | General
+
+val klass_to_string : klass -> string
+(** Lower-case name: ["identity"] … ["general"]. *)
+
+type t = {
+  digest : string;  (** hex digest of the relabelled member list *)
+  support : int list;  (** sorted qubit support *)
+  klass : klass;
+  in_clifford : bool;  (** tableau domain applies (independent of klass) *)
+  in_phase_poly : bool;  (** phase-polynomial domain applies *)
+  all_diagonal : bool;  (** every member gate is syntactically diagonal *)
+}
+
+val of_gates : Qgate.Gate.t list -> t * bool
+(** The block's summary plus whether the classification was a memo hit
+    (callers that meter cache traffic — {!Qflow.Summary} — tick on the
+    flag; this module itself never ticks classification counters). *)
+
+val max_check_width : int
+(** Support-size cap (8) above which the dense check is not attempted. *)
+
+val blocks : ?sa:t -> ?sb:t -> Qgate.Gate.t list -> Qgate.Gate.t list -> bool
+(** Do two member-gate blocks commute as whole operators? Structural
+    shortcuts (empty, disjoint supports, both sides syntactically
+    diagonal), then the width gate, the klass-pair shortcut, the
+    digest-pair memo, the flag-dispatched algebraic domains, and the
+    dense comparison last. [sa]/[sb] supply precomputed summaries
+    (callers holding per-instruction caches); otherwise summaries are
+    computed (and digest-memoized) per call.
+
+    Ticks [commute.checks] and exactly one [commute.route.<r>] counter
+    (structural / memo / phase_poly / tableau / dense / oversize) with a
+    matching [.ms] histogram, plus the legacy [commute.*] counters, when
+    a metrics registry is ambient. *)
+
+val gates : Qgate.Gate.t -> Qgate.Gate.t -> bool
+(** Do two gates commute as operators? *)
+
+type pair_route = Pair_phase_poly | Pair_tableau | Pair_undecided
+
+val algebraic_pair :
+  in_phase_poly:bool ->
+  in_clifford:bool ->
+  n_qubits:int ->
+  Qgate.Gate.t list ->
+  Qgate.Gate.t list ->
+  bool option * pair_route
+(** The algebraic-only pair check on an already-relabelled pair,
+    dispatched on the blocks' fragment-membership flags: phase-polynomial
+    strict equality when both blocks sit in the CNOT+diagonal fragment,
+    else tableau equality (with a statevector-column global-phase
+    tie-break) when both are Clifford, else undecided. No metrics, no
+    memo — callers ({!decide}'s slow path, {!Qflow.Summary.commutes})
+    own both. *)
+
+val dense_on : n_qubits:int -> Qgate.Gate.t list -> Qgate.Gate.t list -> bool
+(** The dense comparison on already-relabelled gates (support 0..n-1),
+    through the content-addressed unitary cache; ticks
+    [commute.unitary]. *)
+
+val unitary_on_own : Qgate.Gate.t list -> int list * Qnum.Cmat.t
+(** The block's unitary on its own sorted support (cached). *)
+
+(** {2 Incremental diagonal-prefix scanning}
+
+    The detect pass grows pair-confined runs and asks, per prefix,
+    whether the composed unitary is diagonal. A scan composes the run
+    once — syntactic diagonality, a first-seen relabelling (prefix-stable
+    and label-independent), an in-place phase polynomial, and a
+    prefix-free key buffer — so an n-gate run costs O(n) domain updates
+    instead of the reference's O(n²) rebuild, and every decision is
+    memoized per congruence class in the per-domain [diagonal] table.
+
+    Every {!scan_is_diagonal} call ticks [detect.checks] and exactly one
+    [detect.route.<r>] counter (structural / memo / phase_poly / dense /
+    oversize) with a matching [.ms] histogram. *)
+
+type scan
+
+val scan_create : unit -> scan
+
+val scan_push : scan -> Qgate.Gate.t list -> unit
+(** Append the next run node's member gates to the scanned prefix. *)
+
+val scan_is_diagonal : scan -> bool
+(** Is the current prefix's composed unitary diagonal in the
+    computational basis? Decision-identical to
+    {!Commute.is_diagonal_block} on the concatenated prefix (the qcheck
+    suite pins this). *)
+
+val reset_memos : unit -> unit
+(** Clear the calling domain's classification, pair, diagonal and
+    unitary memos. Benchmarks use this to measure cold-path timings
+    reproducibly; results are unaffected (the memos are pure caches). *)

@@ -18,6 +18,7 @@ type t = {
   passes : pass_stat list;  (* wall time descending, then name *)
   routes : (string * int) list;  (* sorted by metric name *)
   commute_checks : int;
+  detect_checks : int;
   domains : (int * int) list;  (* domain id -> rows, sorted by id *)
 }
 
@@ -39,7 +40,7 @@ let is_route name =
   let pre p =
     String.length name > String.length p && String.sub name 0 (String.length p) = p
   in
-  pre "commute.route." || pre "qflow.route."
+  pre "commute.route." || pre "qflow.route." || pre "detect.route."
 
 let of_rows rows =
   let passes = Hashtbl.create 32 in
@@ -49,6 +50,7 @@ let of_rows rows =
   let compile_time = ref 0. in
   let hits = ref 0 and misses = ref 0 in
   let checks = ref 0 in
+  let detect_checks = ref 0 in
   List.iter
     (fun row ->
       if str_mem "schema" row <> Some "qcc.ledger/1" then incr skipped
@@ -109,6 +111,8 @@ let of_rows rows =
                    + Option.value ~default:0 (Hashtbl.find_opt routes name))
               | Json.Int count when name = "commute.checks" ->
                 checks := !checks + count
+              | Json.Int count when name = "detect.checks" ->
+                detect_checks := !detect_checks + count
               | _ -> ())
             fields
         | _ -> ()
@@ -129,9 +133,19 @@ let of_rows rows =
     routes =
       List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) routes []);
     commute_checks = !checks;
+    detect_checks = !detect_checks;
     domains =
       List.sort compare
         (Hashtbl.fold (fun d c acc -> (d, c) :: acc) domains []) }
+
+let detect_route_sum t =
+  List.fold_left
+    (fun acc (name, count) ->
+      if
+        String.length name > 13 && String.sub name 0 13 = "detect.route."
+      then acc + count
+      else acc)
+    0 t.routes
 
 let hit_rate t =
   let total = t.cache_hits + t.cache_misses in
@@ -158,6 +172,7 @@ let body_json t =
     ("passes", Json.List (List.map pass_json t.passes));
     ("routes", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.routes));
     ("commute_checks", Json.Int t.commute_checks);
+    ("detect_checks", Json.Int t.detect_checks);
     ("domains",
      Json.Obj
        (List.map (fun (d, c) -> (string_of_int d, Json.Int c)) t.domains)) ]
@@ -193,7 +208,16 @@ let pp_text ?(top = 10) ppf t =
     List.iter
       (fun (name, count) -> Format.fprintf ppf "%-26s %9d@." name count)
       t.routes;
-    Format.fprintf ppf "%-26s %9d@." "commute.checks" t.commute_checks
+    Format.fprintf ppf "%-26s %9d@." "commute.checks" t.commute_checks;
+    if t.detect_checks > 0 then begin
+      Format.fprintf ppf "%-26s %9d@." "detect.checks" t.detect_checks;
+      let routed = detect_route_sum t in
+      if routed <> t.detect_checks then
+        Format.fprintf ppf
+          "WARNING     detect.route.* sums to %d, not detect.checks %d — \
+           route partition violated@."
+          routed t.detect_checks
+    end
   end
 
 (* ---- diff ---- *)

@@ -4,8 +4,9 @@
     Pure over parsed JSON rows: rows whose [schema] is not
     [qcc.ledger/1] are counted as skipped, everything else folds into
     per-pass wall/allocation totals, cache hit rates and the
-    commutation-route mix ([commute.route.*] / [qflow.route.*] counters
-    summed across rows). JSON output carries schema [qcc.stats/1]. *)
+    commutation-route mix ([commute.route.*] / [qflow.route.*] /
+    [detect.route.*] counters summed across rows). JSON output carries
+    schema [qcc.stats/1]. *)
 
 val schema : string
 (** ["qcc.stats/1"]. *)
@@ -28,6 +29,7 @@ type t = {
   passes : pass_stat list;  (** wall time descending, then name *)
   routes : (string * int) list;  (** sorted by metric name *)
   commute_checks : int;  (** sum of the [commute.checks] counter *)
+  detect_checks : int;  (** sum of the [detect.checks] counter *)
   domains : (int * int) list;
       (** rows per worker-domain id (rows without a [domain] field
           contribute nothing), sorted by id — shows how a parallel
@@ -37,6 +39,11 @@ type t = {
 val of_rows : Json.t list -> t
 val hit_rate : t -> float
 (** Cache hit fraction in [0,1]; 0 when no cache traffic. *)
+
+val detect_route_sum : t -> int
+(** Sum of the [detect.route.*] counters. Every detection query takes
+    exactly one route, so this must equal [detect_checks]; [pp_text]
+    flags a violation. *)
 
 val to_json : t -> Json.t
 (** [qcc.stats/1], [mode = "aggregate"]. *)

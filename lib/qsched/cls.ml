@@ -3,40 +3,59 @@ module Inst = Qgdg.Inst
 let schedule g =
   let n_qubits = Qgdg.Gdg.n_qubits g in
   let groups = Qgdg.Comm_group.build g in
-  (* per-qubit queue of remaining groups; head is the current group *)
-  let queue = Array.init (max 1 n_qubits) (fun q ->
-      ref (Qgdg.Comm_group.groups_on groups q))
-  in
+  (* Per-qubit cursor over the ordered groups: [head.(q)] is the current
+     group's position and [remaining.(q).(pos)] counts its unscheduled
+     members. Membership probes are O(1) flat-index lookups against the
+     group index instead of [List.mem] scans of a shrinking head list,
+     and emptying the current group advances the cursor exactly where
+     the list version dropped an emptied head — an unscheduled
+     instruction is in the current group iff its group position equals
+     the cursor. *)
   let total = Qgdg.Gdg.size g in
   let scheduled : (int, Schedule.entry) Hashtbl.t = Hashtbl.create total in
   let qubit_free = Array.make (max 1 n_qubits) 0. in
+  let head = Array.make (max 1 n_qubits) 0 in
+  let remaining =
+    Array.init (max 1 n_qubits) (fun q ->
+        Array.of_list
+          (List.map List.length (Qgdg.Comm_group.groups_on groups q)))
+  in
   let in_current_group id q =
-    match !(queue.(q)) with
-    | [] -> false
-    | current :: _ -> List.mem id current
+    head.(q) < Array.length remaining.(q)
+    && Qgdg.Comm_group.lookup groups ~qubit:q id = head.(q)
   in
   let drop_from_group id q =
-    match !(queue.(q)) with
-    | [] -> ()
-    | current :: rest ->
-      let current = List.filter (( <> ) id) current in
-      queue.(q) := if current = [] then rest else current :: rest
+    let pos = Qgdg.Comm_group.lookup groups ~qubit:q id in
+    if pos >= 0 then begin
+      remaining.(q).(pos) <- remaining.(q).(pos) - 1;
+      while
+        head.(q) < Array.length remaining.(q) && remaining.(q).(head.(q)) = 0
+      do
+        head.(q) <- head.(q) + 1
+      done
+    end
   in
-  let topo = Qgdg.Gdg.insts g in
+  (* the unscheduled suffix of the topological order, pruned each round
+     so the per-round scans shrink as the schedule fills (relative order
+     is preserved, so candidate order — and therefore every matching
+     decision — is unchanged) *)
+  let topo_rest = ref (Qgdg.Gdg.insts g) in
   let eps = 1e-9 in
   let time = ref 0. in
   let entries = ref [] in
   while Hashtbl.length scheduled < total do
+    topo_rest :=
+      List.filter
+        (fun (i : Inst.t) -> not (Hashtbl.mem scheduled i.Inst.id))
+        !topo_rest;
     let candidates =
       List.filter
         (fun (i : Inst.t) ->
-          (not (Hashtbl.mem scheduled i.Inst.id))
-          && List.for_all
-               (fun q ->
-                 in_current_group i.Inst.id q
-                 && qubit_free.(q) <= !time +. eps)
-               i.Inst.qubits)
-        topo
+          List.for_all
+            (fun q ->
+              in_current_group i.Inst.id q && qubit_free.(q) <= !time +. eps)
+            i.Inst.qubits)
+        !topo_rest
     in
     let claimed = Array.make (max 1 n_qubits) false in
     let select (i : Inst.t) =
@@ -87,17 +106,19 @@ let schedule g =
                    in_current_group i.Inst.id q
                    && qubit_free.(q) <= !time +. eps)
                  i.Inst.qubits)
-          topo
+          !topo_rest
       in
       if not startable_now then begin
-        (* advance to the next completion event *)
+        (* advance to the next qubit-release event: a candidate only
+           becomes startable when some qubit frees up, and the release
+           instants are exactly the [qubit_free] values, so stepping to
+           the least one past [time] visits every instant at which the
+           candidate set can grow (completions that are not any qubit's
+           latest were barren rounds) *)
         let next =
-          Hashtbl.fold
-            (fun _ e acc ->
-              if e.Schedule.finish > !time +. eps then
-                Float.min acc e.Schedule.finish
-              else acc)
-            scheduled Float.infinity
+          Array.fold_left
+            (fun acc f -> if f > !time +. eps then Float.min acc f else acc)
+            Float.infinity qubit_free
         in
         if next = Float.infinity then
           failwith "Cls.schedule: deadlock (malformed dependence graph)";

@@ -122,7 +122,26 @@ let commute_cases =
     case "blocks: anti-commuting Paulis rejected" (fun () ->
         check_bool "x vs z" false (Commute.blocks [ Gate.x 0 ] [ Gate.z 0 ]);
         check_bool "x vs y" false (Commute.blocks [ Gate.x 0 ] [ Gate.y 0 ]);
-        check_bool "h vs h" true (Commute.blocks [ Gate.h 0 ] [ Gate.h 0 ])) ]
+        check_bool "h vs h" true (Commute.blocks [ Gate.h 0 ] [ Gate.h 0 ]));
+    (* the oracle dispatcher against the retained pre-oracle decision
+       chain: memoization, summary shortcuts and route dispatch must not
+       change a single verdict *)
+    qcheck ~count:25 "blocks matches blocks_reference on Clifford blocks"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 2 + Qgraph.Rand.int rng 5 in
+        let a = random_clifford_gates rng n 5 in
+        let b = random_clifford_gates rng n 5 in
+        Commute.blocks a b = Commute.blocks_reference a b);
+    qcheck ~count:25 "blocks matches blocks_reference on CNOT+Rz blocks"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 2 + Qgraph.Rand.int rng 5 in
+        let a = random_cnot_rz_gates rng n 6 in
+        let b = random_cnot_rz_gates rng n 6 in
+        Commute.blocks a b = Commute.blocks_reference a b) ]
 
 let gdg_cases =
   [ case "of_circuit sizes" (fun () ->
@@ -240,7 +259,21 @@ let comm_group_cases =
           Alcotest.(check (list (list int)))
             (Printf.sprintf "qubit %d" q)
             (Comm_group.groups_on b q) (Comm_group.groups_on a q)
-        done) ]
+        done);
+    case "oracle build matches reference on every suite circuit" (fun () ->
+        List.iter
+          (fun (b : Qapps.Suite.benchmark) ->
+            let circuit = Qapps.Suite.lowered b in
+            let g = Gdg.of_circuit ~latency:sum_latency circuit in
+            let oracle = Comm_group.build g in
+            let reference = Comm_group.build_reference g in
+            for q = 0 to Gdg.n_qubits g - 1 do
+              Alcotest.(check (list (list int)))
+                (Printf.sprintf "%s qubit %d" b.Qapps.Suite.name q)
+                (Comm_group.groups_on reference q)
+                (Comm_group.groups_on oracle q)
+            done)
+          Qapps.Suite.all) ]
 
 let diagonal_cases =
   [ case "contracts cnot-rz-cnot" (fun () ->
@@ -285,7 +318,68 @@ let diagonal_cases =
         let g = Gdg.of_circuit ~latency:unit_latency circuit in
         ignore (Diagonal.detect_and_contract ~latency:sum_latency g);
         let after = Circuit.make 3 (Gdg.all_gates g) in
-        check_bool "unitary equal" true (Circuit.equal_semantics circuit after)) ]
+        check_bool "unitary equal" true (Circuit.equal_semantics circuit after));
+    (* run growth: the table-backed production bookkeeping against the
+       list-based reference, plus the structural invariants every run
+       must satisfy *)
+    qcheck ~count:30 "grow_run matches reference and its invariants"
+      QCheck.(int_range 0 10000)
+      (fun seed ->
+        let rng = Qgraph.Rand.create seed in
+        let n = 2 + Qgraph.Rand.int rng 4 in
+        let gates = random_unitary_gates rng n (10 + Qgraph.Rand.int rng 30) in
+        let g = Gdg.of_circuit ~latency:unit_latency (Circuit.make n gates) in
+        List.for_all
+          (fun (i : Inst.t) ->
+            let run = Diagonal.grow_run g i.Inst.id in
+            let reference = Diagonal.grow_run_reference g i.Inst.id in
+            let support =
+              List.sort_uniq compare
+                (List.concat_map
+                   (fun id -> (Gdg.find g id).Inst.qubits)
+                   run)
+            in
+            let gate_count =
+              List.fold_left
+                (fun acc id ->
+                  acc + List.length (Gdg.find g id).Inst.gates)
+                0 run
+            in
+            run = reference
+            && List.hd run = i.Inst.id
+            && List.length support <= 2
+            && gate_count <= Diagonal.max_run_gates)
+          (Gdg.insts g));
+    case "oracle detect matches reference on every suite circuit" (fun () ->
+        let shape g =
+          List.map
+            (fun (i : Inst.t) -> (i.Inst.id, i.Inst.qubits, i.Inst.gates))
+            (Gdg.insts g)
+        in
+        List.iter
+          (fun (b : Qapps.Suite.benchmark) ->
+            let circuit = Qapps.Suite.lowered b in
+            let g_new = Gdg.of_circuit ~latency:sum_latency circuit in
+            let g_ref = Gdg.of_circuit ~latency:sum_latency circuit in
+            let merges_new =
+              Diagonal.detect_and_contract ~latency:sum_latency g_new
+            in
+            let merges_ref =
+              Diagonal.detect_and_contract_reference ~latency:sum_latency g_ref
+            in
+            check_int
+              (Printf.sprintf "%s merges" b.Qapps.Suite.name)
+              merges_ref merges_new;
+            check_bool
+              (Printf.sprintf "%s graphs identical" b.Qapps.Suite.name)
+              true
+              (shape g_new = shape g_ref);
+            Gdg.validate g_new;
+            (* the contracted graphs must also schedule identically *)
+            check_float
+              (Printf.sprintf "%s cls makespan" b.Qapps.Suite.name)
+              (Qsched.Cls.makespan g_ref) (Qsched.Cls.makespan g_new))
+          Qapps.Suite.all) ]
 
 let suites =
   [ ("qgdg.inst", inst_cases);

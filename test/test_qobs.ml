@@ -412,6 +412,9 @@ let test_ledger_stats_roundtrip () =
   Metrics.incr m ~by:4 "commute.route.memo";
   Metrics.incr m ~by:6 "commute.route.dense";
   Metrics.incr m ~by:3 "qflow.route.structural";
+  Metrics.incr m ~by:5 "detect.checks";
+  Metrics.incr m ~by:2 "detect.route.memo";
+  Metrics.incr m ~by:3 "detect.route.phase_poly";
   let row1 =
     Qobs.Ledger.row ~source_label:"t1" ~strategy:"cls" ~backend_digest:"b"
       ~source_digest:"s" ~chain_digest:"c" ~latency_ns:100.
@@ -458,6 +461,9 @@ let test_ledger_stats_roundtrip () =
       checki "qflow route" 3 (route "qflow.route.structural");
       checki "route sum = checks" t.Qobs.Stats.commute_checks
         (route "commute.route.memo" + route "commute.route.dense");
+      checki "detect checks" 5 t.Qobs.Stats.detect_checks;
+      checki "detect route sum = detect checks" t.Qobs.Stats.detect_checks
+        (Qobs.Stats.detect_route_sum t);
       (* per-pass aggregation: both passes of row1, once each *)
       List.iter
         (fun pass ->
@@ -519,7 +525,11 @@ let test_route_sum_invariant () =
   checki "commute routes sum to checks" checks (sum_routes "commute.route.");
   let pair_checks = Metrics.counter_value metrics "qflow.pair.checks" in
   checki "qflow routes sum to pair checks" pair_checks
-    (sum_routes "qflow.route.")
+    (sum_routes "qflow.route.");
+  let detect_checks = Metrics.counter_value metrics "detect.checks" in
+  checkb "detection queries happened" true (detect_checks > 0);
+  checki "detect routes sum to checks" detect_checks
+    (sum_routes "detect.route.")
 
 (* ---- compile-with-trace acceptance ---- *)
 
